@@ -1,0 +1,171 @@
+(* Benchmark harness.
+
+   Running `dune exec bench/main.exe` does two things:
+
+   1. Regenerates every table/figure of the paper's evaluation (Figs 3-16)
+      plus the ablations, printing the same rows/series the paper reports.
+      Scaled-down parameters by default; set HRT_FULL=1 for paper-scale.
+
+   2. Runs one Bechamel micro-benchmark per figure: how long the simulator
+      takes to execute a miniature instance of that experiment, plus
+      micro-benchmarks of the scheduler's hot paths — the performance of
+      the reproduction itself rather than the simulated metrics.
+
+   `dune exec bench/main.exe -- tables` or `-- micro` runs one half. *)
+
+open Bechamel
+open Bechamel.Toolkit
+open Hrt_engine
+open Hrt_core
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: figure regeneration. *)
+
+let run_tables () =
+  print_endline "======================================================";
+  print_endline " Reproduction of every figure (see EXPERIMENTS.md)";
+  print_endline
+    (match Hrt_harness.Exp.scale_of_env () with
+    | Hrt_harness.Exp.Quick ->
+      " scale: QUICK (scaled-down; set HRT_FULL=1 for paper scale)"
+    | Hrt_harness.Exp.Full -> " scale: FULL (paper-scale parameters)");
+  print_endline "======================================================\n";
+  List.iter Hrt_harness.Registry.run_and_print Hrt_harness.Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel micro-benchmarks. *)
+
+let staged = Staged.stage
+
+let bench_boot () = ignore (Scheduler.create ~num_cpus:64 Hrt_hw.Platform.phi)
+
+let periodic_workload platform ~admission ~period_us ~slice_us () =
+  let config = { Config.default with Config.admission_control = admission } in
+  let sys = Scheduler.create ~num_cpus:2 ~config platform in
+  ignore
+    (Scheduler.spawn sys ~cpu:1 ~bound:true
+       (Program.seq
+          [
+            Program.of_steps
+              (Scheduler.admission_ops sys
+                 (Constraints.periodic ~period:(Time.us period_us)
+                    ~slice:(Time.us slice_us) ())
+                 ~on_result:(fun _ -> ()));
+            Program.compute_forever (Time.sec 1);
+          ]));
+  Scheduler.run ~until:(Time.ms 2) sys
+
+let bench_group workers () =
+  let sys = Scheduler.create ~num_cpus:(workers + 1) Hrt_hw.Platform.phi in
+  Hrt_harness.Exp.run_group_admission sys ~workers
+    (Constraints.periodic ~period:(Time.us 200) ~slice:(Time.us 40) ())
+    ();
+  Scheduler.run ~until:(Time.ms 5) sys
+
+let bsp_rt =
+  Hrt_bsp.Bsp.Rt
+    { period = Time.us 100; slice = Time.us 90; phase_correction = true }
+
+let bench_bsp ~coarse ~barrier () =
+  let params =
+    if coarse then
+      { (Hrt_bsp.Bsp.coarse_grain ~cpus:8 ~barrier) with Hrt_bsp.Bsp.iters = 10 }
+    else { (Hrt_bsp.Bsp.fine_grain ~cpus:8 ~barrier) with Hrt_bsp.Bsp.iters = 50 }
+  in
+  ignore (Hrt_bsp.Bsp.run params bsp_rt)
+
+let experiment_tests =
+  [
+    Test.make ~name:"fig3 boot+calibrate 64 CPUs" (staged bench_boot);
+    Test.make ~name:"fig4 scope-trace workload"
+      (staged (periodic_workload Hrt_hw.Platform.phi ~admission:true ~period_us:100 ~slice_us:50));
+    Test.make ~name:"fig5 overhead workload"
+      (staged (periodic_workload Hrt_hw.Platform.r415 ~admission:true ~period_us:100 ~slice_us:50));
+    Test.make ~name:"fig6 miss-rate point phi"
+      (staged (periodic_workload Hrt_hw.Platform.phi ~admission:false ~period_us:20 ~slice_us:12));
+    Test.make ~name:"fig7 miss-rate point r415"
+      (staged (periodic_workload Hrt_hw.Platform.r415 ~admission:false ~period_us:20 ~slice_us:12));
+    Test.make ~name:"fig8 miss-time point phi"
+      (staged (periodic_workload Hrt_hw.Platform.phi ~admission:false ~period_us:10 ~slice_us:5));
+    Test.make ~name:"fig9 miss-time point r415"
+      (staged (periodic_workload Hrt_hw.Platform.r415 ~admission:false ~period_us:10 ~slice_us:5));
+    Test.make ~name:"fig10 group admission 8t" (staged (bench_group 8));
+    Test.make ~name:"fig11 group sync 8t" (staged (bench_group 8));
+    Test.make ~name:"fig12 group sync 16t" (staged (bench_group 16));
+    Test.make ~name:"fig13 bsp coarse+barrier" (staged (bench_bsp ~coarse:true ~barrier:true));
+    Test.make ~name:"fig14 bsp fine+barrier" (staged (bench_bsp ~coarse:false ~barrier:true));
+    Test.make ~name:"fig15 bsp coarse-nobarrier" (staged (bench_bsp ~coarse:true ~barrier:false));
+    Test.make ~name:"fig16 bsp fine-nobarrier" (staged (bench_bsp ~coarse:false ~barrier:false));
+  ]
+
+let hot_path_tests =
+  let q = Event_queue.create () in
+  let pq = Prio_queue.create ~capacity:1024 in
+  let rng = Rng.create 1L in
+  [
+    Test.make ~name:"micro event-queue add+pop"
+      (staged (fun () ->
+           ignore (Event_queue.add q ~time:(Int64.of_int (Rng.int rng 1000)) ());
+           ignore (Event_queue.pop q)));
+    Test.make ~name:"micro prio-queue add+pop"
+      (staged (fun () ->
+           ignore (Prio_queue.add pq ~key:(Int64.of_int (Rng.int rng 1000)) ());
+           ignore (Prio_queue.pop pq)));
+    Test.make ~name:"micro rng gaussian"
+      (staged (fun () -> ignore (Rng.gaussian rng ~mu:0. ~sigma:1.)));
+    Test.make ~name:"micro platform sample"
+      (staged (fun () ->
+           ignore
+             (Hrt_hw.Platform.sample Hrt_hw.Platform.phi rng
+                Hrt_hw.Platform.phi.Hrt_hw.Platform.sched_pass)));
+  ]
+
+let run_micro () =
+  print_endline "======================================================";
+  print_endline " Bechamel micro-benchmarks (simulator performance)";
+  print_endline "======================================================";
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Bechamel.Time.second 0.25) ~kde:None ()
+  in
+  let instances = [ Instance.monotonic_clock ] in
+  let table =
+    Hrt_stats.Table.create
+      ~title:"wall-clock cost of simulating each experiment (OLS estimate)"
+      ~columns:
+        [ ("benchmark", Hrt_stats.Table.Left); ("time/run", Hrt_stats.Table.Right) ]
+  in
+  let grouped =
+    Test.make_grouped ~name:"hrt" ~fmt:"%s %s" (experiment_tests @ hot_path_tests)
+  in
+  let results = Benchmark.all cfg instances grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let analyzed = Analyze.all ols Instance.monotonic_clock results in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      let cell =
+        match Analyze.OLS.estimates result with
+        | Some (est :: _) ->
+          if est > 1e6 then Printf.sprintf "%.3f ms" (est /. 1e6)
+          else if est > 1e3 then Printf.sprintf "%.3f us" (est /. 1e3)
+          else Printf.sprintf "%.0f ns" est
+        | Some [] | None -> "n/a"
+      in
+      rows := (name, cell) :: !rows)
+    analyzed;
+  List.iter
+    (fun (name, cell) -> Hrt_stats.Table.row table [ name; cell ])
+    (List.sort compare !rows);
+  Hrt_stats.Table.print table
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (match mode with
+  | "tables" -> run_tables ()
+  | "micro" -> run_micro ()
+  | _ ->
+    run_tables ();
+    run_micro ());
+  print_endline "bench: done."

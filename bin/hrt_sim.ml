@@ -1,0 +1,178 @@
+(* Command-line driver for the hard real-time scheduling simulator.
+
+   Subcommands:
+     list                     enumerate reproducible experiments
+     run <names...>           run experiments (figures/ablations) by name
+     all                      run everything
+     bsp [options]            run one BSP benchmark configuration
+     missrate [options]       run one period/slice miss-rate point *)
+
+open Cmdliner
+open Hrt_engine
+open Hrt_core
+open Hrt_harness
+
+let scale_term =
+  let full =
+    Arg.(value & flag & info [ "full" ] ~doc:"Paper-scale parameters (slow).")
+  in
+  Term.(
+    const (fun full -> if full then Exp.Full else Exp.scale_of_env ()) $ full)
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let doc = "List the reproducible experiments." in
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-18s %s\n" e.Registry.name e.Registry.title)
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let doc = "Run experiments by name (see $(b,list))." in
+  let names =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"NAME" ~doc:"Experiment name.")
+  in
+  let csv_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each table as CSV into $(docv).")
+  in
+  let run scale csv_dir names =
+    List.iter
+      (fun name ->
+        match Registry.find name with
+        | Some e -> (
+          Registry.run_and_print ~scale e;
+          match csv_dir with
+          | None -> ()
+          | Some dir ->
+            if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+            List.iteri
+              (fun i table ->
+                let path = Filename.concat dir (Printf.sprintf "%s-%d.csv" name i) in
+                Hrt_stats.Csv.write ~path
+                  ~header:(Hrt_stats.Table.headers table)
+                  (Hrt_stats.Table.to_rows table);
+                Printf.printf "wrote %s\n" path)
+              (e.Registry.run scale))
+        | None ->
+          Printf.eprintf "unknown experiment %S; try `hrt_sim list`\n" name;
+          exit 1)
+      names
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ scale_term $ csv_dir $ names)
+
+(* ---- all ---- *)
+
+let all_cmd =
+  let doc = "Run every experiment (the full evaluation section)." in
+  let run scale = List.iter (Registry.run_and_print ~scale) Registry.all in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ scale_term)
+
+(* ---- bsp ---- *)
+
+let bsp_cmd =
+  let doc = "Run one BSP benchmark configuration." in
+  let cpus =
+    Arg.(value & opt int 24 & info [ "cpus" ] ~doc:"Worker CPUs (paper: 255).")
+  in
+  let grain =
+    Arg.(
+      value
+      & opt (enum [ ("fine", `Fine); ("coarse", `Coarse) ]) `Fine
+      & info [ "grain" ] ~doc:"Granularity: fine or coarse.")
+  in
+  let barrier =
+    Arg.(value & flag & info [ "barrier" ] ~doc:"Keep the per-iteration barrier.")
+  in
+  let aperiodic =
+    Arg.(
+      value & flag
+      & info [ "aperiodic" ] ~doc:"Non-real-time scheduling (implies --barrier).")
+  in
+  let period_us =
+    Arg.(value & opt int 100 & info [ "period" ] ~doc:"Period in us (RT mode).")
+  in
+  let slice_pct =
+    Arg.(value & opt int 90 & info [ "slice" ] ~doc:"Slice as % of period.")
+  in
+  let iters =
+    Arg.(value & opt int 500 & info [ "iters" ] ~doc:"BSP iterations.")
+  in
+  let run cpus grain barrier aperiodic period_us slice_pct iters =
+    let params =
+      match grain with
+      | `Fine -> Hrt_bsp.Bsp.fine_grain ~cpus ~barrier:(barrier || aperiodic)
+      | `Coarse -> Hrt_bsp.Bsp.coarse_grain ~cpus ~barrier:(barrier || aperiodic)
+    in
+    let params = { params with Hrt_bsp.Bsp.iters } in
+    let mode =
+      if aperiodic then Hrt_bsp.Bsp.Aperiodic
+      else begin
+        let period = Time.us period_us in
+        let slice = Int64.div (Int64.mul period (Int64.of_int slice_pct)) 100L in
+        Hrt_bsp.Bsp.Rt { period; slice; phase_correction = true }
+      end
+    in
+    let r = Hrt_bsp.Bsp.run params mode in
+    Printf.printf
+      "exec=%.3f ms  iterations=%d  misses=%d  admitted=%b  checksum=%.0f\n"
+      (Time.to_float_ms r.Hrt_bsp.Bsp.exec_time)
+      r.Hrt_bsp.Bsp.iterations_done r.Hrt_bsp.Bsp.misses r.Hrt_bsp.Bsp.admitted
+      r.Hrt_bsp.Bsp.checksum
+  in
+  Cmd.v (Cmd.info "bsp" ~doc)
+    Term.(
+      const run $ cpus $ grain $ barrier $ aperiodic $ period_us $ slice_pct
+      $ iters)
+
+(* ---- missrate ---- *)
+
+let missrate_cmd =
+  let doc = "Measure miss rate for one periodic constraint." in
+  let platform =
+    Arg.(
+      value
+      & opt (enum [ ("phi", Hrt_hw.Platform.phi); ("r415", Hrt_hw.Platform.r415) ])
+          Hrt_hw.Platform.phi
+      & info [ "platform" ] ~doc:"phi or r415.")
+  in
+  let period_us =
+    Arg.(value & opt int 100 & info [ "period" ] ~doc:"Period in us.")
+  in
+  let slice_pct =
+    Arg.(value & opt int 50 & info [ "slice" ] ~doc:"Slice as % of period.")
+  in
+  let ms =
+    Arg.(value & opt int 100 & info [ "duration" ] ~doc:"Simulated ms to run.")
+  in
+  let run platform period_us slice_pct ms =
+    let config = { Config.default with Config.admission_control = false } in
+    let sys = Scheduler.create ~num_cpus:2 ~config platform in
+    let period = Time.us period_us in
+    let slice = Int64.div (Int64.mul period (Int64.of_int slice_pct)) 100L in
+    ignore (Exp.periodic_thread sys ~cpu:1 ~period ~slice ());
+    Scheduler.run ~until:(Time.ms ms) sys;
+    let acc = Local_sched.account (Scheduler.sched sys 1) in
+    Printf.printf
+      "platform=%s period=%dus slice=%d%%: arrivals=%d misses=%d rate=%.1f%% \
+       mean-miss=%.2fus\n"
+      platform.Hrt_hw.Platform.name period_us slice_pct (Account.arrivals acc)
+      (Account.misses acc)
+      (100. *. Account.miss_rate acc)
+      (Hrt_stats.Summary.mean (Account.miss_times_us acc))
+  in
+  Cmd.v (Cmd.info "missrate" ~doc)
+    Term.(const run $ platform $ period_us $ slice_pct $ ms)
+
+let () =
+  let doc = "Hard real-time scheduling for parallel run-time systems (HPDC'18 reproduction)." in
+  let info = Cmd.info "hrt_sim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; bsp_cmd; missrate_cmd ]))

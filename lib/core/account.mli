@@ -1,0 +1,46 @@
+(** Per-CPU scheduler accounting.
+
+    Collects the quantities the paper's evaluation reports: the overhead
+    breakdown of each local-scheduler invocation (Fig 5: IRQ / Other /
+    Resched / Switch, in cycles), deadline miss counts and miss times
+    (Figs 6-9), and general activity counters. *)
+
+open Hrt_stats
+
+type t
+
+val create : ghz:float -> t
+
+val record_invocation :
+  t -> irq_ns:int64 -> other_ns:int64 -> pass_ns:int64 -> switch_ns:int64 -> unit
+(** Record one invocation's overhead components (ns; stored as cycles).
+    A zero [switch_ns] means no context switch happened and is not added to
+    the switch distribution. *)
+
+val record_arrival : t -> unit
+val record_miss : t -> miss_time_ns:int64 -> unit
+val record_kick : t -> unit
+val record_steal : t -> unit
+
+val invocations : t -> int
+val arrivals : t -> int
+val misses : t -> int
+val miss_rate : t -> float
+(** misses / arrivals, 0 when no arrivals. *)
+
+val kicks : t -> int
+val steals : t -> int
+
+val irq_cycles : t -> Summary.t
+val other_cycles : t -> Summary.t
+val resched_cycles : t -> Summary.t
+val switch_cycles : t -> Summary.t
+
+val miss_times_us : t -> Summary.t
+(** Distribution of miss times in microseconds. *)
+
+val total_overhead_cycles : t -> float
+(** Mean total overhead per invocation, cycles. *)
+
+val merge : t -> t -> t
+(** Aggregate two CPUs' accounts (same clock assumed). *)

@@ -1,0 +1,172 @@
+open Hrt_engine
+
+type t = {
+  config : Config.t;
+  overhead_ns : Time.ns;
+  mutable periodic_util : float;
+  mutable periodic_count : int;
+  mutable periodic_set : (Time.ns * Time.ns) list;  (* (period, slice) *)
+  mutable sporadic : (Time.ns * float) list;  (* (deadline, density) *)
+  mutable rejections : int;
+}
+
+let create ?(overhead_ns = 0L) config =
+  {
+    config;
+    overhead_ns;
+    periodic_util = 0.;
+    periodic_count = 0;
+    periodic_set = [];
+    sporadic = [];
+    rejections = 0;
+  }
+
+let periodic_util t = t.periodic_util
+
+let purge t ~now =
+  t.sporadic <- List.filter (fun (d, _) -> Time.(d > now)) t.sporadic
+
+let sporadic_density t ~now =
+  purge t ~now;
+  List.fold_left (fun acc (_, d) -> acc +. d) 0. t.sporadic
+
+let remove_from_set t period slice =
+  let rec go = function
+    | [] -> []
+    | (p, s) :: rest when Int64.equal p period && Int64.equal s slice -> rest
+    | x :: rest -> x :: go rest
+  in
+  t.periodic_set <- go t.periodic_set
+
+let release_one t = function
+  | Constraints.Aperiodic _ -> ()
+  | Constraints.Periodic { period; slice; _ } as c ->
+    t.periodic_util <- Float.max 0. (t.periodic_util -. Constraints.utilization c);
+    t.periodic_count <- Stdlib.max 0 (t.periodic_count - 1);
+    remove_from_set t period slice
+  | Constraints.Sporadic { deadline; _ } -> (
+    (* Drop one entry with this deadline; densities of distinct admissions
+       with equal deadlines are interchangeable. *)
+    match List.partition (fun (d, _) -> Int64.equal d deadline) t.sporadic with
+    | [], _ -> ()
+    | _ :: rest_same, others -> t.sporadic <- rest_same @ others)
+
+let release t c = release_one t c
+
+let liu_layland n =
+  if n <= 0 then 1.
+  else begin
+    let fn = float_of_int n in
+    fn *. ((2. ** (1. /. fn)) -. 1.)
+  end
+
+let rec gcd64 a b = if Int64.equal b 0L then a else gcd64 b (Int64.rem a b)
+
+(* Processor-demand test over one hyperperiod, charging each arrival its
+   scheduler overhead (the paper's prototype admission, Section 3.2). The
+   hyperperiod is capped: pathological period combinations fall back to the
+   plain utilization test with overhead folded into each cost. *)
+let hyperperiod_feasible t ~capacity set =
+  let ovh = t.overhead_ns in
+  let lcm_capped acc p =
+    let l = Int64.div (Int64.mul acc p) (gcd64 acc p) in
+    if Int64.compare l 1_000_000_000L > 0 then Int64.min_int else l
+  in
+  let h = List.fold_left (fun acc (p, _) -> 
+      if Int64.equal acc Int64.min_int then acc else lcm_capped acc p)
+      1L set
+  in
+  let effective_util =
+    List.fold_left
+      (fun acc (p, s) ->
+        acc +. (Int64.to_float Time.(s + ovh) /. Int64.to_float p))
+      0. set
+  in
+  if Int64.equal h Int64.min_int then effective_util <= capacity
+  else begin
+    (* Check demand at every deadline (arrival multiple) up to H. *)
+    let deadlines =
+      List.concat_map
+        (fun (p, _) ->
+          let count = Int64.to_int (Int64.div h p) in
+          if count > 4096 then [] (* bounded pass; H check below covers it *)
+          else List.init count (fun k -> Int64.mul p (Int64.of_int (k + 1))))
+        set
+    in
+    let deadlines = List.sort_uniq Int64.compare (h :: deadlines) in
+    List.for_all
+      (fun d ->
+        let demand =
+          List.fold_left
+            (fun acc (p, s) ->
+              let jobs = Int64.div d p in
+              Time.(acc + Int64.mul jobs Time.(s + ovh)))
+            0L set
+        in
+        Int64.to_float demand <= Int64.to_float d *. capacity)
+      deadlines
+  end
+
+let admissible_periodic t ~period ~slice =
+  let cfg = t.config in
+  if Time.(period < cfg.Config.min_period) || Time.(slice < cfg.Config.min_slice)
+  then false
+  else begin
+    let u = Int64.to_float slice /. Int64.to_float period in
+    let capacity = Config.periodic_capacity cfg in
+    match cfg.Config.admission with
+    | Config.Edf_utilization -> t.periodic_util +. u <= capacity
+    | Config.Rate_monotonic ->
+      let bound = liu_layland (t.periodic_count + 1) in
+      t.periodic_util +. u <= bound *. capacity
+    | Config.Hyperperiod_sim ->
+      hyperperiod_feasible t ~capacity ((period, slice) :: t.periodic_set)
+  end
+
+let admissible_sporadic t ~now ~phase ~size ~deadline =
+  let arrival = Time.(now + phase) in
+  if Time.(deadline <= arrival) then false
+  else begin
+    let density = Int64.to_float size /. Int64.to_float Time.(deadline - arrival) in
+    sporadic_density t ~now +. density
+    <= t.config.Config.sporadic_reservation *. t.config.Config.util_limit
+  end
+
+let commit t ~now = function
+  | Constraints.Aperiodic _ -> ()
+  | Constraints.Periodic { period; slice; _ } as c ->
+    t.periodic_util <- t.periodic_util +. Constraints.utilization c;
+    t.periodic_count <- t.periodic_count + 1;
+    t.periodic_set <- (period, slice) :: t.periodic_set
+  | Constraints.Sporadic { phase; size; deadline; _ } ->
+    let arrival = Time.(now + phase) in
+    let density =
+      Int64.to_float size /. Int64.to_float (Time.max 1L Time.(deadline - arrival))
+    in
+    t.sporadic <- (deadline, density) :: t.sporadic
+
+let request t ~now ~old_constr c =
+  release_one t old_constr;
+  let structurally_ok = Result.is_ok (Constraints.validate c) in
+  let ok =
+    structurally_ok
+    && (not t.config.Config.admission_control
+       ||
+       match c with
+       | Constraints.Aperiodic _ -> true
+       | Constraints.Periodic { period; slice; _ } ->
+         admissible_periodic t ~period ~slice
+       | Constraints.Sporadic { phase; size; deadline; _ } ->
+         admissible_sporadic t ~now ~phase ~size ~deadline)
+  in
+  if ok then begin
+    commit t ~now c;
+    true
+  end
+  else begin
+    t.rejections <- t.rejections + 1;
+    commit t ~now old_constr;
+    false
+  end
+
+let rejections t = t.rejections

@@ -1,0 +1,42 @@
+(** Local admission control (paper Section 3.2).
+
+    Admission is entirely per-CPU: each local scheduler accounts its own
+    utilization, which is what makes communication-free group scheduling
+    possible (Section 4.1). The classic single-CPU tests are used:
+
+    - periodic threads: utilization-bound test against the periodic
+      capacity (EDF), or the Liu-Layland bound scaled by the capacity
+      (rate monotonic);
+    - sporadic threads: density test ([size / (deadline - arrival)])
+      against the sporadic reservation, with expired sporadics purged;
+    - aperiodic threads: always admitted.
+
+    The utilization limit leaves headroom for the scheduler itself, SMIs,
+    and interrupts (Section 3.6). *)
+
+open Hrt_engine
+
+type t
+
+val create : ?overhead_ns:Time.ns -> Config.t -> t
+(** [overhead_ns] is the scheduler's per-arrival overhead (two invocations)
+    charged by the hyperperiod-simulation policy; 0 by default. *)
+
+val periodic_util : t -> float
+(** Committed periodic utilization. *)
+
+val sporadic_density : t -> now:Time.ns -> float
+(** Committed density of still-live sporadic admissions. *)
+
+val request :
+  t -> now:Time.ns -> old_constr:Constraints.t -> Constraints.t -> bool
+(** Test-and-commit: releases [old_constr]'s contribution, tests the new
+    constraints, commits them on success and restores the old contribution
+    on failure. Always succeeds for aperiodic constraints, and for any
+    constraints when [admission_control] is off in the config (Figs 6-9
+    turn it off to drive the scheduler past the feasibility edge). *)
+
+val release : t -> Constraints.t -> unit
+(** Remove a thread's contribution (thread exit). *)
+
+val rejections : t -> int

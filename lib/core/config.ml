@@ -1,0 +1,53 @@
+open Hrt_engine
+
+type admission_policy = Edf_utilization | Rate_monotonic | Hyperperiod_sim
+type dispatch_policy = Eager | Lazy
+
+type t = {
+  util_limit : float;
+  sporadic_reservation : float;
+  aperiodic_reservation : float;
+  aperiodic_quantum : Time.ns;
+  min_period : Time.ns;
+  min_slice : Time.ns;
+  max_threads : int;
+  admission : admission_policy;
+  dispatch : dispatch_policy;
+  admission_control : bool;
+  strict_reservations : bool;
+  work_stealing : bool;
+  steal_interval : Time.ns;
+  lazy_slack : Time.ns;
+}
+
+let default =
+  {
+    util_limit = 0.99;
+    sporadic_reservation = 0.10;
+    aperiodic_reservation = 0.10;
+    aperiodic_quantum = Time.ms 100;
+    min_period = Time.us 2;
+    min_slice = Time.ns 500;
+    max_threads = 2048;
+    admission = Edf_utilization;
+    dispatch = Eager;
+    admission_control = true;
+    strict_reservations = true;
+    work_stealing = true;
+    steal_interval = Time.us 20;
+    lazy_slack = Time.us 15;
+  }
+
+let periodic_capacity t =
+  if t.strict_reservations then
+    t.util_limit -. t.sporadic_reservation -. t.aperiodic_reservation
+  else t.util_limit
+
+let validate t =
+  if t.util_limit <= 0. || t.util_limit > 1. then Error "util_limit out of (0,1]"
+  else if t.sporadic_reservation < 0. || t.aperiodic_reservation < 0. then
+    Error "negative reservation"
+  else if periodic_capacity t <= 0. then Error "reservations exhaust the limit"
+  else if Time.(t.aperiodic_quantum <= 0L) then Error "non-positive quantum"
+  else if t.max_threads <= 0 then Error "non-positive max_threads"
+  else Ok ()

@@ -1,0 +1,53 @@
+(** Scheduler configuration.
+
+    Defaults mirror the paper's evaluation setup (Section 5.1): 99 %
+    utilization limit, 10 % sporadic reservation, 10 % aperiodic
+    reservation, aperiodic round-robin at 10 Hz. *)
+
+open Hrt_engine
+
+type admission_policy =
+  | Edf_utilization  (** sum of utilizations against the limit *)
+  | Rate_monotonic  (** Liu-Layland bound n(2^{1/n} - 1) *)
+  | Hyperperiod_sim
+      (** the paper's prototype (Section 3.2): simulate the schedule over a
+          hyperperiod — a processor-demand test that charges each arrival
+          its two scheduler invocations, so it admits more than the RM
+          bound while rejecting constraint sets that only fail because of
+          scheduler overhead (the Fig 6 edge) *)
+
+type dispatch_policy =
+  | Eager
+      (** work-conserving: never delay switching to a runnable RT thread —
+          start early to end early despite missing time (§3.6) *)
+  | Lazy
+      (** classic: delay the switch to the latest start time that still
+          meets the deadline (the baseline the paper argues against) *)
+
+type t = {
+  util_limit : float;  (** fraction of each CPU schedulable at all *)
+  sporadic_reservation : float;
+  aperiodic_reservation : float;
+  aperiodic_quantum : Time.ns;  (** round-robin quantum, default 100 ms *)
+  min_period : Time.ns;  (** granularity bound on constraints (§3.3) *)
+  min_slice : Time.ns;
+  max_threads : int;  (** fixed system-wide thread limit (§3.3) *)
+  admission : admission_policy;
+  dispatch : dispatch_policy;
+  admission_control : bool;  (** off to reproduce Figs 6-9 *)
+  strict_reservations : bool;
+      (** subtract the sporadic/aperiodic reservations from the capacity
+          available to periodic threads; turn off to admit the paper's
+          90 %-utilization BSP constraints (Figs 13-16) *)
+  work_stealing : bool;
+  steal_interval : Time.ns;  (** idle-thread probe cadence *)
+  lazy_slack : Time.ns;  (** safety margin for the Lazy policy *)
+}
+
+val default : t
+
+val periodic_capacity : t -> float
+(** Utilization available to periodic threads:
+    [util_limit - sporadic_reservation - aperiodic_reservation]. *)
+
+val validate : t -> (unit, string) result

@@ -1,0 +1,858 @@
+open Hrt_engine
+open Hrt_hw
+open Hrt_kernel
+
+type shared = {
+  machine : Machine.t;
+  config : Config.t;
+  pool : Thread_pool.t;
+  workload_rng : Rng.t;
+  mutable scheds : t array;
+  mutable total_aper_queued : int;
+  mutable dispatch_hook : (int -> Thread.t -> Time.ns -> unit) option;
+}
+
+and t = {
+  shared : shared;
+  cpu : Machine.cpu;
+  pending : Thread.t Prio_queue.t;
+  rt_run : Thread.t Prio_queue.t;
+  aper_run : Thread.t Deque.t;
+  task_queue : Task.t;
+  admission : Admission.t;
+  account : Account.t;
+  mutable services : Thread.services;
+  mutable current : Thread.t option;
+  mutable completion_ev : Engine.handle option;
+  mutable steal_armed : bool;
+  mutable busy_until : Time.ns;
+  mutable probe : probe option;
+  mutable clock_skew : Time.ns;
+  mutable soft_pending : bool;
+  mutable idle_since : Time.ns option;
+  mutable idle_total : Time.ns;
+  mutable task_thread : Thread.t option;
+}
+
+and probe = {
+  irq_window : start:Time.ns -> stop:Time.ns -> unit;
+  pass_window : start:Time.ns -> stop:Time.ns -> unit;
+  thread_active : Thread.t option -> Time.ns -> unit;
+}
+
+let shared t = t.shared
+let cpu_id t = t.cpu.Machine.id
+let account t = t.account
+let admission t = t.admission
+let tasks t = t.task_queue
+let current t = t.current
+let services t = t.services
+let set_probe t p = t.probe <- p
+let set_clock_skew t s = t.clock_skew <- s
+let clock_skew t = t.clock_skew
+let set_task_thread t th = t.task_thread <- Some th
+let task_thread t = t.task_thread
+
+let engine t = t.shared.machine.Machine.engine
+let platform t = t.shared.machine.Machine.platform
+let config t = t.shared.config
+
+let sample t cost = Machine.sample t.shared.machine t.cpu cost
+
+let rt_queue_length t = Prio_queue.length t.rt_run
+let pending_length t = Prio_queue.length t.pending
+
+(* Aperiodic-queue wrappers maintain the machine-wide stealable count used
+   as the cheap "is there anything to steal" signal. *)
+let aper_push_back t th =
+  Deque.push_back t.aper_run th;
+  t.shared.total_aper_queued <- t.shared.total_aper_queued + 1
+
+let aper_push_front t th =
+  Deque.push_front t.aper_run th;
+  t.shared.total_aper_queued <- t.shared.total_aper_queued + 1
+
+let aper_taken t = t.shared.total_aper_queued <- t.shared.total_aper_queued - 1
+
+let aper_load t =
+  let n = ref 0 in
+  Deque.iter t.aper_run (fun th -> if not th.Thread.bound then incr n);
+  !n
+
+(* ------------------------------------------------------------------ *)
+(* Serialization of the CPU: any event landing inside a busy window is
+   deferred to the end of the window (interrupts are effectively off while
+   the scheduler or an interrupt handler runs). *)
+
+let rec run_gated t f eng =
+  let now = Engine.now eng in
+  if Time.(now < t.busy_until) then
+    ignore (Engine.schedule eng ~at:t.busy_until (run_gated t f))
+  else f eng
+
+(* ------------------------------------------------------------------ *)
+(* Progress charging. *)
+
+let rt_active (th : Thread.t) =
+  match th.constr with
+  | Constraints.Periodic _ | Constraints.Sporadic _ -> true
+  | Constraints.Aperiodic _ -> false
+
+let charge_current t now =
+  match t.current with
+  | Some th when th.Thread.state = Thread.Running ->
+    let start = th.Thread.run_since in
+    if Time.(now > start) then begin
+      let frozen = Engine.frozen_overlap (engine t) start now in
+      let progress = Time.max 0L Time.(now - start - frozen) in
+      th.cpu_time <- Time.(th.cpu_time + progress);
+      if th.has_op then th.work_left <- Time.max 0L Time.(th.work_left - progress);
+      if rt_active th then
+        th.slice_left <- Time.max 0L Time.(th.slice_left - progress)
+      else th.quantum_left <- Time.max 0L Time.(th.quantum_left - progress);
+      th.run_since <- now
+    end
+  | Some _ | None -> ()
+
+let cancel_completion t =
+  match t.completion_ev with
+  | None -> ()
+  | Some ev ->
+    Engine.cancel (engine t) ev;
+    t.completion_ev <- None
+
+(* ------------------------------------------------------------------ *)
+(* Arrival pump (pending -> EDF run queue). *)
+
+let process_arrival t (th : Thread.t) =
+  th.arrivals <- th.arrivals + 1;
+  Account.record_arrival t.account;
+  (match th.constr with
+  | Constraints.Periodic { period; slice; _ } ->
+    th.arrival <- th.next_arrival;
+    th.deadline <- Time.(th.arrival + period);
+    th.slice_left <- slice;
+    th.next_arrival <- th.deadline;
+    th.missed_current <- false
+  | Constraints.Sporadic { size; deadline; _ } ->
+    th.arrival <- th.next_arrival;
+    th.deadline <- deadline;
+    th.slice_left <- size;
+    th.missed_current <- false
+  | Constraints.Aperiodic _ ->
+    (* An aperiodic thread can never sit in the pending queue. *)
+    assert false);
+  th.state <- Thread.Ready;
+  if not (Prio_queue.add t.rt_run ~key:th.deadline th) then
+    failwith "local_sched: real-time run queue overflow"
+
+let rec pump t now =
+  match Prio_queue.peek t.pending with
+  | Some (k, _) when Time.(k <= now) -> (
+    match Prio_queue.pop t.pending with
+    | Some (_, th) ->
+      process_arrival t th;
+      pump t now
+    | None -> ())
+  | Some _ | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Miss detection: a runnable RT thread whose deadline passed while it was
+   still owed slice time has missed. The miss *time* is recorded when the
+   late slice finally completes. *)
+
+let flag_miss _t (th : Thread.t) now =
+  if
+    rt_active th
+    && (not th.missed_current)
+    && Time.(th.slice_left > 0L)
+    && Time.(th.deadline <= now)
+  then begin
+    th.missed_current <- true;
+    th.miss_deadline <- th.deadline;
+    th.misses <- th.misses + 1
+  end
+
+let flag_misses t now =
+  (match t.current with Some th -> flag_miss t th now | None -> ());
+  Prio_queue.iter t.rt_run (fun _ th -> flag_miss t th now)
+
+let record_miss_completion t (th : Thread.t) now =
+  if th.missed_current then begin
+    let miss_time = Time.max 0L Time.(now - th.miss_deadline) in
+    th.miss_time_total <- Time.(th.miss_time_total + miss_time);
+    Account.record_miss t.account ~miss_time_ns:miss_time;
+    th.missed_current <- false
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Thread body advancement: pull ops until the thread has CPU work to do or
+   leaves the runnable set. Side effects inside bodies are instantaneous. *)
+
+let do_set_constraints t (th : Thread.t) c cb now =
+  let ok = Admission.request t.admission ~now ~old_constr:th.constr c in
+  let effective = if ok then c else th.constr in
+  if ok then begin
+    th.constr <- c;
+    th.admit_time <- now
+  end;
+  (match effective with
+  | Constraints.Aperiodic _ ->
+    th.quantum_left <- (config t).Config.aperiodic_quantum;
+    th.state <- Thread.Ready;
+    aper_push_back t th
+  | Constraints.Periodic { phase; _ } when ok ->
+    th.next_arrival <- Time.(now + phase);
+    th.slice_left <- 0L;
+    th.missed_current <- false;
+    th.state <- Thread.Pending_arrival;
+    if not (Prio_queue.add t.pending ~key:th.next_arrival th) then
+      failwith "local_sched: pending queue overflow";
+    (* A zero-phase first arrival is due immediately; pump here because
+       this can run after the invocation's own pumps (pick phase). *)
+    pump t now
+  | Constraints.Sporadic { phase; _ } when ok ->
+    th.next_arrival <- Time.(now + phase);
+    th.slice_left <- 0L;
+    th.missed_current <- false;
+    th.state <- Thread.Pending_arrival;
+    if not (Prio_queue.add t.pending ~key:th.next_arrival th) then
+      failwith "local_sched: pending queue overflow";
+    pump t now
+  | Constraints.Periodic _ | Constraints.Sporadic _ ->
+    (* Admission failed mid-arrival: the thread keeps its old (admitted)
+       real-time constraints and resumes its current arrival, or waits for
+       the next one. *)
+    if Time.(th.slice_left > 0L) && Time.(th.deadline > now) then begin
+      th.state <- Thread.Ready;
+      ignore (Prio_queue.add t.rt_run ~key:th.deadline th)
+    end
+    else begin
+      th.state <- Thread.Pending_arrival;
+      ignore (Prio_queue.add t.pending ~key:th.next_arrival th)
+    end);
+  cb ok
+
+let exit_thread t (th : Thread.t) =
+  Admission.release t.admission th.constr;
+  th.state <- Thread.Exited;
+  th.has_op <- false;
+  Thread_pool.free t.shared.pool th.id
+
+(* Returns true when the thread is runnable with CPU work in hand. *)
+let rec advance t (th : Thread.t) now =
+  let ctx = { Thread.svc = t.services; self = th } in
+  let guard = ref 0 in
+  let next_op () =
+    match th.stashed_op with
+    | Some op ->
+      th.stashed_op <- None;
+      op
+    | None -> th.body ctx
+  in
+  let rec go () =
+    if th.has_op then true
+    else begin
+      incr guard;
+      if !guard > 1024 then
+        failwith
+          (Printf.sprintf "thread %s: livelock: 1024 zero-cost ops" th.name);
+      match next_op () with
+      | Thread.Compute w ->
+        if Time.(w <= 0L) then go ()
+        else begin
+          th.has_op <- true;
+          th.work_left <- w;
+          true
+        end
+      | Thread.Yield ->
+        th.state <- Thread.Ready;
+        (if rt_active th then
+           ignore (Prio_queue.add t.rt_run ~key:th.deadline th)
+         else begin
+           th.quantum_left <- (config t).Config.aperiodic_quantum;
+           aper_push_back t th
+         end);
+        false
+      | Thread.Block ->
+        th.state <- Thread.Blocked;
+        th.block_start <- now;
+        th.spin_block <- true;
+        th.wake_token <- th.wake_token + 1;
+        false
+      | Thread.Sleep_until tm ->
+        th.state <- Thread.Blocked;
+        th.block_start <- now;
+        th.spin_block <- false;
+        th.wake_token <- th.wake_token + 1;
+        let token = th.wake_token in
+        let at = Time.max tm Time.(now + 1L) in
+        ignore
+          (Engine.schedule (engine t) ~at (fun _eng ->
+               if th.state = Thread.Blocked && th.wake_token = token then
+                 wake_sched t th));
+        false
+      | Thread.Set_constraints (c, cb) ->
+        do_set_constraints t th c cb now;
+        false
+      | Thread.Exit ->
+        exit_thread t th;
+        false
+    end
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Wakes. [wake_enqueue] places a blocked thread back in the right queue
+   without requesting a pass (the cross-CPU path lets the kick IPI do
+   that); [wake_sched] is the local path. *)
+
+and wake_enqueue t (th : Thread.t) =
+  if th.Thread.state = Thread.Blocked && th.cpu = cpu_id t then begin
+    let now = Engine.now (engine t) in
+    (* Spin-wait semantics: a real thread polls the flag, burning its
+       guaranteed time, so the blocked interval is charged against the
+       slice (capped). Pure sleeps are not charged. *)
+    (if th.spin_block && rt_active th then begin
+       let waited = Time.max 0L Time.(now - th.block_start) in
+       th.slice_left <- Time.max 0L Time.(th.slice_left - waited)
+     end);
+    (match th.constr with
+    | Constraints.Aperiodic _ ->
+      th.state <- Thread.Ready;
+      if Time.(th.quantum_left <= 0L) then
+        th.quantum_left <- (config t).Config.aperiodic_quantum;
+      aper_push_back t th
+    | Constraints.Sporadic _ ->
+      th.state <- Thread.Ready;
+      ignore (Prio_queue.add t.rt_run ~key:th.deadline th)
+    | Constraints.Periodic { period; _ } ->
+      if Time.(th.slice_left > 0L) && Time.(th.deadline > now) then begin
+        (* Resume the current arrival. *)
+        th.state <- Thread.Ready;
+        ignore (Prio_queue.add t.rt_run ~key:th.deadline th)
+      end
+      else begin
+        (* Rejoin the arrival schedule at the latest arrival point <= now
+           (or the already-pending future arrival). The pending pump turns
+           it into a proper arrival. *)
+        while Time.(th.next_arrival + period <= now) do
+          th.next_arrival <- Time.(th.next_arrival + period)
+        done;
+        th.missed_current <- false;
+        th.slice_left <- 0L;
+        th.state <- Thread.Pending_arrival;
+        ignore (Prio_queue.add t.pending ~key:th.next_arrival th)
+      end)
+  end
+
+and wake_sched t (th : Thread.t) =
+  if th.Thread.state = Thread.Blocked then begin
+    wake_enqueue t th;
+    request_invoke t
+  end
+
+and request_invoke t =
+  if not t.soft_pending then begin
+    t.soft_pending <- true;
+    ignore
+      (Engine.schedule_after (engine t) ~after:0L
+         (run_gated t (fun eng ->
+              t.soft_pending <- false;
+              invoke t eng ~irq_ns:0L ~handler_ns:0L)))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Settling the interrupted thread: op completion, slice exhaustion, class
+   transitions. Afterwards [t.current] is [None] and any still-runnable
+   previous thread sits in the proper queue. *)
+
+and end_rt_arrival t (th : Thread.t) now =
+  record_miss_completion t th now;
+  match th.constr with
+  | Constraints.Periodic { period; _ } ->
+    (* Skip only arrivals whose whole period has already elapsed: a small
+       overrun still gets (what remains of) the next period. *)
+    while Time.(th.next_arrival + period <= now) do
+      th.next_arrival <- Time.(th.next_arrival + period)
+    done;
+    th.state <- Thread.Pending_arrival;
+    if not (Prio_queue.add t.pending ~key:th.next_arrival th) then
+      failwith "local_sched: pending queue overflow"
+  | Constraints.Sporadic { aper_prio; _ } ->
+    (* The guaranteed size is consumed: continue as an aperiodic thread. *)
+    Admission.release t.admission th.constr;
+    th.constr <- Constraints.Aperiodic { prio = aper_prio };
+    th.quantum_left <- (config t).Config.aperiodic_quantum;
+    th.state <- Thread.Ready;
+    aper_push_back t th
+  | Constraints.Aperiodic _ -> assert false
+
+and settle_current t now =
+  match t.current with
+  | None -> ()
+  | Some th ->
+    t.current <- None;
+    if th.Thread.state = Thread.Running then begin
+      if th.has_op && Time.(th.work_left <= 0L) then th.has_op <- false;
+      if rt_active th && Time.(th.slice_left <= 0L) then begin
+        (* Slice/size consumed for this arrival. *)
+        th.state <- Thread.Ready;
+        end_rt_arrival t th now
+      end
+      else begin
+        th.state <- Thread.Ready;
+        if advance t th now then begin
+          (* Still runnable: requeue for the picker. *)
+          if rt_active th then begin
+            if th.state = Thread.Ready then
+              ignore (Prio_queue.add t.rt_run ~key:th.deadline th)
+          end
+          else begin
+            th.state <- Thread.Ready;
+            if Time.(th.quantum_left <= 0L) then begin
+              (* Quantum expired: rotate to the back (round robin). *)
+              th.quantum_left <- (config t).Config.aperiodic_quantum;
+              aper_push_back t th
+            end
+            else aper_push_front t th
+          end
+        end
+        (* else: advance already placed/parked it *)
+      end
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Size-tagged task execution (only when no RT thread wants the CPU, and
+   only while the next RT arrival leaves room — §3.1). Returns the busy
+   time consumed. *)
+
+and run_sized_tasks t now =
+  if not (Prio_queue.is_empty t.rt_run) then 0L
+  else begin
+    let consumed = ref 0L in
+    let room () =
+      match Prio_queue.peek t.pending with
+      | None -> Time.sec 1
+      | Some (k, _) -> Time.(k - now - !consumed)
+    in
+    let rec loop () =
+      let fits = room () in
+      if Time.(fits > 0L) then begin
+        match Task.take_sized t.task_queue ~fits with
+        | Some task ->
+          consumed := Time.(!consumed + task.Task.duration);
+          task.Task.run ();
+          Task.complete t.task_queue task ~now:Time.(now + !consumed);
+          loop ()
+        | None -> ()
+      end
+    in
+    loop ();
+    (* Untagged tasks must go through the helper thread. *)
+    (if Task.unsized_pending t.task_queue > 0 then
+       match t.task_thread with
+       | Some helper when helper.Thread.state = Thread.Blocked ->
+         wake_sched t helper
+       | Some _ | None -> ());
+    !consumed
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Next-thread selection: eager EDF, then priority round-robin, else idle. *)
+
+and take_best_aper t =
+  (* Highest priority wins; FIFO (deque order) within a priority. The scan
+     is bounded by the compile-time thread limit, preserving the bounded-
+     pass-cost argument. *)
+  let best = ref None in
+  Deque.iter t.aper_run (fun th ->
+      match !best with
+      | None -> best := Some th
+      | Some b -> if Thread.aper_prio th > Thread.aper_prio b then best := Some th);
+  match !best with
+  | None -> None
+  | Some th ->
+    let found = Deque.remove t.aper_run (fun x -> x == th) in
+    assert (found != None);
+    aper_taken t;
+    Some th
+
+and pick t now = pick_bounded t now 0
+
+and pick_bounded t now depth =
+  if depth > (2 * (config t).Config.max_threads) + 16 then
+    failwith
+      "local_sched: livelock: a thread body re-issues a non-Compute op \
+       without making progress (use Program.of_thunks for one-shot ops)";
+  let rt_candidate =
+    match Prio_queue.peek t.rt_run with
+    | None -> None
+    | Some (_, th) -> (
+      match (config t).Config.dispatch with
+      | Config.Eager -> Some th
+      | Config.Lazy ->
+        let latest =
+          Time.(th.deadline - th.slice_left - (config t).Config.lazy_slack)
+        in
+        if Time.(now >= latest) || th.missed_current then Some th else None)
+  in
+  match rt_candidate with
+  | Some _ -> (
+    match Prio_queue.pop t.rt_run with
+    | Some (_, th) -> prepare t th now depth
+    | None -> assert false)
+  | None -> (
+    match take_best_aper t with
+    | Some th -> prepare t th now depth
+    | None -> None)
+
+and prepare t (th : Thread.t) now depth =
+  if th.has_op then Some th
+  else if advance t th now then Some th
+  else pick_bounded t now (depth + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Timer programming: one one-shot armed at the earliest future scheduling
+   event. Absolute wall-clock targets are reached when the local (skewed)
+   clock says so; durations are unaffected by clock skew. *)
+
+and program_timer t now resume_at =
+  let cfg = config t in
+  let abs_targets = ref [] in
+  let rel_targets = ref [] in
+  (match Prio_queue.peek t.pending with
+  | Some (k, _) -> abs_targets := k :: !abs_targets
+  | None -> ());
+  (match t.current with
+  | Some th when rt_active th ->
+    rel_targets := th.slice_left :: !rel_targets;
+    abs_targets := th.deadline :: !abs_targets
+  | Some th ->
+    if not (Deque.is_empty t.aper_run) then
+      rel_targets := th.Thread.quantum_left :: !rel_targets
+  | None -> ());
+  (match (cfg.Config.dispatch, Prio_queue.peek t.rt_run) with
+  | Config.Lazy, Some (_, th) ->
+    abs_targets :=
+      Time.(th.deadline - th.slice_left - cfg.Config.lazy_slack) :: !abs_targets
+  | (Config.Eager | Config.Lazy), _ -> ());
+  (* Absolute targets already in the past were handled by this very
+     invocation (arrivals pumped, misses flagged); arming for them again
+     would only re-enter the scheduler without letting the thread run. *)
+  let abs_live = List.filter (fun a -> Time.(a > now)) !abs_targets in
+  let candidates =
+    List.map (fun a -> Time.(a - t.clock_skew)) abs_live
+    @ List.map (fun r -> Time.(resume_at + r)) !rel_targets
+  in
+  match candidates with
+  | [] -> Apic.cancel_timer t.cpu.Machine.apic
+  | c :: rest ->
+    let target = List.fold_left Time.min c rest in
+    Apic.arm t.cpu.Machine.apic ~at:(Time.max target Time.(now + 1L))
+
+and schedule_completion t resume_at =
+  match t.current with
+  | Some th when th.Thread.has_op && Time.(th.work_left > 0L) ->
+    let at = Time.(resume_at + th.work_left) in
+    t.completion_ev <-
+      Some
+        (Engine.schedule (engine t) ~at
+           (run_gated t (fun eng ->
+                t.completion_ev <- None;
+                on_completion t eng)))
+  | Some _ | None -> ()
+
+(* Op completion is a thread-level transition, not an interrupt. When the
+   thread simply continues computing (the common BSP inner loop) no
+   scheduler pass happens at all — the thread never entered the kernel. A
+   full invocation is only needed when the thread does something the
+   scheduler must see, or when its budget ran out. *)
+and on_completion t eng =
+  let now = Engine.now eng in
+  match t.current with
+  | Some th when th.Thread.state = Thread.Running ->
+    charge_current t now;
+    if th.has_op && Time.(th.work_left > 0L) then
+      (* An SMI (or interrupt) stole part of the run: keep going. *)
+      schedule_completion t now
+    else begin
+      th.has_op <- false;
+      let budget_ok =
+        if rt_active th then Time.(th.slice_left > 0L)
+        else Time.(th.quantum_left > 0L)
+      in
+      if not budget_ok then invoke t eng ~irq_ns:0L ~handler_ns:0L
+      else begin
+        let ctx = { Thread.svc = t.services; self = th } in
+        match th.body ctx with
+        | Thread.Compute w when Time.(w > 0L) ->
+          th.has_op <- true;
+          th.work_left <- w;
+          schedule_completion t now
+        | op ->
+          (* Anything else goes through the scheduler proper. *)
+          th.stashed_op <- Some op;
+          invoke t eng ~irq_ns:0L ~handler_ns:0L
+      end
+    end
+  | Some _ | None -> invoke t eng ~irq_ns:0L ~handler_ns:0L
+
+(* ------------------------------------------------------------------ *)
+(* Work stealing (the idle thread's job, §3.4). *)
+
+and arm_steal t =
+  (* The idle thread polls for stealable work: fast when the machine has
+     queued aperiodic threads, slow (1 ms) otherwise so quiescent systems
+     stay cheap to simulate. *)
+  let cfg = config t in
+  if cfg.Config.work_stealing && not t.steal_armed then begin
+    let interval =
+      if t.shared.total_aper_queued > 0 then cfg.Config.steal_interval
+      else Time.ms 1
+    in
+    t.steal_armed <- true;
+    ignore
+      (Engine.schedule_after (engine t) ~after:interval (fun eng ->
+           t.steal_armed <- false;
+           if t.current = None then
+             if t.shared.total_aper_queued > 0 then attempt_steal t eng
+             else arm_steal t))
+  end
+
+and attempt_steal t eng =
+  let n = Array.length t.shared.scheds in
+  let victim =
+    Worksteal.pick_victim t.cpu.Machine.rng ~self:(cpu_id t) ~n ~load:(fun i ->
+        aper_load t.shared.scheds.(i))
+  in
+  let cost = sample t (platform t).Platform.steal_check in
+  t.busy_until <- Time.max t.busy_until Time.(Engine.now eng + cost);
+  (match victim with
+  | Some v -> (
+    match try_steal_from t.shared.scheds.(v) ~thief_cpu:(cpu_id t) with
+    | Some th ->
+      th.Thread.cpu <- cpu_id t;
+      aper_push_back t th;
+      Account.record_steal t.account;
+      request_invoke t
+    | None -> arm_steal t)
+  | None -> arm_steal t)
+
+and try_steal_from t ~thief_cpu =
+  ignore thief_cpu;
+  match
+    Deque.remove t.aper_run (fun (th : Thread.t) ->
+        (not th.bound) && th.state = Thread.Ready)
+  with
+  | Some th ->
+    aper_taken t;
+    Some th
+  | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* The invocation itself. *)
+
+and invoke t eng ~irq_ns ~handler_ns =
+  let now = Engine.now eng in
+  let prev = t.current in
+  cancel_completion t;
+  charge_current t now;
+  pump t now;
+  flag_misses t now;
+  settle_current t now;
+  (* Settling can enqueue an arrival due immediately (e.g. a constraint
+     change with zero phase) — pump again so it is not stranded. *)
+  pump t now;
+  let task_ns = run_sized_tasks t now in
+  let next = pick t now in
+  let switching =
+    match (prev, next) with
+    | None, None -> false
+    | Some a, Some b -> not (a == b)
+    | None, Some _ | Some _, None -> true
+  in
+  (match (prev, next) with
+  | Some p, Some n when (not (p == n)) && Thread.runnable p ->
+    p.preemptions <- p.preemptions + 1
+  | _ -> ());
+  let plat = platform t in
+  let pass_ns = sample t plat.Platform.sched_pass in
+  let other_ns =
+    Time.(sample t plat.Platform.sched_other + sample t plat.Platform.timer_program)
+  in
+  let switch_ns = if switching then sample t plat.Platform.ctx_switch else 0L in
+  Account.record_invocation t.account ~irq_ns ~other_ns ~pass_ns ~switch_ns;
+  let overhead =
+    Time.(irq_ns + handler_ns + task_ns + pass_ns + other_ns + switch_ns)
+  in
+  let resume_at = Time.(now + overhead) in
+  (match t.probe with
+  | Some p ->
+    if Time.(irq_ns > 0L) then p.irq_window ~start:now ~stop:resume_at;
+    p.pass_window
+      ~start:Time.(now + irq_ns + handler_ns)
+      ~stop:Time.(now + irq_ns + handler_ns + other_ns + pass_ns);
+    p.thread_active next resume_at
+  | None -> ());
+  t.busy_until <- resume_at;
+  (match next with
+  | Some th ->
+    th.state <- Thread.Running;
+    th.run_since <- resume_at;
+    t.current <- Some th;
+    (match t.idle_since with
+    | Some s ->
+      t.idle_total <- Time.(t.idle_total + (now - s));
+      t.idle_since <- None
+    | None -> ());
+    (match t.shared.dispatch_hook with
+    | Some hook -> hook (cpu_id t) th resume_at
+    | None -> ())
+  | None ->
+    t.current <- None;
+    if t.idle_since = None then t.idle_since <- Some resume_at;
+    arm_steal t);
+  Apic.set_ppr t.cpu.Machine.apic eng
+    (match next with
+    | Some th when rt_active th -> Apic.rt_ppr
+    | Some _ | None -> 0);
+  schedule_completion t resume_at;
+  program_timer t now resume_at
+
+(* ------------------------------------------------------------------ *)
+(* Entry points. *)
+
+let on_timer t eng =
+  let irq_ns = sample t (platform t).Platform.irq_dispatch in
+  invoke t eng ~irq_ns ~handler_ns:0L
+
+let wake t th = wake_sched t th
+
+let kick t ~from =
+  ignore from;
+  Account.record_kick t.account;
+  let eng = engine t in
+  let latency = sample t (platform t).Platform.ipi_latency in
+  ignore
+    (Engine.schedule_after eng ~after:latency (fun eng ->
+         Apic.deliver t.cpu.Machine.apic eng ~prio:Apic.sched_prio
+           (run_gated t (fun eng ->
+                let irq_ns = sample t (platform t).Platform.irq_dispatch in
+                invoke t eng ~irq_ns ~handler_ns:0L))))
+
+let on_device_irq t ~handler_ns =
+  let eng = engine t in
+  run_gated t
+    (fun eng ->
+      let irq_ns = sample t (platform t).Platform.irq_dispatch in
+      invoke t eng ~irq_ns ~handler_ns)
+    eng
+
+let set_next_arrival t (th : Thread.t) arrival =
+  match th.state with
+  | Thread.Pending_arrival -> (
+    match Prio_queue.remove t.pending (fun x -> x == th) with
+    | Some _ ->
+      th.next_arrival <- arrival;
+      if not (Prio_queue.add t.pending ~key:th.next_arrival th) then
+        failwith "local_sched: pending queue overflow";
+      request_invoke t
+    | None -> th.next_arrival <- arrival)
+  | Thread.Ready | Thread.Running | Thread.Blocked ->
+    (* The in-flight arrival is abandoned: the thread finishes its current
+       computation step and then waits for the new schedule, rather than
+       running an old-schedule slice into the new timeline (which would be
+       charged as an administrative "miss"). *)
+    th.next_arrival <- arrival;
+    th.slice_left <- 0L;
+    th.missed_current <- false
+  | Thread.Exited -> ()
+
+let rephase t (th : Thread.t) ~delta =
+  if rt_active th then set_next_arrival t th Time.(th.next_arrival + delta)
+
+let reanchor t (th : Thread.t) ~first_arrival =
+  if rt_active th then set_next_arrival t th first_arrival
+
+let enroll t (th : Thread.t) =
+  th.cpu <- cpu_id t;
+  th.quantum_left <- (config t).Config.aperiodic_quantum;
+  th.state <- Thread.Ready;
+  aper_push_back t th;
+  request_invoke t
+
+let sync_accounting t =
+  let now = Engine.now (engine t) in
+  if Time.(now >= t.busy_until) then charge_current t now
+
+let idle_time t =
+  match t.idle_since with
+  | None -> t.idle_total
+  | Some s -> Time.(t.idle_total + (Engine.now (engine t) - s))
+
+let make_services t =
+  {
+    Thread.now = (fun () -> Engine.now (engine t));
+    wake =
+      (fun th ->
+        let target = t.shared.scheds.(th.Thread.cpu) in
+        if th.Thread.state = Thread.Blocked then
+          if cpu_id target = cpu_id t then wake_sched target th
+          else begin
+            (* Shared memory: enqueue directly, then kick the remote local
+               scheduler so it notices (the only IPI use, §3.5). *)
+            wake_enqueue target th;
+            kick target ~from:(cpu_id t)
+          end);
+    sample =
+      (fun th cost ->
+        let m = t.shared.machine in
+        Machine.sample m (Machine.cpu m th.Thread.cpu) cost);
+    rng = t.shared.workload_rng;
+  }
+
+let create shared cpu =
+  let cfg = shared.config in
+  let plat = shared.machine.Machine.platform in
+  let t =
+    {
+      shared;
+      cpu;
+      pending = Prio_queue.create ~capacity:cfg.Config.max_threads;
+      rt_run = Prio_queue.create ~capacity:cfg.Config.max_threads;
+      aper_run = Deque.create ();
+      task_queue = Task.create ();
+      admission =
+        (let per_invocation =
+           plat.Platform.irq_dispatch.Platform.mean_cycles
+           +. plat.Platform.sched_pass.Platform.mean_cycles
+           +. plat.Platform.sched_other.Platform.mean_cycles
+           +. plat.Platform.ctx_switch.Platform.mean_cycles
+         in
+         (* Two invocations per arrival: the arrival and the timeout. *)
+         Admission.create cfg
+           ~overhead_ns:(Platform.cycles_to_ns plat (2. *. per_invocation)));
+      account = Account.create ~ghz:plat.Platform.ghz;
+      services =
+        {
+          Thread.now = (fun () -> 0L);
+          wake = (fun _ -> ());
+          sample = (fun _ _ -> 0L);
+          rng = shared.workload_rng;
+        };
+      current = None;
+      completion_ev = None;
+      steal_armed = false;
+      busy_until = 0L;
+      probe = None;
+      clock_skew = 0L;
+      soft_pending = false;
+      idle_since = None;
+      idle_total = 0L;
+      task_thread = None;
+    }
+  in
+  t.services <- make_services t;
+  Apic.set_timer_handler cpu.Machine.apic (run_gated t (on_timer t));
+  t

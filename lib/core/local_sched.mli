@@ -1,0 +1,127 @@
+(** The per-CPU hard real-time scheduler (paper Section 3).
+
+    A local scheduler is an {e eager} earliest-deadline-first engine with a
+    pending queue (admitted real-time threads waiting for their next
+    arrival), a real-time run queue (EDF by deadline), and a non-real-time
+    run queue (round-robin within priority). It is invoked only by a timer
+    interrupt, a kick IPI from another local scheduler, a device interrupt,
+    or an action of the current thread (op completion, yield, block, exit,
+    constraint change).
+
+    Every invocation:
+    + charges the interrupted thread's progress (subtracting any SMI
+      "missing time"),
+    + pumps newly arrived threads from the pending queue into the EDF queue,
+    + flags deadline misses,
+    + settles the current thread (slice exhaustion, op completion, class
+      transitions),
+    + runs size-tagged tasks if there is room before the next arrival,
+    + picks the next thread (eagerly preferring runnable RT work),
+    + charges its own overhead (IRQ entry + pass + other + context switch),
+    + reprograms the APIC one-shot timer for the next scheduling event.
+
+    The scheduler is driven entirely by wall-clock time; its only cross-CPU
+    interactions are kick IPIs and (optional) work stealing. *)
+
+open Hrt_engine
+open Hrt_hw
+open Hrt_kernel
+
+type shared = {
+  machine : Machine.t;
+  config : Config.t;
+  pool : Thread_pool.t;
+  workload_rng : Rng.t;  (** stream for thread-body randomness *)
+  mutable scheds : t array;
+  mutable total_aper_queued : int;
+      (** machine-wide count of queued aperiodic threads (steal signal) *)
+  mutable dispatch_hook : (int -> Thread.t -> Time.ns -> unit) option;
+      (** called with (cpu, thread, time) on every context switch to a
+          thread — the instrument behind Figs 11/12 *)
+}
+
+and t
+
+(** Instrumentation for the external-verification experiment (Fig 4): the
+    scheduler raises "pins" around its interrupt handling and scheduling
+    pass, and marks the active thread at the end of the pass. *)
+type probe = {
+  irq_window : start:Time.ns -> stop:Time.ns -> unit;
+  pass_window : start:Time.ns -> stop:Time.ns -> unit;
+  thread_active : Thread.t option -> Time.ns -> unit;
+}
+
+val create : shared -> Machine.cpu -> t
+(** Build the local scheduler for one CPU and install its APIC timer
+    vector. [shared.scheds] must be set by the caller once all local
+    schedulers exist. *)
+
+val shared : t -> shared
+val cpu_id : t -> int
+
+val services : t -> Thread.services
+(** The kernel services handed to thread bodies running on this CPU; its
+    [wake] routes cross-CPU wakes through kick IPIs. *)
+
+val set_task_thread : t -> Thread.t -> unit
+(** Register the helper thread that drains untagged tasks on this CPU. *)
+
+val task_thread : t -> Thread.t option
+
+val account : t -> Account.t
+val admission : t -> Admission.t
+val tasks : t -> Task.t
+val current : t -> Thread.t option
+
+val set_probe : t -> probe option -> unit
+val set_clock_skew : t -> Time.ns -> unit
+(** Residual TSC error after calibration: how far ahead (ns) this CPU's
+    notion of wall-clock time runs. Absolute timer targets are reached when
+    the {e local} clock says so, which is what limits cross-CPU
+    synchronization (Section 4.4, Figs 11/12). *)
+
+val clock_skew : t -> Time.ns
+
+val enroll : t -> Thread.t -> unit
+(** Add a new (aperiodic) thread to this CPU's run queue and request a
+    scheduling pass. *)
+
+val wake : t -> Thread.t -> unit
+(** Transition a Blocked thread of this CPU to the appropriate queue and
+    request a scheduling pass. No-op for non-blocked threads. *)
+
+val request_invoke : t -> unit
+(** Ask for a scheduling pass (soft, coalesced). *)
+
+val rephase : t -> Thread.t -> delta:Time.ns -> unit
+(** Shift a real-time thread's arrival schedule by [delta] (the phase
+    correction of Section 4.4). Takes effect from the next arrival. *)
+
+val reanchor : t -> Thread.t -> first_arrival:Time.ns -> unit
+(** Re-anchor a real-time thread's arrival schedule at an absolute time
+    (group admission re-anchors every member at its final-barrier
+    departure, Section 4.4). *)
+
+val kick : t -> from:int -> unit
+(** Deliver a kick IPI to this CPU (models cross-CPU scheduling requests). *)
+
+val on_device_irq : t -> handler_ns:Time.ns -> unit
+(** Entry point for a steered external interrupt: charges the handler cost
+    and runs a scheduling pass (paper: bounded interrupt handler time). *)
+
+val aper_load : t -> int
+(** Stealable aperiodic threads queued here (work-stealing load metric). *)
+
+val try_steal_from : t -> thief_cpu:int -> Thread.t option
+(** Remove the oldest unbound aperiodic thread, rebinding it to the thief.
+    Used by the idle-thread work stealer. *)
+
+val rt_queue_length : t -> int
+val pending_length : t -> int
+
+val sync_accounting : t -> unit
+(** Charge the running thread's progress up to the current instant, so
+    [cpu_time] reads are exact between invocations (measurement only). *)
+
+val idle_time : t -> Time.ns
+(** Total time this CPU spent with no thread dispatched. *)

@@ -1,0 +1,39 @@
+
+let of_thunks thunks =
+  let remaining = ref thunks in
+  fun ctx ->
+    match !remaining with
+    | [] -> Thread.Exit
+    | f :: rest ->
+      remaining := rest;
+      f ctx
+
+let of_steps steps = of_thunks (List.map (fun op _ctx -> op) steps)
+
+let forever f = f
+
+let repeat n f =
+  let i = ref 0 in
+  fun ctx ->
+    if !i >= n then Thread.Exit
+    else begin
+      let k = !i in
+      incr i;
+      f k ctx
+    end
+
+let compute_forever chunk = forever (fun _ctx -> Thread.Compute chunk)
+
+let seq bodies =
+  let remaining = ref bodies in
+  let rec next ctx =
+    match !remaining with
+    | [] -> Thread.Exit
+    | b :: rest -> (
+      match b ctx with
+      | Thread.Exit ->
+        remaining := rest;
+        next ctx
+      | op -> op)
+  in
+  next

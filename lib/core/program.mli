@@ -1,0 +1,29 @@
+(** Combinators for writing thread bodies.
+
+    A body is pulled for its next operation whenever the previous one
+    completes; these helpers cover the common shapes (finite scripts,
+    infinite loops, bounded iteration) so workloads don't hand-roll state
+    machines. *)
+
+open Hrt_engine
+
+val of_steps : Thread.op list -> Thread.body
+(** Perform the operations in order, then [Exit]. *)
+
+val of_thunks : (Thread.ctx -> Thread.op) list -> Thread.body
+(** Like {!of_steps} with late-bound operations (each thunk may perform
+    side effects when its turn comes), then [Exit]. *)
+
+val forever : (Thread.ctx -> Thread.op) -> Thread.body
+(** Pull every operation from the same generator, never exiting. *)
+
+val repeat : int -> (int -> Thread.ctx -> Thread.op) -> Thread.body
+(** [repeat n f] runs [f 0], [f 1], ..., [f (n-1)], then exits. *)
+
+val compute_forever : Time.ns -> Thread.body
+(** Burn CPU in chunks of the given size — the canonical real-time test
+    thread. *)
+
+val seq : Thread.body list -> Thread.body
+(** Run each body until it would [Exit], then move to the next; exits after
+    the last. *)

@@ -1,0 +1,112 @@
+open Hrt_engine
+open Hrt_hw
+
+type state = Ready | Running | Blocked | Pending_arrival | Exited
+
+type t = {
+  id : int;
+  name : string;
+  mutable cpu : int;
+  mutable bound : bool;
+  mutable state : state;
+  mutable body : body;
+  mutable has_op : bool;
+  mutable work_left : Time.ns;
+  mutable constr : Constraints.t;
+  mutable admit_time : Time.ns;
+  mutable arrival : Time.ns;
+  mutable deadline : Time.ns;
+  mutable slice_left : Time.ns;
+  mutable next_arrival : Time.ns;
+  mutable quantum_left : Time.ns;
+  mutable missed_current : bool;
+  mutable miss_deadline : Time.ns;
+  mutable arrivals : int;
+  mutable misses : int;
+  mutable miss_time_total : Time.ns;
+  mutable cpu_time : Time.ns;
+  mutable run_since : Time.ns;
+  mutable preemptions : int;
+  mutable stashed_op : op option;
+  mutable block_start : Time.ns;
+  mutable spin_block : bool;
+  mutable wake_token : int;
+  mutable tag : int;
+}
+
+and op =
+  | Compute of Time.ns
+  | Yield
+  | Block
+  | Sleep_until of Time.ns
+  | Set_constraints of Constraints.t * (bool -> unit)
+  | Exit
+
+and body = ctx -> op
+
+and ctx = { svc : services; self : t }
+
+and services = {
+  now : unit -> Time.ns;
+  wake : t -> unit;
+  sample : t -> Platform.cost -> Time.ns;
+  rng : Rng.t;
+}
+
+let make ~id ~name ~cpu ?(bound = false) body =
+  {
+    id;
+    name;
+    cpu;
+    bound;
+    state = Ready;
+    body;
+    has_op = false;
+    work_left = 0L;
+    constr = Constraints.aperiodic ();
+    admit_time = 0L;
+    arrival = 0L;
+    deadline = 0L;
+    slice_left = 0L;
+    next_arrival = 0L;
+    quantum_left = 0L;
+    missed_current = false;
+    miss_deadline = 0L;
+    arrivals = 0;
+    misses = 0;
+    miss_time_total = 0L;
+    cpu_time = 0L;
+    run_since = 0L;
+    preemptions = 0;
+    stashed_op = None;
+    block_start = 0L;
+    spin_block = false;
+    wake_token = 0;
+    tag = 0;
+  }
+
+let is_realtime t = Constraints.is_realtime t.constr
+
+let aper_prio t =
+  match t.constr with
+  | Constraints.Aperiodic { prio } -> prio
+  | Constraints.Periodic _ -> 0
+  | Constraints.Sporadic { aper_prio; _ } -> aper_prio
+
+let runnable t = match t.state with Ready | Running -> true | _ -> false
+
+let mean_miss_time t =
+  if t.misses = 0 then 0.
+  else Int64.to_float t.miss_time_total /. float_of_int t.misses
+
+let pp fmt t =
+  let state =
+    match t.state with
+    | Ready -> "ready"
+    | Running -> "running"
+    | Blocked -> "blocked"
+    | Pending_arrival -> "pending"
+    | Exited -> "exited"
+  in
+  Format.fprintf fmt "#%d %s cpu=%d %s %a" t.id t.name t.cpu state
+    Constraints.pp t.constr

@@ -1,0 +1,101 @@
+(** Thread control blocks and the thread execution model.
+
+    A thread's behaviour is a {e body}: a closure the kernel calls to obtain
+    the thread's next operation whenever the previous one finishes. Side
+    effects (touching shared data, waking other threads, group protocol
+    state) run inside the body at operation boundaries and take zero
+    simulated time; time is consumed explicitly through {!op.Compute}
+    operations. This mirrors how the real scheduler only observes threads
+    at well-defined transition points.
+
+    The record fields of {!t} are mutable because the local scheduler owns
+    them; code outside [hrt_core] should treat them as read-only. *)
+
+open Hrt_engine
+open Hrt_hw
+
+type state =
+  | Ready  (** runnable, in a run queue *)
+  | Running  (** current on its CPU *)
+  | Blocked  (** off-queue, waiting for a wake *)
+  | Pending_arrival  (** real-time, waiting for its next arrival *)
+  | Exited
+
+type t = {
+  id : int;
+  name : string;
+  mutable cpu : int;
+  mutable bound : bool;  (** bound threads are never stolen *)
+  mutable state : state;
+  mutable body : body;
+  mutable has_op : bool;  (** a [Compute] is in progress *)
+  mutable work_left : Time.ns;  (** remaining work of the current compute *)
+  mutable constr : Constraints.t;
+  mutable admit_time : Time.ns;  (** Lambda: when current constraints were admitted *)
+  mutable arrival : Time.ns;  (** current arrival instant *)
+  mutable deadline : Time.ns;  (** EDF key of the current arrival *)
+  mutable slice_left : Time.ns;  (** guaranteed time still owed this arrival *)
+  mutable next_arrival : Time.ns;
+  mutable quantum_left : Time.ns;  (** aperiodic round-robin budget *)
+  mutable missed_current : bool;
+  mutable miss_deadline : Time.ns;
+  mutable arrivals : int;
+  mutable misses : int;
+  mutable miss_time_total : Time.ns;
+  mutable cpu_time : Time.ns;
+  mutable run_since : Time.ns;  (** progress charged up to here while Running *)
+  mutable preemptions : int;
+  mutable stashed_op : op option;
+      (** an op produced but not yet consumed (scheduler fast path) *)
+  mutable block_start : Time.ns;  (** when the thread last blocked *)
+  mutable spin_block : bool;
+      (** the current block models a spin-wait: a real thread would burn
+          its slice polling, so blocked time is charged against the slice
+          (true for [Block], false for [Sleep_until]) *)
+  mutable wake_token : int;
+      (** incremented on every block; guards stale sleep timeouts *)
+  mutable tag : int;  (** free for harness/group use *)
+}
+
+and op =
+  | Compute of Time.ns  (** consume this much CPU time *)
+  | Yield  (** give up the CPU, stay runnable *)
+  | Block  (** sleep until woken ({!services.wake}) *)
+  | Sleep_until of Time.ns  (** sleep until an absolute wall-clock time *)
+  | Set_constraints of Constraints.t * (bool -> unit)
+      (** request admission with new constraints; the callback receives the
+          verdict. By convention the body charges the admission-control cost
+          with a preceding [Compute] (see {!Scheduler.admission_ops}). *)
+  | Exit
+
+and body = ctx -> op
+
+and ctx = { svc : services; self : t }
+
+and services = {
+  now : unit -> Time.ns;
+  wake : t -> unit;
+      (** make a blocked thread runnable (cross-CPU wakes send kick IPIs) *)
+  sample : t -> Platform.cost -> Time.ns;
+      (** draw a platform cost on the thread's current CPU *)
+  rng : Rng.t;  (** workload-level randomness, deterministic per seed *)
+}
+
+val make :
+  id:int -> name:string -> cpu:int -> ?bound:bool -> body -> t
+(** A fresh aperiodic thread (priority 0) bound state per [bound]
+    (default false: aperiodic threads may be stolen). *)
+
+val is_realtime : t -> bool
+(** The thread currently holds periodic or sporadic constraints. *)
+
+val aper_prio : t -> int
+(** Aperiodic priority (0 for real-time threads). *)
+
+val runnable : t -> bool
+(** Ready or Running. *)
+
+val mean_miss_time : t -> float
+(** Mean miss time in ns over this thread's misses; 0 if none. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,129 @@
+type callback = t -> unit
+
+and t = {
+  mutable now : Time.ns;
+  queue : callback Event_queue.t;
+  rng : Rng.t;
+  mutable freeze_until : Time.ns;
+  (* Closed freeze windows, in increasing order, merged when adjacent.
+     [open_freeze] is the start of the currently open window, if any. *)
+  mutable windows : (Time.ns * Time.ns) list; (* reverse order *)
+  mutable open_freeze : Time.ns option;
+  mutable total_frozen_closed : Time.ns;
+  mutable stopped : bool;
+  mutable executed : int;
+}
+
+type handle = callback Event_queue.entry
+
+let create ?(seed = 42L) () =
+  {
+    now = 0L;
+    queue = Event_queue.create ();
+    rng = Rng.create seed;
+    freeze_until = Int64.min_int;
+    windows = [];
+    open_freeze = None;
+    total_frozen_closed = 0L;
+    stopped = false;
+    executed = 0;
+  }
+
+let now t = t.now
+let rng t = t.rng
+
+let schedule t ~at f =
+  if Time.(at < t.now) then
+    invalid_arg
+      (Format.asprintf "Engine.schedule: %a is in the past (now %a)" Time.pp at
+         Time.pp t.now);
+  Event_queue.add t.queue ~time:at f
+
+let schedule_after t ~after f = schedule t ~at:Time.(t.now + after) f
+
+let cancel t h = Event_queue.cancel t.queue h
+
+let close_open_window t =
+  match t.open_freeze with
+  | None -> ()
+  | Some start ->
+    let stop = t.freeze_until in
+    t.windows <- (start, stop) :: t.windows;
+    t.total_frozen_closed <- Time.(t.total_frozen_closed + (stop - start));
+    t.open_freeze <- None
+
+let freeze t ~until =
+  if Time.(until <= t.now) then ()
+  else begin
+    (match t.open_freeze with
+    | Some _ ->
+      (* Extend the open window. *)
+      if Time.(until > t.freeze_until) then t.freeze_until <- until
+    | None ->
+      t.open_freeze <- Some t.now;
+      t.freeze_until <- until)
+  end
+
+let frozen_overlap t a b =
+  if Time.(b <= a) then 0L
+  else begin
+    let overlap (s, e) =
+      let lo = Time.max a s and hi = Time.min b e in
+      if Time.(hi > lo) then Time.(hi - lo) else 0L
+    in
+    let closed =
+      List.fold_left (fun acc w -> Time.(acc + overlap w)) 0L t.windows
+    in
+    match t.open_freeze with
+    | None -> closed
+    | Some s -> Time.(closed + overlap (s, t.freeze_until))
+  end
+
+let total_frozen t =
+  (* An open window is committed through [freeze_until]: count all of it. *)
+  let open_part =
+    match t.open_freeze with
+    | None -> 0L
+    | Some s -> Time.(t.freeze_until - s)
+  in
+  Time.(t.total_frozen_closed + Time.max open_part 0L)
+
+let stop t = t.stopped <- true
+let events_executed t = t.executed
+let pending t = Event_queue.size t.queue
+
+let run ?until ?max_events t =
+  t.stopped <- false;
+  let budget = ref (match max_events with None -> max_int | Some n -> n) in
+  let horizon = match until with None -> Int64.max_int | Some u -> u in
+  let continue = ref true in
+  while !continue && not t.stopped && !budget > 0 do
+    match Event_queue.peek_time t.queue with
+    | None -> continue := false
+    | Some tm when Time.(tm > horizon) -> continue := false
+    | Some tm -> (
+      (* Defer events that fall inside a frozen window. *)
+      if t.open_freeze <> None && Time.(tm < t.freeze_until) then begin
+        match Event_queue.pop t.queue with
+        | None -> continue := false
+        | Some (_, f) ->
+          ignore
+            (Event_queue.add t.queue ~time:t.freeze_until f
+              : callback Event_queue.entry)
+      end
+      else
+        match Event_queue.pop t.queue with
+        | None -> continue := false
+        | Some (tm, f) ->
+          if t.open_freeze <> None && Time.(tm >= t.freeze_until) then
+            close_open_window t;
+          t.now <- tm;
+          t.executed <- t.executed + 1;
+          decr budget;
+          f t)
+  done;
+  (match until with
+  | Some u when not t.stopped && Time.(t.now < u) -> t.now <- u
+  | _ -> ());
+  if t.open_freeze <> None && Time.(t.now >= t.freeze_until) then
+    close_open_window t

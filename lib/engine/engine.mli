@@ -1,0 +1,55 @@
+(** Discrete-event simulation engine.
+
+    The engine owns simulated wall-clock time and a cancellable event queue.
+    It also implements the one hardware behaviour that cuts across every
+    subsystem: SMI-style {e freezes}, during which all CPUs stop but time
+    keeps advancing ("missing time", paper Section 3.6). A freeze defers
+    every event that would fire inside the frozen window to the end of the
+    window, preserving relative order, and records the window so that thread
+    progress accounting can subtract it. *)
+
+type t
+
+type handle
+(** Handle to a scheduled callback, usable for cancellation. *)
+
+val create : ?seed:int64 -> unit -> t
+(** A fresh engine at time 0. [seed] defaults to 42. *)
+
+val now : t -> Time.ns
+val rng : t -> Rng.t
+
+val schedule : t -> at:Time.ns -> (t -> unit) -> handle
+(** Schedule a callback at absolute time [at]. Raises [Invalid_argument] if
+    [at] is earlier than {!now}. *)
+
+val schedule_after : t -> after:Time.ns -> (t -> unit) -> handle
+(** Schedule relative to {!now}. *)
+
+val cancel : t -> handle -> unit
+(** Idempotent; cancelling an already-fired event is a no-op. *)
+
+val freeze : t -> until:Time.ns -> unit
+(** Enter (or extend) a frozen window ending at [until]. While frozen, no
+    event executes; events due earlier are deferred to the window end. *)
+
+val frozen_overlap : t -> Time.ns -> Time.ns -> Time.ns
+(** [frozen_overlap t a b] is the total frozen time inside [\[a, b)]. Used to
+    compute how much real progress a thread made while nominally running. *)
+
+val total_frozen : t -> Time.ns
+(** Total missing time injected so far. *)
+
+val run : ?until:Time.ns -> ?max_events:int -> t -> unit
+(** Execute events in order until the queue is empty, [until] is reached, or
+    [max_events] callbacks have run. When stopping at [until], {!now} is set
+    to [until]. *)
+
+val stop : t -> unit
+(** Stop the current {!run} after the in-flight callback returns. *)
+
+val events_executed : t -> int
+(** Number of callbacks executed so far (a cheap progress/perf metric). *)
+
+val pending : t -> int
+(** Number of live events still queued. *)

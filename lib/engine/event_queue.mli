@@ -1,0 +1,40 @@
+(** Cancellable binary-heap event queue.
+
+    Events are ordered by (time, sequence number): two events at the same
+    simulated instant fire in insertion order, which is what makes the whole
+    simulation deterministic. Cancellation is lazy: a cancelled entry stays in
+    the heap until popped, then is skipped. *)
+
+type 'a t
+
+type 'a entry
+(** Handle to a scheduled event, usable for cancellation. *)
+
+val create : unit -> 'a t
+
+val add : 'a t -> time:Time.ns -> 'a -> 'a entry
+(** Schedule a payload. [time] may be in the past relative to previously
+    popped events; the caller (the engine) enforces monotonicity. *)
+
+val cancel : 'a t -> 'a entry -> unit
+(** Idempotent. A cancelled event is never returned by {!pop}. *)
+
+val is_live : 'a entry -> bool
+val entry_time : 'a entry -> Time.ns
+
+val requeue : 'a t -> 'a entry -> time:Time.ns -> 'a entry
+(** [requeue q e ~time] cancels [e] and re-adds its payload at [time]
+    {e keeping the original sequence number}, so relative order among
+    deferred events is preserved (used for SMI freezes). Returns the new
+    handle. Raises [Invalid_argument] if [e] is cancelled. *)
+
+val pop : 'a t -> (Time.ns * 'a) option
+(** Remove and return the earliest live event. *)
+
+val peek_time : 'a t -> Time.ns option
+(** Time of the earliest live event without removing it. *)
+
+val size : 'a t -> int
+(** Number of live events. *)
+
+val is_empty : 'a t -> bool

@@ -1,0 +1,49 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = seed }
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let split t = create (next t)
+
+let float t =
+  (* 53 random bits scaled into [0,1). *)
+  let bits = Int64.shift_right_logical (next t) 11 in
+  Int64.to_float bits *. (1. /. 9007199254740992.)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int";
+  let bits = Int64.shift_right_logical (next t) 1 in
+  Int64.to_int (Int64.rem bits (Int64.of_int n))
+
+let range_ns t lo hi =
+  if not Time.(lo < hi) then invalid_arg "Rng.range_ns";
+  let span = Int64.sub hi lo in
+  let bits = Int64.shift_right_logical (next t) 1 in
+  Int64.add lo (Int64.rem bits span)
+
+let gaussian t ~mu ~sigma =
+  let rec draw () =
+    let u1 = float t in
+    if u1 <= 1e-300 then draw () else u1
+  in
+  let u1 = draw () in
+  let u2 = float t in
+  let r = sqrt (-2. *. log u1) in
+  mu +. (sigma *. r *. cos (2. *. Float.pi *. u2))
+
+let exponential t ~mean =
+  let rec draw () =
+    let u = float t in
+    if u <= 1e-300 then draw () else u
+  in
+  -.mean *. log (draw ())

@@ -1,0 +1,32 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every stochastic quantity in the simulation (interrupt-dispatch jitter,
+    SMI arrival, calibration measurement error, ...) is drawn from a stream
+    derived from a single seed, so whole experiments replay bit-identically. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] is a fresh generator. *)
+
+val split : t -> t
+(** [split t] derives an independent stream; [t] advances. Use one stream per
+    subsystem so adding draws in one place does not perturb another. *)
+
+val next : t -> int64
+(** Raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [0, n). Requires [n > 0]. *)
+
+val range_ns : t -> Time.ns -> Time.ns -> Time.ns
+(** [range_ns t lo hi] is uniform in [lo, hi). Requires [lo < hi]. *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Normal deviate via Box-Muller. *)
+
+val exponential : t -> mean:float -> float
+(** Exponential deviate with the given mean. *)

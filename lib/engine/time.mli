@@ -1,0 +1,54 @@
+(** Simulated wall-clock time.
+
+    All time in the simulator is wall-clock time in nanoseconds stored in
+    64-bit integers, exactly as the paper's scheduler does (Section 3.3):
+    "Time is measured throughout in units of nanoseconds stored in 64 bit
+    integers." Cycle counts are converted through a per-platform frequency. *)
+
+type ns = int64
+(** A point in (or duration of) simulated time, in nanoseconds. *)
+
+val zero : ns
+
+val ns : int -> ns
+(** [ns n] is [n] nanoseconds. *)
+
+val us : int -> ns
+(** [us n] is [n] microseconds. *)
+
+val ms : int -> ns
+(** [ms n] is [n] milliseconds. *)
+
+val sec : int -> ns
+(** [sec n] is [n] seconds. *)
+
+val of_float_us : float -> ns
+(** [of_float_us x] is [x] microseconds rounded to the nearest nanosecond. *)
+
+val to_float_us : ns -> float
+val to_float_ms : ns -> float
+val to_float_s : ns -> float
+
+val ( + ) : ns -> ns -> ns
+val ( - ) : ns -> ns -> ns
+val ( * ) : ns -> int -> ns
+val ( / ) : ns -> int -> ns
+val ( < ) : ns -> ns -> bool
+val ( <= ) : ns -> ns -> bool
+val ( > ) : ns -> ns -> bool
+val ( >= ) : ns -> ns -> bool
+
+val min : ns -> ns -> ns
+val max : ns -> ns -> ns
+
+val cycles_of_ns : ghz:float -> ns -> int64
+(** [cycles_of_ns ~ghz t] is the number of processor cycles elapsed in [t]
+    nanoseconds on a clock of [ghz] GHz, rounded down. *)
+
+val ns_of_cycles : ghz:float -> int64 -> ns
+(** Inverse of {!cycles_of_ns}, rounded up so that programming a timer from a
+    cycle count is conservative (fires no later than requested, up to 1 ns
+    of floating-point slack in the frequency). *)
+
+val pp : Format.formatter -> ns -> unit
+(** Human-friendly rendering, e.g. ["12.5us"], ["3.2ms"]. *)

@@ -1,0 +1,57 @@
+type series = {
+  name : string;
+  mutable times : Time.ns array;
+  mutable vals : float array;
+  mutable len : int;
+}
+
+type t = {
+  tbl : (string, series) Hashtbl.t;
+  mutable order : string list; (* reverse creation order *)
+}
+
+let create () = { tbl = Hashtbl.create 16; order = [] }
+
+let make_series name =
+  { name; times = Array.make 64 0L; vals = Array.make 64 0.; len = 0 }
+
+let series t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some s -> s
+  | None ->
+    let s = make_series name in
+    Hashtbl.add t.tbl name s;
+    t.order <- name :: t.order;
+    s
+
+let grow s =
+  let cap = Array.length s.times in
+  let ntimes = Array.make (cap * 2) 0L in
+  let nvals = Array.make (cap * 2) 0. in
+  Array.blit s.times 0 ntimes 0 s.len;
+  Array.blit s.vals 0 nvals 0 s.len;
+  s.times <- ntimes;
+  s.vals <- nvals
+
+let record s ~time v =
+  if s.len = Array.length s.times then grow s;
+  s.times.(s.len) <- time;
+  s.vals.(s.len) <- v;
+  s.len <- s.len + 1
+
+let record_event s ~time = record s ~time 1.0
+
+let length s = s.len
+let name s = s.name
+let times s = Array.sub s.times 0 s.len
+let values s = Array.sub s.vals 0 s.len
+
+let fold s ~init ~f =
+  let acc = ref init in
+  for i = 0 to s.len - 1 do
+    acc := f !acc s.times.(i) s.vals.(i)
+  done;
+  !acc
+
+let names t = List.rev t.order
+let find t name = Hashtbl.find_opt t.tbl name

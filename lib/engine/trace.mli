@@ -1,0 +1,32 @@
+(** Time-series collection for experiments.
+
+    A trace is a set of named series; each series is an append-only sequence
+    of (time, value) samples. Harness code records raw observations here and
+    post-processes them into the tables/figures of the paper. *)
+
+type t
+
+type series
+
+val create : unit -> t
+
+val series : t -> string -> series
+(** [series t name] is the series called [name], created on first use. *)
+
+val record : series -> time:Time.ns -> float -> unit
+
+val record_event : series -> time:Time.ns -> unit
+(** Sample with value 1.0 (for edge/event streams). *)
+
+val length : series -> int
+val name : series -> string
+
+val times : series -> Time.ns array
+val values : series -> float array
+
+val fold : series -> init:'a -> f:('a -> Time.ns -> float -> 'a) -> 'a
+
+val names : t -> string list
+(** Series names in creation order. *)
+
+val find : t -> string -> series option

@@ -1,0 +1,36 @@
+open Hrt_core
+
+type t = {
+  group : Group.t;
+  mutable leader : Thread.t option;
+  mutable contenders : int;
+}
+
+let create group = { group; leader = None; contenders = 0 }
+
+let elect t ~on_result =
+  let plat = Scheduler.platform (Group.scheduler t.group) in
+  let decided = ref false in
+  let spin = ref None in
+  fun ({ Thread.svc; self } as _ctx) ->
+    match !spin with
+    | None ->
+      (* CAS attempt: position in the contention queue decides the cost. *)
+      let p = t.contenders in
+      t.contenders <- t.contenders + 1;
+      if t.leader = None then t.leader <- Some self;
+      spin := Some p;
+      let hold = svc.Thread.sample self plat.Hrt_hw.Platform.group_elect_step in
+      Thread.Compute (Int64.mul hold (Int64.of_int (p + 1)))
+    | Some _ ->
+      if not !decided then begin
+        decided := true;
+        on_result (match t.leader with Some l -> l == self | None -> false)
+      end;
+      Thread.Exit
+
+let leader t = t.leader
+
+let reset t =
+  t.leader <- None;
+  t.contenders <- 0

@@ -1,0 +1,17 @@
+(** Distributed leader election, scoped to a group (paper Section 4.2).
+
+    The election is a contended compare-and-swap on shared group state:
+    the first thread through wins. Cost is position-dependent (Fig 10b's
+    linear growth). An election instance is reusable: {!reset} rearms it. *)
+
+open Hrt_core
+
+type t
+
+val create : Group.t -> t
+
+val elect : t -> on_result:(bool -> unit) -> Thread.body
+(** Fragment: participate; the callback says whether the caller won. *)
+
+val leader : t -> Thread.t option
+val reset : t -> unit

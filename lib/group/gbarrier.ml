@@ -1,0 +1,103 @@
+open Hrt_engine
+open Hrt_core
+
+type t = {
+  sys : Scheduler.t;
+  arrive_cost : Hrt_hw.Platform.cost;
+  serialized : bool;
+  mutable parties : int;
+  mutable pre_arrived : int;
+  mutable arrived : int;
+  mutable waiters : Thread.t list; (* reverse arrival order *)
+  mutable rounds : int;
+  mutable last_release : Time.ns option;
+  delta : Time.ns;
+}
+
+let create ?arrive_cost ?(serialized_arrivals = false) sys ~parties =
+  if parties <= 0 then invalid_arg "Gbarrier.create";
+  let plat = Scheduler.platform sys in
+  let arrive_cost =
+    match arrive_cost with
+    | Some c -> c
+    | None -> plat.Hrt_hw.Platform.barrier_arrive
+  in
+  let delta =
+    Hrt_hw.Platform.cycles_to_ns plat
+      plat.Hrt_hw.Platform.barrier_release_step.Hrt_hw.Platform.mean_cycles
+  in
+  {
+    sys;
+    arrive_cost;
+    serialized = serialized_arrivals;
+    parties;
+    pre_arrived = 0;
+    arrived = 0;
+    waiters = [];
+    rounds = 0;
+    last_release = None;
+    delta;
+  }
+
+let set_parties t n =
+  if n <= 0 then invalid_arg "Gbarrier.set_parties";
+  t.parties <- n
+
+let parties t = t.parties
+let release_delta t = t.delta
+let rounds t = t.rounds
+let last_release_time t = t.last_release
+
+type phase = Pre_arrive | Arriving | Waiting | Done
+
+(* Departure order equals arrival order: the k-th thread to arrive leaves
+   (k+1)*delta after the release instant. Everybody (including the last
+   arriver) blocks and is woken on that staggered schedule, so the wake
+   path cost is common to the whole group and cancels in cross-CPU
+   comparisons; only the k*delta stagger differentiates members, and that
+   is exactly what phase correction cancels. Registration and blocking
+   happen in the same body call, so there is no lost-wakeup window. *)
+let cross ?on_release ?record_order t =
+  let phase = ref Pre_arrive in
+  fun { Thread.svc; self } ->
+    match !phase with
+    | Done -> Thread.Exit
+    | Waiting ->
+      phase := Done;
+      Thread.Exit
+    | Pre_arrive ->
+      (* The contended counter/lock update, charged before registering so
+         that registration and blocking stay atomic (no lost wakeup). *)
+      phase := Arriving;
+      let p = t.pre_arrived in
+      t.pre_arrived <- t.pre_arrived + 1;
+      let one = svc.Thread.sample self t.arrive_cost in
+      let cost = if t.serialized then Int64.mul one (Int64.of_int (p + 1)) else one in
+      Thread.Compute cost
+    | Arriving ->
+      let k = t.arrived in
+      t.arrived <- t.arrived + 1;
+      (match record_order with Some f -> f self k | None -> ());
+      phase := Waiting;
+      if t.arrived < t.parties then begin
+        t.waiters <- self :: t.waiters;
+        Thread.Block
+      end
+      else begin
+        t.last_release <- Some (svc.Thread.now ());
+        (match on_release with Some f -> f () | None -> ());
+        let all = List.rev (self :: t.waiters) in
+        t.waiters <- [];
+        t.arrived <- 0;
+        t.pre_arrived <- 0;
+        t.rounds <- t.rounds + 1;
+        let eng = Scheduler.engine t.sys in
+        List.iteri
+          (fun i th ->
+            let delay = Int64.mul t.delta (Int64.of_int (i + 1)) in
+            ignore
+              (Engine.schedule_after eng ~after:delay (fun _ ->
+                   svc.Thread.wake th)))
+          all;
+        Thread.Block
+      end

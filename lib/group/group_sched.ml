@@ -1,0 +1,186 @@
+open Hrt_engine
+open Hrt_core
+
+type session = {
+  group : Group.t;
+  constr : Constraints.t;
+  phase_correction : bool;
+  parties : int;
+  election : Election.t;
+  b_attach : Gbarrier.t;
+  err_reduce : bool Reduction.t;
+  b_final : Gbarrier.t;
+  b_fail : Gbarrier.t;
+  orders : (int, int) Hashtbl.t; (* thread id -> release order *)
+  mutable verdict : bool option;
+}
+
+let prepare ?(phase_correction = true) group constr =
+  let sys = Group.scheduler group in
+  let plat = Scheduler.platform sys in
+  let parties = Group.size group in
+  if parties <= 0 then invalid_arg "Group_sched.prepare: empty group";
+  {
+    group;
+    constr;
+    phase_correction;
+    parties;
+    election = Election.create group;
+    (* The kernel's group-admission barriers serialize each arrival on the
+       group lock (simple schemes, §4.3), which is where the linear costs
+       of Figs 10(c,d) come from. *)
+    b_attach =
+      Gbarrier.create sys ~parties
+        ~arrive_cost:plat.Hrt_hw.Platform.group_admit_step
+        ~serialized_arrivals:true;
+    err_reduce =
+      (let r = Reduction.create group ~zero:false ~combine:( || ) in
+       Reduction.set_parties r parties;
+       r);
+    b_final =
+      Gbarrier.create sys ~parties
+        ~arrive_cost:plat.Hrt_hw.Platform.phase_correct_step
+        ~serialized_arrivals:true;
+    b_fail = Gbarrier.create sys ~parties;
+    orders = Hashtbl.create 64;
+    verdict = None;
+  }
+
+let release_order s (th : Thread.t) = Hashtbl.find_opt s.orders th.Thread.id
+let succeeded s = s.verdict
+
+let constraint_phase = function
+  | Constraints.Periodic { phase; _ } | Constraints.Sporadic { phase; _ } ->
+    phase
+  | Constraints.Aperiodic _ -> 0L
+
+let constraint_period = function
+  | Constraints.Periodic { period; _ } -> period
+  | Constraints.Sporadic { deadline; _ } -> Time.max 1L deadline
+  | Constraints.Aperiodic _ -> 1L
+
+let change_constraints ?probe s ~on_result =
+  let sys = Group.scheduler s.group in
+  let mark name =
+    match probe with
+    | None -> fun (_ : Thread.ctx) -> Thread.Exit
+    | Some f ->
+      fun ({ Thread.svc; self } : Thread.ctx) ->
+        f name self (svc.Thread.now ());
+        Thread.Exit
+  in
+  let is_leader = ref false in
+  let my_ok = ref false in
+  let any_failed = ref false in
+  let leader_steps ({ Thread.self; _ } : Thread.ctx) =
+    if !is_leader then begin
+      Group.lock s.group self;
+      Group.set_constraints s.group (Some s.constr)
+    end;
+    Thread.Exit
+  in
+  let admit =
+    Program.of_steps
+      (Scheduler.admission_ops sys s.constr ~on_result:(fun ok -> my_ok := ok))
+  in
+  let success_tail () =
+    Program.seq
+      [
+        Gbarrier.cross
+          ~record_order:(fun th k -> Hashtbl.replace s.orders th.Thread.id k)
+          s.b_final;
+        (fun ({ Thread.svc; self } : Thread.ctx) ->
+          (* Departure from the final barrier is the moment the thread
+             "becomes real-time". The paper corrects each member's phase by
+             its release order i: phi_i = phi + (n-i)*delta, which aligns
+             everyone to the same instant R + n*delta + phi (R = release).
+             We anchor to that instant directly — equivalent when departure
+             i happens at R + i*delta, and robust when a member's own
+             departure was further delayed by its old schedule. Without
+             correction, each member anchors at its own departure. *)
+          let now = svc.Thread.now () in
+          let phi = constraint_phase s.constr in
+          (* Align future arrivals to the anchor's timeline even if this
+             member only got here after the anchor passed. *)
+          let rec catch_up a =
+            if Time.(a > now) then a
+            else catch_up Time.(a + constraint_period s.constr)
+          in
+          let delta = Gbarrier.release_delta s.b_final in
+          let first_arrival =
+            match Gbarrier.last_release_time s.b_final with
+            | None -> Time.(now + phi)
+            | Some release ->
+              if s.phase_correction then begin
+                (* Everyone anchors at R + (n+1)*delta + phi. *)
+                let span = Int64.mul delta (Int64.of_int (s.parties + 1)) in
+                catch_up Time.(release + span + phi)
+              end
+              else begin
+                (* Uncorrected: each member anchors at its own nominal
+                   departure Lambda_i = R + (i+1)*delta, so the release-
+                   order bias (i*delta) persists in the schedules. *)
+                let k =
+                  Option.value ~default:0
+                    (Hashtbl.find_opt s.orders self.Thread.id)
+                in
+                let off = Int64.mul delta (Int64.of_int (k + 1)) in
+                catch_up Time.(release + off + phi)
+              end
+          in
+          Scheduler.reanchor sys self ~first_arrival;
+          (if !is_leader then begin
+             Group.unlock s.group self;
+             s.verdict <- Some true
+           end);
+          on_result true;
+          Thread.Exit);
+      ]
+  in
+  let failure_tail () =
+    Program.seq
+      [
+        Program.of_steps
+          (Scheduler.admission_ops sys
+             (Constraints.aperiodic ())
+             ~on_result:(fun _ -> ()));
+        Gbarrier.cross s.b_fail;
+        (fun ({ Thread.self; _ } : Thread.ctx) ->
+          (if !is_leader then begin
+             Group.unlock s.group self;
+             s.verdict <- Some false
+           end);
+          on_result false;
+          Thread.Exit);
+      ]
+  in
+  let branch =
+    let chosen = ref None in
+    fun ctx ->
+      let body =
+        match !chosen with
+        | Some b -> b
+        | None ->
+          let b = if !any_failed then failure_tail () else success_tail () in
+          chosen := Some b;
+          b
+      in
+      body ctx
+  in
+  Program.seq
+    [
+      mark "start";
+      Election.elect s.election ~on_result:(fun l -> is_leader := l);
+      mark "elected";
+      leader_steps;
+      Gbarrier.cross s.b_attach;
+      mark "attached";
+      admit;
+      mark "admitted";
+      Reduction.reduce s.err_reduce
+        ~value:(fun () -> not !my_ok)
+        ~on_result:(fun failed -> any_failed := failed);
+      mark "reduced";
+      branch;
+      mark "done";
+    ]

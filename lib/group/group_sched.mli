@@ -1,0 +1,54 @@
+(** Group admission control — Algorithm 1 of the paper (Section 4.3).
+
+    All members of a group call a single function paralleling individual
+    admission: instead of [nk_sched_thread_change_constraints], each member
+    runs [nk_group_sched_change_constraints]. The call succeeds or fails
+    for {e all} members:
+
+    {v
+    conduct leader election;
+    if leader then lock group; attach constraints;
+    execute group barrier;
+    conduct local admission control;
+    execute group reduction over errors;
+    if any local admission failed then
+      readmit myself using default (aperiodic) constraints;
+      barrier; leader unlocks; return failure;
+    execute group barrier and get my release order;
+    phase correct my schedule based on my release order;
+    leader unlocks; return success
+    v}
+
+    Once admitted, the members never communicate again: their local
+    schedulers make identical decisions at (phase-corrected) identical
+    times, which gang-schedules the group (Section 4.1). *)
+
+open Hrt_core
+
+type session
+(** Shared state of one collective constraint change. All members of the
+    group must use the same session, and the membership must not change
+    while it runs. *)
+
+val prepare :
+  ?phase_correction:bool -> Group.t -> Constraints.t -> session
+(** Build a session that will install the given constraints in every
+    member. [phase_correction] (default true) applies the release-order
+    phase correction of Section 4.4 — disable it to reproduce the bias of
+    Figs 11/12. *)
+
+val change_constraints :
+  ?probe:(string -> Thread.t -> Hrt_engine.Time.ns -> unit) ->
+  session ->
+  on_result:(bool -> unit) ->
+  Thread.body
+(** Fragment: this member's side of the collective call. The callback
+    receives the group-wide verdict. [probe] is called at step boundaries
+    with one of ["start"; "elected"; "attached"; "admitted"; "reduced";
+    "done"] — the instrumentation behind Fig 10. *)
+
+val release_order : session -> Thread.t -> int option
+(** After success: the thread's release order from the final barrier. *)
+
+val succeeded : session -> bool option
+(** Group-wide verdict, once known. *)

@@ -1,0 +1,49 @@
+open Hrt_core
+
+type 'a t = {
+  group : Group.t;
+  zero : 'a;
+  combine : 'a -> 'a -> 'a;
+  mutable acc : 'a;
+  mutable result : 'a option;
+  barrier : Gbarrier.t;
+}
+
+let create group ~zero ~combine =
+  let parties = Stdlib.max 1 (Group.size group) in
+  {
+    group;
+    zero;
+    combine;
+    acc = zero;
+    result = None;
+    barrier = Gbarrier.create (Group.scheduler group) ~parties;
+  }
+
+let set_parties t n = Gbarrier.set_parties t.barrier n
+
+let reduce t ~value ~on_result =
+  let contributed = ref false in
+  let cross =
+    Gbarrier.cross
+      ~on_release:(fun () ->
+        t.result <- Some t.acc;
+        t.acc <- t.zero)
+      t.barrier
+  in
+  let finished = ref false in
+  fun ctx ->
+    if not !contributed then begin
+      contributed := true;
+      t.acc <- t.combine t.acc (value ())
+    end;
+    match cross ctx with
+    | Thread.Exit when not !finished ->
+      finished := true;
+      (match t.result with
+      | Some r -> on_result r
+      | None -> on_result t.zero);
+      Thread.Exit
+    | op -> op
+
+let last_result t = t.result

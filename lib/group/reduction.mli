@@ -1,0 +1,21 @@
+(** Group-wide reductions (and broadcast) (paper Section 4.2).
+
+    An all-reduce: every member contributes a value, the combined result is
+    visible to all members after the crossing. Built on the group barrier;
+    the accumulator freezes at the release instant. Reusable across
+    rounds. Broadcast is the special case of reducing with "keep the
+    leader's value". *)
+
+open Hrt_core
+
+type 'a t
+
+val create : Group.t -> zero:'a -> combine:('a -> 'a -> 'a) -> 'a t
+
+val set_parties : 'a t -> int -> unit
+
+val reduce : 'a t -> value:(unit -> 'a) -> on_result:('a -> unit) -> Thread.body
+(** Fragment: contribute [value ()] (evaluated at contribution time) and
+    receive the combined result after everyone has contributed. *)
+
+val last_result : 'a t -> 'a option

@@ -1,0 +1,253 @@
+open Hrt_engine
+open Hrt_core
+open Hrt_hw
+open Hrt_stats
+
+let horizon scale =
+  match scale with Exp.Quick -> Time.ms 200 | Exp.Full -> Time.sec 2
+
+(* ------------------------------------------------------------------ *)
+
+let eager_vs_lazy ?(scale = Exp.scale_of_env ()) () =
+  let smi =
+    { Smi.mean_interval = Time.us 400; duration_mean = Time.us 30; duration_jitter = 0.2 }
+  in
+  let run dispatch =
+    let config = { Config.default with Config.dispatch } in
+    let sys = Scheduler.create ~num_cpus:2 ~config Platform.phi in
+    let generator = Smi.install (Scheduler.engine sys) smi in
+    ignore
+      (Exp.periodic_thread sys ~cpu:1 ~period:(Time.us 100) ~slice:(Time.us 50)
+         ());
+    Scheduler.run ~until:(horizon scale) sys;
+    let acc = Local_sched.account (Scheduler.sched sys 1) in
+    (Account.arrivals acc, Account.misses acc, Account.miss_rate acc,
+     Smi.count generator)
+  in
+  let table =
+    Table.create
+      ~title:
+        "Ablation: eager vs lazy EDF under SMIs (periodic 100us/50us, SMIs \
+         ~30us every ~400us). Eager starts early to end early (Section 3.6)"
+      ~columns:
+        [
+          ("dispatch policy", Table.Left);
+          ("arrivals", Table.Right);
+          ("misses", Table.Right);
+          ("miss rate", Table.Right);
+          ("SMIs injected", Table.Right);
+        ]
+  in
+  List.iter
+    (fun (name, policy) ->
+      let arrivals, misses, rate, smis = run policy in
+      Table.row table
+        [
+          name;
+          string_of_int arrivals;
+          string_of_int misses;
+          Printf.sprintf "%.1f%%" (100. *. rate);
+          string_of_int smis;
+        ])
+    [ ("eager (this paper)", Config.Eager); ("lazy (latest start)", Config.Lazy) ];
+  [ table ]
+
+(* ------------------------------------------------------------------ *)
+
+let interrupt_steering ?(scale = Exp.scale_of_env ()) () =
+  let run ?(threaded = false) ~target_cpu ~prio () =
+    let sys = Scheduler.create ~num_cpus:2 Platform.phi in
+    let dev =
+      Scheduler.add_device sys ~name:"nic" ~prio ~threaded
+        ~mean_interval:(Time.us 150)
+        ~handler_cost:(Platform.cost 40_000. 4_000.)
+        ()
+    in
+    Scheduler.steer_device sys dev ~cpus:[ target_cpu ];
+    Scheduler.start_device sys dev;
+    ignore
+      (Exp.periodic_thread sys ~cpu:1 ~period:(Time.us 100) ~slice:(Time.us 70)
+         ());
+    Scheduler.run ~until:(horizon scale) sys;
+    let acc = Local_sched.account (Scheduler.sched sys 1) in
+    (Account.arrivals acc, Account.misses acc, Account.miss_rate acc)
+  in
+  let table =
+    Table.create
+      ~title:
+        "Ablation: interrupt steering and priority segregation (Section \
+         3.5). RT thread 100us/70us on CPU 1; noisy device (~31us handler \
+         every ~150us)"
+      ~columns:
+        [
+          ("configuration", Table.Left);
+          ("arrivals", Table.Right);
+          ("misses", Table.Right);
+          ("miss rate", Table.Right);
+        ]
+  in
+  List.iter
+    (fun (name, cpu, prio, threaded) ->
+      let arrivals, misses, rate = run ~threaded ~target_cpu:cpu ~prio () in
+      Table.row table
+        [
+          name;
+          string_of_int arrivals;
+          string_of_int misses;
+          Printf.sprintf "%.1f%%" (100. *. rate);
+        ])
+    [
+      ("steered away (interrupt-laden CPU 0)", 0, 8, false);
+      ("on RT CPU, masked by processor priority", 1, 8, false);
+      ("on RT CPU, above processor priority", 1, 15, false);
+      ("on RT CPU, threaded interrupt handler", 1, 15, true);
+    ];
+  [ table ]
+
+(* ------------------------------------------------------------------ *)
+
+let utilization_limit ?(scale = Exp.scale_of_env ()) () =
+  let smi =
+    { Smi.mean_interval = Time.us 500; duration_mean = Time.us 25; duration_jitter = 0.2 }
+  in
+  let run limit =
+    let config =
+      {
+        Config.default with
+        Config.util_limit = limit;
+        strict_reservations = false;
+      }
+    in
+    let sys = Scheduler.create ~num_cpus:2 ~config Platform.phi in
+    ignore (Smi.install (Scheduler.engine sys) smi);
+    (* Request the largest admissible slice under this limit. *)
+    let period = Time.us 100 in
+    let slice = Int64.of_float (Int64.to_float period *. (limit -. 0.005)) in
+    let admitted = ref false in
+    ignore
+      (Exp.periodic_thread sys ~cpu:1 ~period ~slice
+         ~on_admit:(fun ok -> admitted := ok)
+         ());
+    Scheduler.run ~until:(horizon scale) sys;
+    let acc = Local_sched.account (Scheduler.sched sys 1) in
+    (!admitted, slice, Account.miss_rate acc)
+  in
+  let table =
+    Table.create
+      ~title:
+        "Ablation: the utilization limit trades utilization against SMI \
+         sensitivity (Section 3.6). Thread always requests the maximum \
+         admissible slice of a 100us period"
+      ~columns:
+        [
+          ("utilization limit", Table.Right);
+          ("admitted slice", Table.Left);
+          ("miss rate under SMIs", Table.Right);
+        ]
+  in
+  List.iter
+    (fun limit ->
+      let admitted, slice, rate = run limit in
+      Table.row table
+        [
+          Printf.sprintf "%.0f%%" (100. *. limit);
+          (if admitted then Format.asprintf "%a" Time.pp slice else "rejected");
+          Printf.sprintf "%.1f%%" (100. *. rate);
+        ])
+    [ 0.5; 0.6; 0.7; 0.8; 0.9; 0.99 ];
+  [ table ]
+
+(* ------------------------------------------------------------------ *)
+
+let cyclic_executive ?(scale = Exp.scale_of_env ()) () =
+  let horizon = horizon scale in
+  let jobs =
+    [
+      { Cyclic.name = "fast"; period = Time.us 100; slice = Time.us 15 };
+      { Cyclic.name = "mid"; period = Time.us 200; slice = Time.us 30 };
+      { Cyclic.name = "slow"; period = Time.us 400; slice = Time.us 50 };
+    ]
+  in
+  (* (a) Three independent EDF periodic threads. *)
+  let edf () =
+    let sys = Scheduler.create ~num_cpus:2 Platform.phi in
+    let threads =
+      List.map
+        (fun j ->
+          Scheduler.spawn sys ~cpu:1 ~bound:true
+            (Program.seq
+               [
+                 Program.of_steps
+                   (Scheduler.admission_ops sys
+                      (Constraints.periodic ~period:j.Cyclic.period
+                         ~slice:j.Cyclic.slice ())
+                      ~on_result:(fun _ -> ()));
+                 Program.compute_forever (Time.sec 3600);
+               ]))
+        jobs
+    in
+    Scheduler.run ~until:horizon sys;
+    let acc = Local_sched.account (Scheduler.sched sys 1) in
+    let misses = List.fold_left (fun a (t : Thread.t) -> a + t.Thread.misses) 0 threads in
+    (Account.invocations acc, Account.total_overhead_cycles acc, misses)
+  in
+  (* (b) The same set compiled into one cyclic executive. *)
+  let cyclic () =
+    let sys = Scheduler.create ~num_cpus:2 Platform.phi in
+    let table = Result.get_ok (Cyclic.plan jobs) in
+    let th = Cyclic.spawn sys ~cpu:1 table in
+    Scheduler.run ~until:horizon sys;
+    let acc = Local_sched.account (Scheduler.sched sys 1) in
+    (Account.invocations acc, Account.total_overhead_cycles acc, th.Thread.misses)
+  in
+  let table =
+    Table.create
+      ~title:
+        "Ablation: EDF threads vs compiled cyclic executive (Section 8 future \
+         work) for the same harmonic job set"
+      ~columns:
+        [
+          ("scheduling", Table.Left);
+          ("scheduler invocations", Table.Right);
+          ("overhead/invocation (cycles)", Table.Right);
+          ("deadline misses", Table.Right);
+        ]
+  in
+  let row name (inv, ovh, misses) =
+    Table.row table
+      [ name; string_of_int inv; Printf.sprintf "%.0f" ovh; string_of_int misses ]
+  in
+  row "3 EDF periodic threads" (edf ());
+  row "1 cyclic executive (static table)" (cyclic ());
+  [ table ]
+
+(* ------------------------------------------------------------------ *)
+
+let phase_correction ?(scale = Exp.scale_of_env ()) () =
+  let workers = match scale with Exp.Quick -> 32 | Exp.Full -> 128 in
+  let raw = Fig11.collect ~scale ~workers ~phase_correction:false () in
+  let fixed = Fig11.collect ~scale ~workers ~phase_correction:true () in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Ablation: phase correction (Section 4.4), %d-thread group"
+           workers)
+      ~columns:
+        [
+          ("phase correction", Table.Left);
+          ("mean spread (cycles)", Table.Right);
+          ("max spread (cycles)", Table.Right);
+        ]
+  in
+  List.iter
+    (fun (name, data) ->
+      let s = Summary.of_array data in
+      Table.row table
+        [
+          name;
+          Printf.sprintf "%.0f" (Summary.mean s);
+          Printf.sprintf "%.0f" (Summary.max s);
+        ])
+    [ ("off", raw); ("on", fixed) ];
+  [ table ]

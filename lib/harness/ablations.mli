@@ -1,0 +1,23 @@
+(** Ablations of the design choices the paper argues for.
+
+    - {!eager_vs_lazy}: Section 3.6 — eager, work-conserving EDF starts
+      early to end early, so SMI "missing time" rarely pushes completions
+      past deadlines; classic latest-start (lazy) dispatch is fragile.
+    - {!interrupt_steering}: Section 3.5 — steering device interrupts away
+      from the hard real-time partition (and masking them with the APIC
+      processor priority) protects timing.
+    - {!utilization_limit}: Section 3.6 — the utilization limit is a knob
+      trading CPU utilization against sensitivity to missing time.
+    - {!phase_correction}: Section 4.4 — release-order phase correction
+      removes the group-size-dependent bias (see also Fig 12). *)
+
+val eager_vs_lazy : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list
+val interrupt_steering : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list
+val utilization_limit : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list
+val phase_correction : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list
+
+val cyclic_executive : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list
+(** Section 8 future work: the same harmonic job set run as independent
+    EDF periodic threads vs compiled into one static cyclic executive —
+    both meet every deadline, but the executive needs far fewer scheduler
+    invocations. *)

@@ -1,0 +1,60 @@
+open Hrt_engine
+open Hrt_bsp
+
+type row = {
+  period : Time.ns;
+  slice : Time.ns;
+  utilization : float;
+  with_barrier : Bsp.result option;
+  without_barrier : Bsp.result option;
+}
+
+let combos ~scale =
+  let periods_us, slices_pct =
+    match scale with
+    | Exp.Quick -> ([ 100; 500 ], [ 30; 50; 70; 90 ])
+    | Exp.Full ->
+      ( [ 100; 200; 500; 1000; 2000; 5000 ],
+        [ 10; 20; 30; 40; 50; 60; 70; 80; 90 ] )
+  in
+  List.concat_map
+    (fun p ->
+      List.map
+        (fun s ->
+          let period = Time.us p in
+          (period, Int64.div (Int64.mul period (Int64.of_int s)) 100L))
+        slices_pct)
+    periods_us
+
+let workers ~scale = match scale with Exp.Quick -> 24 | Exp.Full -> 255
+
+let util period slice = Int64.to_float slice /. Int64.to_float period
+
+let run_one ~scale ~params ~barrier mode =
+  let p = params ~cpus:(workers ~scale) ~barrier in
+  let p =
+    match scale with
+    | Exp.Quick -> { p with Bsp.iters = Stdlib.max 20 (p.Bsp.iters / 5) }
+    | Exp.Full -> p
+  in
+  Bsp.run p mode
+
+let sweep ~scale ~params ~barrier ~no_barrier =
+  List.map
+    (fun (period, slice) ->
+      let mode = Bsp.Rt { period; slice; phase_correction = true } in
+      {
+        period;
+        slice;
+        utilization = util period slice;
+        with_barrier =
+          (if barrier then Some (run_one ~scale ~params ~barrier:true mode)
+           else None);
+        without_barrier =
+          (if no_barrier then Some (run_one ~scale ~params ~barrier:false mode)
+           else None);
+      })
+    (combos ~scale)
+
+let aperiodic_reference ~scale ~params =
+  run_one ~scale ~params ~barrier:true Bsp.Aperiodic

@@ -1,0 +1,33 @@
+(** Shared BSP sweeps behind Figs 13-16. *)
+
+open Hrt_engine
+open Hrt_bsp
+
+type row = {
+  period : Time.ns;
+  slice : Time.ns;
+  utilization : float;
+  with_barrier : Bsp.result option;
+  without_barrier : Bsp.result option;
+}
+
+val combos : scale:Exp.scale -> (Time.ns * Time.ns) list
+(** (period, slice) grid: the paper sweeps 900 combinations; Quick uses a
+    coarser grid with the same envelope (periods 100 us - 5 ms, slices
+    10-90 %). *)
+
+val workers : scale:Exp.scale -> int
+(** 255 at Full scale (the interrupt-free partition of the Phi). *)
+
+val sweep :
+  scale:Exp.scale ->
+  params:(cpus:int -> barrier:bool -> Bsp.params) ->
+  barrier:bool ->
+  no_barrier:bool ->
+  row list
+(** Run the grid in the requested variants. *)
+
+val aperiodic_reference :
+  scale:Exp.scale -> params:(cpus:int -> barrier:bool -> Bsp.params) -> Bsp.result
+(** The non-real-time baseline: aperiodic scheduling at 100 % utilization,
+    barriers on (required for correctness). *)

@@ -1,0 +1,113 @@
+open Hrt_engine
+open Hrt_core
+open Hrt_group
+
+type scale = Quick | Full
+
+let scale_of_env () =
+  match Sys.getenv_opt "HRT_FULL" with Some _ -> Full | None -> Quick
+
+let cpus scale quick full = match scale with Quick -> quick | Full -> full
+
+let periodic_thread sys ~cpu ?(phase = 0L) ~period ~slice ?(on_admit = fun _ -> ())
+    () =
+  let constr = Constraints.periodic ~phase ~period ~slice () in
+  Scheduler.spawn sys ~name:(Printf.sprintf "rt-%d" cpu) ~cpu ~bound:true
+    (Program.seq
+       [
+         Program.of_steps (Scheduler.admission_ops sys constr ~on_result:on_admit);
+         Program.compute_forever (Time.sec 3600);
+       ])
+
+type spread_collector = {
+  mutable acc : (int * Time.ns) list array;  (* bucket -> (cpu, time) *)
+  mutable spreads_rev : float list;
+  workers : int;
+  period : Time.ns;
+  settle : Time.ns;
+  ghz : float;
+}
+
+let make_spread_collector sys ~workers ~period ~settle =
+  let buckets = 65536 in
+  let c =
+    {
+      acc = Array.make buckets [];
+      spreads_rev = [];
+      workers;
+      period;
+      settle;
+      ghz = (Scheduler.platform sys).Hrt_hw.Platform.ghz;
+    }
+  in
+  Scheduler.set_dispatch_hook sys
+    (Some
+       (fun cpu th time ->
+         if
+           cpu >= 1 && cpu <= workers
+           && Thread.is_realtime th
+           && Time.(time > c.settle)
+           (* Only the arrival dispatch (first dispatch of the period). *)
+           && Time.(time - th.Thread.arrival < c.period / 2)
+         then begin
+           let bucket =
+             Int64.to_int (Int64.div th.Thread.arrival c.period)
+             mod Array.length c.acc
+           in
+           let cur = c.acc.(bucket) in
+           if not (List.mem_assoc cpu cur) then begin
+             let cur = (cpu, time) :: cur in
+             c.acc.(bucket) <- cur;
+             if List.length cur = workers then begin
+               let ts = List.map snd cur in
+               let mx = List.fold_left Time.max (List.hd ts) ts in
+               let mn = List.fold_left Time.min (List.hd ts) ts in
+               c.spreads_rev <-
+                 (Int64.to_float Time.(mx - mn) *. c.ghz) :: c.spreads_rev;
+               c.acc.(bucket) <- []
+             end
+           end
+         end));
+  c
+
+let spreads c = Array.of_list (List.rev c.spreads_rev)
+
+let run_group_admission ?(phase_correction = true) ?probe ?after sys ~workers
+    constr () =
+  let group = Group.create sys ~name:"exp-group" in
+  let start_barrier = Gbarrier.create sys ~parties:workers in
+  let session = ref None in
+  let after =
+    match after with
+    | Some f -> f
+    | None -> Program.compute_forever (Time.sec 3600)
+  in
+  for i = 1 to workers do
+    ignore
+      (Scheduler.spawn sys ~name:(Printf.sprintf "g-%d" i) ~cpu:i ~bound:true
+         (Program.seq
+            [
+              Group.join group;
+              Gbarrier.cross start_barrier;
+              (fun _ctx ->
+                (if !session = None then
+                   session :=
+                     Some (Group_sched.prepare ~phase_correction group constr));
+                Thread.Exit);
+              (let body = ref None in
+               fun ctx ->
+                 let b =
+                   match !body with
+                   | Some b -> b
+                   | None ->
+                     let b =
+                       Group_sched.change_constraints ?probe
+                         (Option.get !session) ~on_result:(fun _ -> ())
+                     in
+                     body := Some b;
+                     b
+                 in
+                 b ctx);
+              after;
+            ]))
+  done

@@ -1,0 +1,51 @@
+(** Shared experiment plumbing for the figure-reproduction harness. *)
+
+open Hrt_engine
+open Hrt_core
+
+type scale =
+  | Quick  (** scaled-down CPU counts / sweeps / durations (seconds of wall time) *)
+  | Full  (** paper-scale parameters (minutes of wall time) *)
+
+val scale_of_env : unit -> scale
+(** [Full] when the environment variable [HRT_FULL] is set, else [Quick]. *)
+
+val cpus : scale -> int -> int -> int
+(** [cpus scale quick full] picks a worker count. *)
+
+val periodic_thread :
+  Scheduler.t ->
+  cpu:int ->
+  ?phase:Time.ns ->
+  period:Time.ns ->
+  slice:Time.ns ->
+  ?on_admit:(bool -> unit) ->
+  unit ->
+  Thread.t
+(** Spawn a CPU-burning thread that requests the given periodic
+    constraints through the normal admission path. *)
+
+type spread_collector
+
+val make_spread_collector :
+  Scheduler.t -> workers:int -> period:Time.ns -> settle:Time.ns -> spread_collector
+(** Installs a dispatch hook measuring, for every arrival period, the
+    cross-CPU spread (max - min, in cycles) of the instants the group
+    members were context-switched in — the Fig 11/12 instrument. Workers
+    are assumed to live on CPUs 1..workers with aligned periods. *)
+
+val spreads : spread_collector -> float array
+(** Per-period spreads (cycles), in time order. *)
+
+val run_group_admission :
+  ?phase_correction:bool ->
+  ?probe:(string -> Thread.t -> Time.ns -> unit) ->
+  ?after:(Thread.ctx -> Thread.op) ->
+  Scheduler.t ->
+  workers:int ->
+  Constraints.t ->
+  unit ->
+  unit
+(** Spawn [workers] threads (CPUs 1..workers), have them join one group and
+    collectively adopt the constraints (Algorithm 1), then continue with
+    [after] (default: burn CPU forever). Does not run the engine. *)

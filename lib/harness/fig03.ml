@@ -1,0 +1,41 @@
+open Hrt_core
+open Hrt_stats
+
+let run ?(scale = Exp.scale_of_env ()) () =
+  let num_cpus = Exp.cpus scale 256 256 in
+  let sys = Scheduler.create ~num_cpus Hrt_hw.Platform.phi in
+  let residuals =
+    match Scheduler.calibration sys with
+    | Some r -> r.Sync_cal.residual_cycles
+    | None -> [||]
+  in
+  let abs = Array.map Float.abs residuals in
+  let hist = Histogram.of_array ~lo:0. ~hi:1000. ~bins:10 abs in
+  let table =
+    Table.create
+      ~title:
+        "Fig 3: cross-CPU cycle counter offsets vs CPU 0 after calibration \
+         (Phi, 256 CPUs)"
+      ~columns:
+        [ ("offset range (cycles)", Table.Left); ("CPUs", Table.Right) ]
+  in
+  for i = 0 to Histogram.bins hist - 1 do
+    Table.row table
+      [
+        Printf.sprintf "[%4.0f, %4.0f)" (Histogram.bin_lo hist i)
+          (Histogram.bin_hi hist i);
+        string_of_int (Histogram.bin_count hist i);
+      ]
+  done;
+  Table.row table [ ">= 1000"; string_of_int (Histogram.overflow hist) ];
+  let s = Summary.of_array abs in
+  let summary =
+    Table.create ~title:"Fig 3: summary"
+      ~columns:[ ("metric", Table.Left); ("value", Table.Right) ]
+  in
+  Table.row summary [ "CPUs"; string_of_int (Array.length residuals) ];
+  Table.row summary [ "mean |offset| (cycles)"; Printf.sprintf "%.0f" (Summary.mean s) ];
+  Table.row summary [ "max |offset| (cycles)"; Printf.sprintf "%.0f" (Summary.max s) ];
+  Table.row summary
+    [ "within 1000 cycles"; Printf.sprintf "%d" (Histogram.count hist - Histogram.overflow hist) ];
+  [ table; summary ]

@@ -1,0 +1,6 @@
+(** Fig 3: cross-CPU cycle-counter synchronization after boot calibration.
+
+    Paper claim: all 256 CPUs agree on wall-clock time to within ~1000
+    cycles of CPU 0. *)
+
+val run : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list

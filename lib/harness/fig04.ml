@@ -1,0 +1,123 @@
+open Hrt_engine
+open Hrt_core
+open Hrt_hw
+open Hrt_stats
+
+let thread_pin = 0
+let sched_pin = 1
+let irq_pin = 2
+
+let run ?(scale = Exp.scale_of_env ()) () =
+  let horizon = match scale with Exp.Quick -> Time.ms 50 | Exp.Full -> Time.ms 500 in
+  let sys = Scheduler.create ~num_cpus:2 Platform.phi in
+  let machine = Scheduler.machine sys in
+  let gpio = machine.Machine.gpio in
+  let eng = Scheduler.engine sys in
+  let test =
+    Exp.periodic_thread sys ~cpu:1 ~period:(Time.us 100) ~slice:(Time.us 50) ()
+  in
+  let window pin ~start ~stop =
+    (* One outb at each edge, at the instant the scheduler reaches it. *)
+    ignore
+      (Engine.schedule eng ~at:(Time.max start (Engine.now eng)) (fun _ ->
+           Gpio.set gpio ~pin true));
+    ignore
+      (Engine.schedule eng ~at:(Time.max stop (Engine.now eng)) (fun _ ->
+           Gpio.set gpio ~pin false))
+  in
+  Local_sched.set_probe (Scheduler.sched sys 1)
+    (Some
+       {
+         Local_sched.irq_window = (fun ~start ~stop -> window irq_pin ~start ~stop);
+         pass_window = (fun ~start ~stop -> window sched_pin ~start ~stop);
+         thread_active =
+           (fun th time ->
+             let active = match th with Some th -> th == test | None -> false in
+             ignore
+               (Engine.schedule eng ~at:(Time.max time (Engine.now eng))
+                  (fun _ -> Gpio.set gpio ~pin:thread_pin active)));
+       });
+  Scheduler.run ~until:horizon sys;
+  let settle = Time.ms 5 in
+  let analyze name pin =
+    let intervals =
+      Array.of_list
+        (List.filter
+           (fun (a, _) -> Time.(a > settle))
+           (Array.to_list (Gpio.high_intervals gpio ~pin)))
+    in
+    let durations = Summary.create () in
+    let total_high = ref 0L in
+    Array.iter
+      (fun (a, b) ->
+        Summary.add durations (Int64.to_float Time.(b - a));
+        total_high := Time.(!total_high + (b - a)))
+      intervals;
+    let duty = Int64.to_float !total_high /. Int64.to_float Time.(horizon - settle) in
+    let cov =
+      if Summary.mean durations > 0. then
+        Summary.stddev durations /. Summary.mean durations
+      else 0.
+    in
+    (name, Array.length intervals, duty, Summary.mean durations /. 1000., cov)
+  in
+  let rows =
+    [
+      analyze "test thread" thread_pin;
+      analyze "scheduler pass" sched_pin;
+      analyze "interrupt handler" irq_pin;
+    ]
+  in
+  (* ASCII rendering of a 600us window, like the scope photograph: one
+     character per 2us, '#' = pin high. *)
+  let waveform pin =
+    let t0 = Time.ms 10 in
+    let step = Time.us 2 in
+    let samples = 150 in
+    let trans = Gpio.transitions gpio ~pin in
+    let buf = Bytes.make samples '.' in
+    let level_at tm =
+      let lvl = ref false in
+      Array.iter (fun (t, v) -> if Time.(t <= tm) then lvl := v) trans;
+      !lvl
+    in
+    for i = 0 to samples - 1 do
+      if level_at Time.(t0 + (step * i)) then Bytes.set buf i '#'
+    done;
+    Bytes.to_string buf
+  in
+  let scope =
+    Table.create
+      ~title:
+        "Fig 4: 600us scope window starting at t=10ms ('#' = pin high, 2us          per column)"
+      ~columns:[ ("trace", Table.Left); ("waveform", Table.Left) ]
+  in
+  Table.row scope [ "test thread"; waveform thread_pin ];
+  Table.row scope [ "scheduler pass"; waveform sched_pin ];
+  Table.row scope [ "interrupt handler"; waveform irq_pin ];
+  let table =
+    Table.create
+      ~title:
+        "Fig 4: scope traces of a periodic 100us/50us thread (Phi). Sharp \
+         thread trace = low CoV; fuzzy scheduler/IRQ traces = high CoV"
+      ~columns:
+        [
+          ("trace", Table.Left);
+          ("pulses", Table.Right);
+          ("duty cycle", Table.Right);
+          ("mean high (us)", Table.Right);
+          ("duration CoV", Table.Right);
+        ]
+  in
+  List.iter
+    (fun (name, n, duty, mean_us, cov) ->
+      Table.row table
+        [
+          name;
+          string_of_int n;
+          Printf.sprintf "%.1f%%" (100. *. duty);
+          Printf.sprintf "%.2f" mean_us;
+          Printf.sprintf "%.4f" cov;
+        ])
+    rows;
+  [ table; scope ]

@@ -1,0 +1,12 @@
+(** Fig 4: external (oscilloscope) verification of hard real-time
+    scheduling.
+
+    A periodic thread (period 100 us, slice 50 us) toggles GPIO pins from
+    inside the scheduler: the test thread's trace, the scheduler pass, and
+    the interrupt handler. Paper claim: the interrupt/scheduler traces are
+    "fuzzy" (their durations vary) while the thread's trace stays sharp —
+    the scheduler absorbs its own jitter to keep the thread's constraints
+    deterministic. We report duty cycle and the coefficient of variation
+    of each trace's high-interval durations. *)
+
+val run : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list

@@ -1,0 +1,64 @@
+open Hrt_engine
+open Hrt_core
+open Hrt_stats
+
+let measure ?(scale = Exp.Quick) platform =
+  let horizon = match scale with Exp.Quick -> Time.ms 50 | Exp.Full -> Time.ms 500 in
+  let sys = Scheduler.create ~num_cpus:2 platform in
+  ignore
+    (Exp.periodic_thread sys ~cpu:1 ~period:(Time.us 100) ~slice:(Time.us 50) ());
+  Scheduler.run ~until:horizon sys;
+  Local_sched.account (Scheduler.sched sys 1)
+
+let run ?(scale = Exp.scale_of_env ()) () =
+  let table =
+    Table.create
+      ~title:
+        "Fig 5: local scheduler overhead breakdown per invocation (cycles)"
+      ~columns:
+        [
+          ("platform", Table.Left);
+          ("component", Table.Left);
+          ("mean", Table.Right);
+          ("stddev", Table.Right);
+        ]
+  in
+  let totals =
+    List.map
+      (fun plat ->
+        let acc = measure ~scale plat in
+        let row name s =
+          Table.row table
+            [
+              plat.Hrt_hw.Platform.name;
+              name;
+              Printf.sprintf "%.0f" (Summary.mean s);
+              Printf.sprintf "%.0f" (Summary.stddev s);
+            ]
+        in
+        row "IRQ" (Account.irq_cycles acc);
+        row "Other" (Account.other_cycles acc);
+        row "Resched" (Account.resched_cycles acc);
+        row "Switch" (Account.switch_cycles acc);
+        (plat, Account.total_overhead_cycles acc))
+      [ Hrt_hw.Platform.phi; Hrt_hw.Platform.r415 ]
+  in
+  let summary =
+    Table.create ~title:"Fig 5: total software overhead per invocation"
+      ~columns:
+        [
+          ("platform", Table.Left);
+          ("total (cycles)", Table.Right);
+          ("total (us)", Table.Right);
+        ]
+  in
+  List.iter
+    (fun (plat, cycles) ->
+      Table.row summary
+        [
+          plat.Hrt_hw.Platform.name;
+          Printf.sprintf "%.0f" cycles;
+          Printf.sprintf "%.2f" (cycles /. plat.Hrt_hw.Platform.ghz /. 1000.);
+        ])
+    totals;
+  [ table; summary ]

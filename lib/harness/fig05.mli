@@ -1,0 +1,11 @@
+(** Fig 5: local scheduler overhead breakdown on Phi and R415.
+
+    Paper claim: on the Phi the software overhead is ~6000 cycles per
+    invocation (IRQ dispatch + "other" + scheduling pass + context
+    switch), about half of it in the pass; the R415 is cheaper in cycles
+    and much cheaper in wall time. *)
+
+val measure : ?scale:Exp.scale -> Hrt_hw.Platform.t -> Hrt_core.Account.t
+(** Run the single-thread workload and return the CPU-1 accounting. *)
+
+val run : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list

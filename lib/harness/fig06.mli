@@ -1,0 +1,8 @@
+(** Fig 6: local scheduler deadline miss rate on Phi vs period and slice.
+
+    Paper claim: the feasibility edge sits at ~10 us periods (two ~6000
+    cycle invocations per period); once period and slice are feasible the
+    miss rate is exactly zero. *)
+
+val points : ?scale:Exp.scale -> unit -> Miss_sweep.point list
+val run : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list

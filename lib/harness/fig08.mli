@@ -1,0 +1,8 @@
+(** Fig 8: average and deviation of miss times on Phi.
+
+    Paper claim: for infeasible constraints (normally filtered by
+    admission control) deadlines are missed by only small amounts —
+    microseconds, comparable to the scheduler overhead, not to the
+    constraint. *)
+
+val run : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list

@@ -1,0 +1,140 @@
+open Hrt_engine
+open Hrt_core
+open Hrt_group
+open Hrt_stats
+
+type timing = {
+  join : Summary.t;
+  election : Summary.t;
+  admission : Summary.t;  (* whole group change constraints *)
+  barrier_phase : Summary.t;  (* reduced -> done *)
+  local : Summary.t;  (* attached -> admitted (local admission inside) *)
+}
+
+let fresh () =
+  {
+    join = Summary.create ();
+    election = Summary.create ();
+    admission = Summary.create ();
+    barrier_phase = Summary.create ();
+    local = Summary.create ();
+  }
+
+(* One experiment: n workers join a group and collectively adopt periodic
+   constraints; per-thread step boundaries are timestamped. *)
+let measure n =
+  let plat = Hrt_hw.Platform.phi in
+  let sys = Scheduler.create ~num_cpus:(n + 1) plat in
+  let ghz = plat.Hrt_hw.Platform.ghz in
+  let t = fresh () in
+  let group = Group.create sys ~name:"fig10" in
+  let start_barrier = Gbarrier.create sys ~parties:n in
+  let marks : (int, (string * Time.ns) list) Hashtbl.t = Hashtbl.create 64 in
+  let mark name (th : Thread.t) now =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt marks th.Thread.id) in
+    Hashtbl.replace marks th.Thread.id ((name, now) :: cur)
+  in
+  (* A high-utilization constraint: once members become real-time mid-
+     protocol, the remaining steps run nearly unthrottled, as on the
+     paper's dedicated testbed. *)
+  let constr =
+    Constraints.periodic ~period:(Time.ms 10) ~slice:(Time.us 7_800) ()
+  in
+  for i = 1 to n do
+    ignore
+      (Scheduler.spawn sys ~name:(Printf.sprintf "g%d" i) ~cpu:i ~bound:true
+         (Program.seq
+            [
+              (* Align all threads before joining so join contention is
+                 maximal, as when a runtime starts a parallel phase. *)
+              Gbarrier.cross start_barrier;
+              (fun ({ Thread.svc; self } : Thread.ctx) ->
+                mark "join-start" self (svc.Thread.now ());
+                Thread.Exit);
+              Group.join group;
+              (fun ({ Thread.svc; self } : Thread.ctx) ->
+                mark "join-done" self (svc.Thread.now ());
+                Thread.Exit);
+              (* Park until the harness swaps in the admission body. *)
+              (fun _ctx -> Thread.Block);
+            ]))
+  done;
+  (* Two engine phases: first everyone joins and parks, then the group
+     collectively changes constraints. *)
+  Scheduler.run ~until:(Time.ms 400) sys;
+  let sess = Group_sched.prepare group constr in
+  List.iter
+    (fun (th : Thread.t) ->
+      th.Thread.body <-
+        Program.seq
+          [
+            Group_sched.change_constraints ~probe:mark sess
+              ~on_result:(fun _ -> ());
+            Program.of_steps [ Thread.Exit ];
+          ];
+      Scheduler.wake sys th)
+    (Group.members group);
+  Scheduler.run ~until:(Time.sec 2) sys;
+  (* Collect per-thread step durations (cycles). *)
+  Hashtbl.iter
+    (fun _ entries ->
+      let find name = List.assoc_opt name entries in
+      let span a b acc =
+        match (find a, find b) with
+        | Some ta, Some tb ->
+          Summary.add acc (Int64.to_float Time.(tb - ta) *. ghz)
+        | _ -> ()
+      in
+      span "join-start" "join-done" t.join;
+      span "start" "elected" t.election;
+      span "start" "done" t.admission;
+      span "reduced" "done" t.barrier_phase;
+      span "attached" "admitted" t.local)
+    marks;
+  t
+
+let run ?(scale = Exp.scale_of_env ()) () =
+  let sizes =
+    match scale with
+    | Exp.Quick -> [ 2; 8; 16; 32; 64 ]
+    | Exp.Full -> [ 2; 8; 32; 64; 128; 255 ]
+  in
+  let table =
+    Table.create
+      ~title:
+        "Fig 10: group admission control costs on Phi (cycles, mean / max \
+         across threads). Linear in group size; local admission constant"
+      ~columns:
+        [
+          ("threads", Table.Right);
+          ("join", Table.Right);
+          ("election", Table.Right);
+          ("group change constraints", Table.Right);
+          ("barrier/phase corr", Table.Right);
+          ("local change constraints", Table.Right);
+          ("total (Mcycles)", Table.Right);
+        ]
+  in
+  List.iter
+    (fun n ->
+      let t = measure n in
+      let cell s =
+        Printf.sprintf "%.2g / %.2g" (Summary.mean s) (Summary.max s)
+      in
+      let total =
+        (Summary.mean t.join +. Summary.mean t.election
+        +. Summary.mean t.admission)
+        /. 1e6
+      in
+      Table.row table
+        [
+          string_of_int n;
+          cell t.join;
+          cell t.election;
+          cell t.admission;
+          cell t.barrier_phase;
+          cell t.local;
+          Printf.sprintf "%.2f" total;
+        ])
+    sizes;
+  [ table ]

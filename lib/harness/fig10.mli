@@ -1,0 +1,9 @@
+(** Fig 10: group admission control costs vs group size.
+
+    Paper claims: join, leader election, distributed admission control, and
+    the final barrier/phase-correction step all grow linearly with the
+    number of threads (simple serialized coordination schemes); the local
+    admission-control cost inside is constant; at 255 threads the whole
+    operation needs only ~8 M cycles (~6.2 ms). *)
+
+val run : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list

@@ -1,0 +1,15 @@
+(** Fig 11: cross-CPU scheduler synchronization in an 8-thread group.
+
+    An 8-thread group is admitted with a periodic constraint, phase
+    correction disabled. For every arrival period we measure the maximum
+    difference, across the 8 local schedulers, of the instants they
+    context-switch to their group member. Paper claim: context switches
+    happen within a few thousand cycles of each other, with an average
+    bias (the first member runs ahead) that phase correction removes. *)
+
+val collect :
+  ?scale:Exp.scale -> workers:int -> phase_correction:bool -> unit -> float array
+(** Per-period cross-CPU dispatch spreads (cycles) for a periodic group of
+    the given size. Shared with Fig 12. *)
+
+val run : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list

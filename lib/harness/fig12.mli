@@ -1,0 +1,8 @@
+(** Fig 12: cross-CPU scheduler synchronization vs group size.
+
+    Paper claim: the average difference (bias) grows with group size — at
+    255 threads it reaches tens of thousands of cycles — but it is exactly
+    what phase correction cancels; the uncorrectable variation stays a few
+    thousand cycles regardless of group size. *)
+
+val run : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list

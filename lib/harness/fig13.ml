@@ -1,0 +1,47 @@
+open Hrt_engine
+open Hrt_stats
+
+let table_of ~title ~scale ~params () =
+  let rows = Bsp_sweep.sweep ~scale ~params ~barrier:true ~no_barrier:false in
+  let aper = Bsp_sweep.aperiodic_reference ~scale ~params in
+  let aper_ms = Time.to_float_ms aper.Hrt_bsp.Bsp.exec_time in
+  let table =
+    Table.create ~title
+      ~columns:
+        [
+          ("period", Table.Left);
+          ("slice", Table.Left);
+          ("utilization", Table.Right);
+          ("exec time (ms)", Table.Right);
+          ("exec * util (ms)", Table.Right);
+          ("vs aperiodic@100%", Table.Right);
+        ]
+  in
+  List.iter
+    (fun (r : Bsp_sweep.row) ->
+      match r.Bsp_sweep.with_barrier with
+      | None -> ()
+      | Some res ->
+        let ms = Time.to_float_ms res.Hrt_bsp.Bsp.exec_time in
+        Table.row table
+          [
+            Format.asprintf "%a" Time.pp r.Bsp_sweep.period;
+            Format.asprintf "%a" Time.pp r.Bsp_sweep.slice;
+            Printf.sprintf "%.0f%%" (100. *. r.Bsp_sweep.utilization);
+            Printf.sprintf "%.2f" ms;
+            Printf.sprintf "%.2f" (ms *. r.Bsp_sweep.utilization);
+            Printf.sprintf "%.2fx" (ms /. aper_ms);
+          ])
+    rows;
+  Table.row table
+    [ "aperiodic"; "-"; "100%"; Printf.sprintf "%.2f" aper_ms; "-"; "1.00x" ];
+  table
+
+let run ?(scale = Exp.scale_of_env ()) () =
+  [
+    table_of
+      ~title:
+        "Fig 13: resource control, coarsest granularity (BSP with \
+         barriers). exec*util should be ~constant across combinations"
+      ~scale ~params:Hrt_bsp.Bsp.coarse_grain ();
+  ]

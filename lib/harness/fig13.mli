@@ -1,0 +1,17 @@
+(** Fig 13: resource control with commensurate performance, coarsest
+    granularity.
+
+    The BSP benchmark (with barriers) runs under every (period, slice)
+    combination; paper claim: regardless of the specific period chosen,
+    execution time is cleanly controlled by the allocated utilization
+    (execution time ~ work / (slice/period)). *)
+
+val table_of :
+  title:string ->
+  scale:Exp.scale ->
+  params:(cpus:int -> barrier:bool -> Hrt_bsp.Bsp.params) ->
+  unit ->
+  Hrt_stats.Table.t
+(** Shared with Fig 14. *)
+
+val run : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list

@@ -1,0 +1,8 @@
+let run ?(scale = Exp.scale_of_env ()) () =
+  [
+    Fig13.table_of
+      ~title:
+        "Fig 14: resource control, finest granularity (BSP with barriers). \
+         Throttling remains commensurate, with more variance"
+      ~scale ~params:Hrt_bsp.Bsp.fine_grain ();
+  ]

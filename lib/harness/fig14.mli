@@ -1,0 +1,7 @@
+(** Fig 14: resource control at the finest granularity.
+
+    Paper claim: proportionate control remains, with more variation across
+    period/slice combinations of equal utilization because per-iteration
+    work becomes comparable to the timing constraints themselves. *)
+
+val run : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list

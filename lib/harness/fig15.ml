@@ -1,0 +1,66 @@
+open Hrt_engine
+open Hrt_stats
+
+let table_of ~title ~scale ~params () =
+  let rows = Bsp_sweep.sweep ~scale ~params ~barrier:true ~no_barrier:true in
+  let aper = Bsp_sweep.aperiodic_reference ~scale ~params in
+  let aper_ms = Time.to_float_ms aper.Hrt_bsp.Bsp.exec_time in
+  let table =
+    Table.create ~title
+      ~columns:
+        [
+          ("period", Table.Left);
+          ("utilization", Table.Right);
+          ("with barrier (ms)", Table.Right);
+          ("without barrier (ms)", Table.Right);
+          ("gain", Table.Right);
+          ("no-barrier vs aperiodic", Table.Right);
+        ]
+  in
+  let gains = Summary.create () in
+  List.iter
+    (fun (r : Bsp_sweep.row) ->
+      match (r.Bsp_sweep.with_barrier, r.Bsp_sweep.without_barrier) with
+      | Some wb, Some nb ->
+        let t_wb = Time.to_float_ms wb.Hrt_bsp.Bsp.exec_time in
+        let t_nb = Time.to_float_ms nb.Hrt_bsp.Bsp.exec_time in
+        let gain = (t_wb /. t_nb -. 1.) *. 100. in
+        Summary.add gains gain;
+        Table.row table
+          [
+            Format.asprintf "%a" Time.pp r.Bsp_sweep.period;
+            Printf.sprintf "%.0f%%" (100. *. r.Bsp_sweep.utilization);
+            Printf.sprintf "%.2f" t_wb;
+            Printf.sprintf "%.2f" t_nb;
+            Printf.sprintf "%+.0f%%" gain;
+            Printf.sprintf "%.2fx" (t_nb /. aper_ms);
+          ]
+      | _ -> ())
+    rows;
+  Table.row table
+    [
+      "aperiodic+barrier";
+      "100%";
+      Printf.sprintf "%.2f" aper_ms;
+      "-";
+      "-";
+      "1.00x";
+    ];
+  let summary =
+    Table.create ~title:(title ^ " - gain summary")
+      ~columns:[ ("metric", Table.Left); ("value", Table.Right) ]
+  in
+  Table.row summary
+    [ "combinations"; string_of_int (Summary.count gains) ];
+  Table.row summary
+    [ "mean gain from barrier removal"; Printf.sprintf "%+.0f%%" (Summary.mean gains) ];
+  Table.row summary
+    [ "min gain"; Printf.sprintf "%+.0f%%" (Summary.min gains) ];
+  Table.row summary
+    [ "max gain"; Printf.sprintf "%+.0f%%" (Summary.max gains) ];
+  [ table; summary ]
+
+let run ?(scale = Exp.scale_of_env ()) () =
+  table_of
+    ~title:"Fig 15: barrier removal, coarsest granularity (255 CPUs at Full)"
+    ~scale ~params:Hrt_bsp.Bsp.coarse_grain ()

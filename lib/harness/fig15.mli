@@ -1,0 +1,17 @@
+(** Fig 15: benefit of barrier removal at the coarsest granularity.
+
+    Every (period, slice) combination runs the BSP benchmark twice under
+    hard real-time group scheduling — with and without the per-iteration
+    barrier. Paper claim: almost all points gain from removal; at 90 %
+    utilization the no-barrier real-time run matches (sometimes slightly
+    exceeds) the non-real-time run with barriers at 100 % utilization. *)
+
+val table_of :
+  title:string ->
+  scale:Exp.scale ->
+  params:(cpus:int -> barrier:bool -> Hrt_bsp.Bsp.params) ->
+  unit ->
+  Hrt_stats.Table.t list
+(** Shared with Fig 16. *)
+
+val run : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list

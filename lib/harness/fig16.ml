@@ -1,0 +1,4 @@
+let run ?(scale = Exp.scale_of_env ()) () =
+  Fig15.table_of
+    ~title:"Fig 16: barrier removal, finest granularity (255 CPUs at Full)"
+    ~scale ~params:Hrt_bsp.Bsp.fine_grain ()

@@ -1,0 +1,8 @@
+(** Fig 16: benefit of barrier removal at the finest granularity.
+
+    Paper claim: the benefit is much more pronounced than at coarse
+    granularity (Amdahl), ranging from ~20 % to over 300 %, and the
+    real-time no-barrier runs considerably exceed the non-real-time
+    barrier baseline. *)
+
+val run : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list

@@ -1,0 +1,90 @@
+open Hrt_engine
+open Hrt_core
+open Hrt_stats
+
+type point = {
+  period : Time.ns;
+  slice_pct : int;
+  arrivals : int;
+  misses : int;
+  miss_rate : float;
+  miss_mean_us : float;
+  miss_std_us : float;
+}
+
+let phi_periods = [ 1000; 100; 50; 40; 30; 20; 10 ]
+let r415_periods = [ 1000; 100; 50; 40; 30; 20; 10; 4 ]
+let slices = [ 10; 20; 30; 40; 50; 60; 70; 80; 90 ]
+
+let run_point ~horizon platform ~period_us ~slice_pct =
+  let config = { Config.default with Config.admission_control = false } in
+  let sys = Scheduler.create ~num_cpus:2 ~config platform in
+  let period = Time.us period_us in
+  let slice = Int64.div (Int64.mul period (Int64.of_int slice_pct)) 100L in
+  ignore (Exp.periodic_thread sys ~cpu:1 ~period ~slice ());
+  Scheduler.run ~until:horizon sys;
+  let acc = Local_sched.account (Scheduler.sched sys 1) in
+  let times = Account.miss_times_us acc in
+  {
+    period;
+    slice_pct;
+    arrivals = Account.arrivals acc;
+    misses = Account.misses acc;
+    miss_rate = Account.miss_rate acc;
+    miss_mean_us = Summary.mean times;
+    miss_std_us = Summary.stddev times;
+  }
+
+let sweep ?(scale = Exp.scale_of_env ()) ~platform ~periods_us ~slices_pct () =
+  let horizon =
+    match scale with Exp.Quick -> Time.ms 30 | Exp.Full -> Time.ms 300
+  in
+  List.concat_map
+    (fun period_us ->
+      List.map
+        (fun slice_pct -> run_point ~horizon platform ~period_us ~slice_pct)
+        slices_pct)
+    periods_us
+
+let grid ~title ~cell points =
+  let slices_pct =
+    List.sort_uniq compare (List.map (fun p -> p.slice_pct) points)
+  in
+  let periods =
+    List.sort_uniq (fun a b -> Int64.compare b a) (List.map (fun p -> p.period) points)
+  in
+  let columns =
+    ("period", Table.Left)
+    :: List.map
+         (fun s -> (Printf.sprintf "%d%%" s, Table.Right))
+         slices_pct
+  in
+  let table = Table.create ~title ~columns in
+  List.iter
+    (fun period ->
+      let cells =
+        List.map
+          (fun s ->
+            match
+              List.find_opt
+                (fun p -> Int64.equal p.period period && p.slice_pct = s)
+                points
+            with
+            | Some p -> cell p
+            | None -> "-")
+          slices_pct
+      in
+      Table.row table
+        (Printf.sprintf "%.0fus" (Int64.to_float period /. 1000.) :: cells))
+    periods;
+  table
+
+let rate_table ~title points =
+  grid ~title ~cell:(fun p -> Printf.sprintf "%.0f%%" (100. *. p.miss_rate)) points
+
+let miss_time_table ~title points =
+  grid ~title
+    ~cell:(fun p ->
+      if p.misses = 0 then "0"
+      else Printf.sprintf "%.1f+-%.1f" p.miss_mean_us p.miss_std_us)
+    points

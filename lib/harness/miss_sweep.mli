@@ -1,0 +1,39 @@
+(** Shared sweep behind Figs 6-9: deadline miss rates and miss times as a
+    function of period and slice, with admission control disabled so
+    infeasible constraints reach the scheduler. *)
+
+open Hrt_engine
+open Hrt_hw
+
+type point = {
+  period : Time.ns;
+  slice_pct : int;
+  arrivals : int;
+  misses : int;
+  miss_rate : float;  (** 0..1 *)
+  miss_mean_us : float;
+  miss_std_us : float;
+}
+
+val sweep :
+  ?scale:Exp.scale ->
+  platform:Platform.t ->
+  periods_us:int list ->
+  slices_pct:int list ->
+  unit ->
+  point list
+
+val rate_table : title:string -> point list -> Hrt_stats.Table.t
+(** Periods as rows, slice percentages as columns, miss-rate cells. *)
+
+val miss_time_table : title:string -> point list -> Hrt_stats.Table.t
+(** Mean +- std miss times (us), same layout. *)
+
+val phi_periods : int list
+(** 1000, 100, 50, 40, 30, 20, 10 (us), as in Fig 6. *)
+
+val r415_periods : int list
+(** Fig 7 adds a 4 us period. *)
+
+val slices : int list
+(** 10..90 by 10, as in the figures. *)

@@ -1,0 +1,112 @@
+type entry = {
+  name : string;
+  title : string;
+  run : Exp.scale -> Hrt_stats.Table.t list;
+}
+
+let all =
+  [
+    {
+      name = "fig3";
+      title = "Cross-CPU cycle counter synchronization (histogram)";
+      run = (fun scale -> Fig03.run ~scale ());
+    };
+    {
+      name = "fig4";
+      title = "External scope verification of a periodic thread";
+      run = (fun scale -> Fig04.run ~scale ());
+    };
+    {
+      name = "fig5";
+      title = "Local scheduler overhead breakdown (Phi, R415)";
+      run = (fun scale -> Fig05.run ~scale ());
+    };
+    {
+      name = "fig6";
+      title = "Deadline miss rate vs period/slice (Phi)";
+      run = (fun scale -> Fig06.run ~scale ());
+    };
+    {
+      name = "fig7";
+      title = "Deadline miss rate vs period/slice (R415)";
+      run = (fun scale -> Fig07.run ~scale ());
+    };
+    {
+      name = "fig8";
+      title = "Miss times for infeasible constraints (Phi)";
+      run = (fun scale -> Fig08.run ~scale ());
+    };
+    {
+      name = "fig9";
+      title = "Miss times for infeasible constraints (R415)";
+      run = (fun scale -> Fig09.run ~scale ());
+    };
+    {
+      name = "fig10";
+      title = "Group admission control costs vs group size";
+      run = (fun scale -> Fig10.run ~scale ());
+    };
+    {
+      name = "fig11";
+      title = "Cross-CPU synchronization, 8-thread group";
+      run = (fun scale -> Fig11.run ~scale ());
+    };
+    {
+      name = "fig12";
+      title = "Cross-CPU synchronization vs group size";
+      run = (fun scale -> Fig12.run ~scale ());
+    };
+    {
+      name = "fig13";
+      title = "BSP resource control, coarsest granularity";
+      run = (fun scale -> Fig13.run ~scale ());
+    };
+    {
+      name = "fig14";
+      title = "BSP resource control, finest granularity";
+      run = (fun scale -> Fig14.run ~scale ());
+    };
+    {
+      name = "fig15";
+      title = "Barrier removal benefit, coarsest granularity";
+      run = (fun scale -> Fig15.run ~scale ());
+    };
+    {
+      name = "fig16";
+      title = "Barrier removal benefit, finest granularity";
+      run = (fun scale -> Fig16.run ~scale ());
+    };
+    {
+      name = "ablation-eager";
+      title = "Eager vs lazy EDF under SMIs";
+      run = (fun scale -> Ablations.eager_vs_lazy ~scale ());
+    };
+    {
+      name = "ablation-steering";
+      title = "Interrupt steering and priority segregation";
+      run = (fun scale -> Ablations.interrupt_steering ~scale ());
+    };
+    {
+      name = "ablation-util";
+      title = "Utilization-limit knob under SMIs";
+      run = (fun scale -> Ablations.utilization_limit ~scale ());
+    };
+    {
+      name = "ablation-phase";
+      title = "Phase correction on/off";
+      run = (fun scale -> Ablations.phase_correction ~scale ());
+    };
+    {
+      name = "ablation-cyclic";
+      title = "EDF threads vs compiled cyclic executive";
+      run = (fun scale -> Ablations.cyclic_executive ~scale ());
+    };
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) all
+
+let run_and_print ?(scale = Exp.scale_of_env ()) entry =
+  let t0 = Sys.time () in
+  let tables = entry.run scale in
+  List.iter Hrt_stats.Table.print tables;
+  Printf.printf "[%s completed in %.1fs CPU]\n\n%!" entry.name (Sys.time () -. t0)

@@ -1,0 +1,15 @@
+(** The catalogue of reproducible experiments. *)
+
+type entry = {
+  name : string;  (** e.g. "fig6" *)
+  title : string;
+  run : Exp.scale -> Hrt_stats.Table.t list;
+}
+
+val all : entry list
+(** Figures 3-16 then the ablations, in order. *)
+
+val find : string -> entry option
+
+val run_and_print : ?scale:Exp.scale -> entry -> unit
+(** Execute and print the entry's tables, with a wall-clock note. *)

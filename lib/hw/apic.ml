@@ -1,0 +1,110 @@
+open Hrt_engine
+
+let sched_prio = 15
+let rt_ppr = 14
+
+type pending = { prio : int; seq : int; handler : Engine.t -> unit }
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  tick_ns : int;
+  tsc_deadline : bool;
+  jitter_max_cycles : float;
+  ghz : float;
+  mutable ppr : int;
+  mutable timer_handler : Engine.t -> unit;
+  mutable timer_ev : Engine.handle option;
+  mutable timer_at : Time.ns option;
+  mutable pending : pending list; (* unsorted; flushed by priority *)
+  mutable pending_seq : int;
+}
+
+let create ~engine ~rng ~tick_ns ~tsc_deadline ~jitter_max_cycles ~ghz =
+  {
+    engine;
+    rng;
+    tick_ns;
+    tsc_deadline;
+    jitter_max_cycles;
+    ghz;
+    ppr = 0;
+    timer_handler = (fun _ -> ());
+    timer_ev = None;
+    timer_at = None;
+    pending = [];
+    pending_seq = 0;
+  }
+
+let set_timer_handler t f = t.timer_handler <- f
+
+let delivery_latency t =
+  if t.jitter_max_cycles <= 0. then 0L
+  else begin
+    let cycles = Rng.float t.rng *. t.jitter_max_cycles in
+    Time.ns_of_cycles ~ghz:t.ghz (Int64.of_float cycles)
+  end
+
+let cancel_timer t =
+  (match t.timer_ev with
+  | None -> ()
+  | Some ev -> Engine.cancel t.engine ev);
+  t.timer_ev <- None;
+  t.timer_at <- None
+
+let arm t ~at =
+  cancel_timer t;
+  let now = Engine.now t.engine in
+  let fire_at =
+    if t.tsc_deadline then Time.max at now
+    else begin
+      (* Round the countdown down to whole ticks: conservative (early). *)
+      let delta = Time.max Time.(at - now) 0L in
+      let ticks = Int64.div delta (Int64.of_int t.tick_ns) in
+      let ticks = if Int64.compare ticks 1L < 0 then 1L else ticks in
+      Time.(now + Int64.mul ticks (Int64.of_int t.tick_ns))
+    end
+  in
+  let fire_at = Time.(fire_at + delivery_latency t) in
+  t.timer_at <- Some fire_at;
+  let ev =
+    Engine.schedule t.engine ~at:fire_at (fun eng ->
+        t.timer_ev <- None;
+        t.timer_at <- None;
+        t.timer_handler eng)
+  in
+  t.timer_ev <- Some ev
+
+let timer_armed_at t = t.timer_at
+
+let ppr t = t.ppr
+
+let flush t eng =
+  let deliverable, still =
+    List.partition (fun p -> p.prio > t.ppr) t.pending
+  in
+  t.pending <- still;
+  let ordered =
+    List.sort
+      (fun a b ->
+        if a.prio <> b.prio then compare b.prio a.prio else compare a.seq b.seq)
+      deliverable
+  in
+  List.iter
+    (fun p -> ignore (Engine.schedule_after eng ~after:0L p.handler))
+    ordered
+
+let set_ppr t eng prio =
+  let old = t.ppr in
+  t.ppr <- prio;
+  if prio < old then flush t eng
+
+let deliver t eng ~prio handler =
+  if prio > t.ppr then
+    ignore (Engine.schedule_after eng ~after:(delivery_latency t) handler)
+  else begin
+    t.pending <- { prio; seq = t.pending_seq; handler } :: t.pending;
+    t.pending_seq <- t.pending_seq + 1
+  end
+
+let pending_count t = List.length t.pending

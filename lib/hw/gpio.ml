@@ -1,0 +1,54 @@
+open Hrt_engine
+
+let pins = 8
+
+type t = {
+  engine : Engine.t;
+  levels : bool array;
+  trace : Trace.t;
+  series : Trace.series array;
+}
+
+let create engine =
+  let trace = Trace.create () in
+  let series =
+    Array.init pins (fun i -> Trace.series trace (Printf.sprintf "gpio.%d" i))
+  in
+  { engine; levels = Array.make pins false; trace; series }
+
+let check_pin pin =
+  if pin < 0 || pin >= pins then invalid_arg "Gpio: pin out of range"
+
+let set t ~pin v =
+  check_pin pin;
+  if t.levels.(pin) <> v then begin
+    t.levels.(pin) <- v;
+    Trace.record t.series.(pin)
+      ~time:(Engine.now t.engine)
+      (if v then 1.0 else 0.0)
+  end
+
+let level t ~pin =
+  check_pin pin;
+  t.levels.(pin)
+
+let transitions t ~pin =
+  check_pin pin;
+  let s = t.series.(pin) in
+  let times = Trace.times s and vals = Trace.values s in
+  Array.init (Array.length times) (fun i -> (times.(i), vals.(i) > 0.5))
+
+let high_intervals t ~pin =
+  let trans = transitions t ~pin in
+  let acc = ref [] in
+  let rise = ref None in
+  Array.iter
+    (fun (tm, v) ->
+      match (v, !rise) with
+      | true, None -> rise := Some tm
+      | false, Some r ->
+        acc := (r, tm) :: !acc;
+        rise := None
+      | true, Some _ | false, None -> ())
+    trans;
+  Array.of_list (List.rev !acc)

@@ -1,0 +1,28 @@
+(** Parallel-port GPIO + "oscilloscope" capture.
+
+    The paper verifies hard real-time behaviour externally by toggling
+    parallel-port pins from inside the scheduler and watching them on a
+    scope (Section 5.2, Fig 4). We record every pin transition with its
+    simulated timestamp; the harness then computes the duty cycle and edge
+    jitter ("fuzz") that the scope photograph shows. *)
+
+open Hrt_engine
+
+type t
+
+val pins : int
+(** Number of output pins (8, as on a parallel port). *)
+
+val create : Engine.t -> t
+
+val set : t -> pin:int -> bool -> unit
+(** Drive a pin; transitions (only) are recorded with the current time. *)
+
+val level : t -> pin:int -> bool
+
+val transitions : t -> pin:int -> (Time.ns * bool) array
+(** All recorded transitions of a pin, in time order. *)
+
+val high_intervals : t -> pin:int -> (Time.ns * Time.ns) array
+(** Maximal [(rise, fall)] intervals; an unterminated final high level is
+    dropped. *)

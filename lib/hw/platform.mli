@@ -1,0 +1,72 @@
+(** Platform descriptions with calibrated cost constants.
+
+    The two presets mirror the paper's testbeds (Section 5.1):
+
+    - {!phi}: Colfax KNL Ninja — Intel Xeon Phi 7210, 64 cores x 4 hardware
+      threads = 256 CPUs at 1.3 GHz. Scheduler software overhead ~6000
+      cycles per invocation (Fig 5a), feasibility edge ~10 us (Fig 6).
+    - {!r415}: Dell R415 — dual AMD 4122, 8 CPUs at 2.2 GHz. Lower overhead,
+      feasibility edge ~4 us (Figs 5b, 7).
+
+    Costs are expressed in cycles as (mean, sigma) pairs; sampling converts
+    to nanoseconds through the platform clock. Absolute values are
+    calibrated so magnitudes land where the paper reports them; the
+    experiments only rely on their order of magnitude and relative size. *)
+
+open Hrt_engine
+
+type cost = { mean_cycles : float; sigma_cycles : float }
+
+val cost : float -> float -> cost
+(** [cost mean sigma]. *)
+
+type t = {
+  name : string;
+  ghz : float;
+  num_cpus : int;
+  cores : int;  (** physical cores; [num_cpus / cores] hardware threads each *)
+  boot_skew_ns : int;  (** max per-CPU TSC start stagger at boot *)
+  cal_error_mu : float;  (** TSC calibration residual, cycles (mean) *)
+  cal_error_sigma : float;  (** TSC calibration residual, cycles (sigma) *)
+  apic_tick_ns : int;  (** one-shot timer resolution *)
+  tsc_deadline : bool;  (** APIC supports TSC-deadline mode *)
+  ipi_latency : cost;  (** kick IPI cross-CPU latency *)
+  irq_dispatch : cost;  (** hardware + entry cost of taking an interrupt *)
+  sched_pass : cost;  (** one local-scheduler pass (the "Resched" bar) *)
+  ctx_switch : cost;  (** context-switch cost (the "Switch" bar) *)
+  sched_other : cost;  (** residual bookkeeping (the "Other" bar) *)
+  admission_cost : cost;  (** local admission control, constant (Fig 10c) *)
+  timer_program : cost;  (** programming the APIC one-shot *)
+  (* Group operation step costs (per member; simple linear schemes, §4.3). *)
+  group_join_step : cost;
+  group_elect_step : cost;
+  group_admit_step : cost;
+  phase_correct_step : cost;
+      (** per-member bookkeeping in the final barrier + phase-correction
+          step of group admission (Fig 10d) *)
+  barrier_arrive : cost;  (** lean spin-barrier per-member serialized cost *)
+  barrier_release_step : cost;  (** per-thread stagger leaving a barrier *)
+  timer_fire_jitter_max : float;
+      (** uniform [0, max] cycles of hardware timer-delivery latency *)
+  (* Memory-system costs for the BSP benchmark (§6.1). *)
+  flop_cost : cost;  (** one compute_local_element unit *)
+  remote_write : cost;  (** one write_remote_element_on *)
+  steal_check : cost;  (** one work-stealing probe *)
+}
+
+val phi : t
+val r415 : t
+
+val cycles_to_ns : t -> float -> Time.ns
+(** Convert a cycle quantity to nanoseconds on this platform's clock,
+    rounded up to at least 1 ns for positive inputs. *)
+
+val ns_to_cycles : t -> Time.ns -> float
+
+val sample : t -> Rng.t -> cost -> Time.ns
+(** Draw a cost: Gaussian (mean, sigma) truncated below at mean/4, in
+    cycles, converted to ns. Deterministic given the RNG stream. *)
+
+val sample_cycles : t -> Rng.t -> cost -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,64 @@
+open Hrt_engine
+
+type config = {
+  mean_interval : Time.ns;
+  duration_mean : Time.ns;
+  duration_jitter : float;
+}
+
+let default_config =
+  { mean_interval = Time.ms 500; duration_mean = Time.us 80; duration_jitter = 0.2 }
+
+type t = {
+  engine : Engine.t;
+  config : config;
+  rng : Rng.t;
+  mutable stopped : bool;
+  mutable count : int;
+  mutable stolen : Time.ns;
+}
+
+let draw_interval t =
+  let x = Rng.exponential t.rng ~mean:(Int64.to_float t.config.mean_interval) in
+  Int64.of_float (Float.max 1. x)
+
+let draw_duration t =
+  let mu = Int64.to_float t.config.duration_mean in
+  let sigma = mu *. t.config.duration_jitter in
+  let x = Rng.gaussian t.rng ~mu ~sigma in
+  Int64.of_float (Float.max (mu /. 4.) x)
+
+let rec fire t eng =
+  if not t.stopped then begin
+    let duration = draw_duration t in
+    t.count <- t.count + 1;
+    t.stolen <- Time.(t.stolen + duration);
+    Engine.freeze eng ~until:Time.(Engine.now eng + duration);
+    schedule_next t
+  end
+
+and schedule_next t =
+  ignore
+    (Engine.schedule_after t.engine ~after:(draw_interval t) (fun eng ->
+         fire t eng))
+
+let install engine config =
+  let t =
+    {
+      engine;
+      config;
+      rng = Rng.split (Engine.rng engine);
+      stopped = false;
+      count = 0;
+      stolen = 0L;
+    }
+  in
+  schedule_next t;
+  t
+
+let stop t = t.stopped <- true
+
+let inject eng ~duration = Engine.freeze eng ~until:Time.(Engine.now eng + duration)
+
+let count t = t.count
+let total_stolen t = t.stolen

@@ -1,0 +1,36 @@
+(** System management interrupts — "missing time" (paper Section 3.6).
+
+    When the firmware raises an SMI, {e all} CPUs stop, one executes the
+    curtained handler, and then everything resumes; kernel software only
+    observes that the cycle counter jumped forward. We model this with the
+    engine's freeze mechanism: a freeze window defers every event inside it
+    and is subtracted from thread progress accounting. *)
+
+open Hrt_engine
+
+type config = {
+  mean_interval : Time.ns;  (** exponential inter-arrival mean *)
+  duration_mean : Time.ns;
+  duration_jitter : float;  (** relative sigma of duration, e.g. 0.2 *)
+}
+
+val default_config : config
+(** Rare, modest SMIs: mean interval 500 ms, duration 80 us +- 20%. *)
+
+type t
+
+val install : Engine.t -> config -> t
+(** Start generating SMIs on the given engine (first arrival one
+    exponential draw from now). *)
+
+val stop : t -> unit
+(** No further SMIs after the current one completes. *)
+
+val inject : Engine.t -> duration:Time.ns -> unit
+(** Force one SMI right now (for tests and failure injection). *)
+
+val count : t -> int
+(** SMIs delivered so far. *)
+
+val total_stolen : t -> Time.ns
+(** Total missing time injected by this generator. *)

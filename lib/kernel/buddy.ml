@@ -1,0 +1,144 @@
+type t = {
+  total : int;
+  min_block : int;
+  levels : int;  (* level 0 = min_block, level (levels-1) = total *)
+  free_lists : (int, unit) Hashtbl.t array;  (* level -> set of offsets *)
+  allocated : (int, int) Hashtbl.t;  (* offset -> level *)
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create ~total ~min_block =
+  if not (is_pow2 total) then invalid_arg "Buddy.create: total not a power of two";
+  if not (is_pow2 min_block) then
+    invalid_arg "Buddy.create: min_block not a power of two";
+  if min_block > total then invalid_arg "Buddy.create: min_block > total";
+  let levels = log2 (total / min_block) + 1 in
+  let free_lists = Array.init levels (fun _ -> Hashtbl.create 16) in
+  Hashtbl.replace free_lists.(levels - 1) 0 ();
+  { total; min_block; levels; free_lists; allocated = Hashtbl.create 64 }
+
+let size_of_level t level = t.min_block lsl level
+
+let level_for t size =
+  let size = Stdlib.max size t.min_block in
+  let rec go level = if size_of_level t level >= size then level else go (level + 1) in
+  if size > t.total then None else Some (go 0)
+
+let pop_free t level =
+  let found = ref None in
+  (try
+     Hashtbl.iter
+       (fun off () ->
+         found := Some off;
+         raise Exit)
+       t.free_lists.(level)
+   with Exit -> ());
+  match !found with
+  | Some off ->
+    Hashtbl.remove t.free_lists.(level) off;
+    Some off
+  | None -> None
+
+let alloc t size =
+  match level_for t size with
+  | None -> None
+  | Some want ->
+    (* Find the smallest level >= want with a free block. *)
+    let rec find level =
+      if level >= t.levels then None
+      else begin
+        match pop_free t level with
+        | Some off -> Some (off, level)
+        | None -> find (level + 1)
+      end
+    in
+    (match find want with
+    | None -> None
+    | Some (off, level) ->
+      (* Split down to the wanted level, freeing the upper buddies. *)
+      let rec split off level =
+        if level = want then off
+        else begin
+          let child_level = level - 1 in
+          let buddy = off + size_of_level t child_level in
+          Hashtbl.replace t.free_lists.(child_level) buddy ();
+          split off child_level
+        end
+      in
+      let off = split off level in
+      Hashtbl.replace t.allocated off want;
+      Some off)
+
+let buddy_of t off level =
+  off lxor size_of_level t level
+
+let free t off =
+  match Hashtbl.find_opt t.allocated off with
+  | None -> invalid_arg "Buddy.free: address not allocated"
+  | Some level ->
+    Hashtbl.remove t.allocated off;
+    (* Coalesce upward while the buddy is free. *)
+    let rec coalesce off level =
+      if level >= t.levels - 1 then Hashtbl.replace t.free_lists.(level) off ()
+      else begin
+        let buddy = buddy_of t off level in
+        if Hashtbl.mem t.free_lists.(level) buddy then begin
+          Hashtbl.remove t.free_lists.(level) buddy;
+          coalesce (Stdlib.min off buddy) (level + 1)
+        end
+        else Hashtbl.replace t.free_lists.(level) off ()
+      end
+    in
+    coalesce off level
+
+let block_size t off =
+  Option.map (size_of_level t) (Hashtbl.find_opt t.allocated off)
+
+let free_bytes t =
+  let sum = ref 0 in
+  Array.iteri
+    (fun level lst -> sum := !sum + (Hashtbl.length lst * size_of_level t level))
+    t.free_lists;
+  !sum
+
+let used_bytes t = t.total - free_bytes t
+
+let largest_free_block t =
+  let best = ref 0 in
+  Array.iteri
+    (fun level lst ->
+      if Hashtbl.length lst > 0 then best := Stdlib.max !best (size_of_level t level))
+    t.free_lists;
+  !best
+
+let allocations t = Hashtbl.length t.allocated
+
+let check t =
+  (* Collect every block (free and allocated) and verify alignment,
+     disjointness, and full coverage. *)
+  let blocks = ref [] in
+  Array.iteri
+    (fun level lst ->
+      Hashtbl.iter (fun off () -> blocks := (off, size_of_level t level) :: !blocks) lst)
+    t.free_lists;
+  Hashtbl.iter
+    (fun off level -> blocks := (off, size_of_level t level) :: !blocks)
+    t.allocated;
+  let blocks = List.sort compare !blocks in
+  let rec verify expected = function
+    | [] ->
+      if expected = t.total then Ok ()
+      else Error (Printf.sprintf "coverage gap: ends at %d of %d" expected t.total)
+    | (off, size) :: rest ->
+      if off <> expected then
+        Error (Printf.sprintf "gap or overlap at %d (expected %d)" off expected)
+      else if off mod size <> 0 then
+        Error (Printf.sprintf "misaligned block at %d size %d" off size)
+      else verify (off + size) rest
+  in
+  verify 0 blocks

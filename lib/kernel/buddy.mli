@@ -1,0 +1,43 @@
+(** Buddy-system memory allocator.
+
+    Nautilus does all memory management explicitly "with buddy system
+    allocators that are selected based on the target zone" (paper
+    Section 2) — allocation cost is O(log levels) and bounded, part of the
+    predictability story that makes the kernel a usable RTOS base. This is
+    a faithful power-of-two buddy allocator over a simulated address
+    range: splitting on allocation, coalescing with the buddy on free.
+
+    Addresses are plain integers (offsets into the zone). *)
+
+type t
+
+val create : total:int -> min_block:int -> t
+(** A zone of [total] bytes with the smallest allocatable block
+    [min_block]. Both must be powers of two with
+    [min_block <= total]; raises [Invalid_argument] otherwise. *)
+
+val alloc : t -> int -> int option
+(** [alloc t size] returns the offset of a block of at least [size] bytes
+    (rounded up to a power of two, floored at [min_block]), or [None] when
+    no block fits. O(levels). *)
+
+val free : t -> int -> unit
+(** Return a block by offset, coalescing with free buddies as far as
+    possible. Raises [Invalid_argument] for an address not currently
+    allocated. *)
+
+val block_size : t -> int -> int option
+(** Size actually reserved for an allocated offset. *)
+
+val free_bytes : t -> int
+val used_bytes : t -> int
+
+val largest_free_block : t -> int
+(** 0 when full — the external-fragmentation metric. *)
+
+val allocations : t -> int
+(** Live allocation count. *)
+
+val check : t -> (unit, string) result
+(** Validate internal invariants: free lists hold disjoint, properly
+    aligned blocks; free + used = total. For tests. *)

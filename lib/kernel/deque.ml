@@ -1,0 +1,46 @@
+type 'a t = { mutable front : 'a list; mutable back : 'a list }
+(* Elements are [front @ List.rev back]. *)
+
+let create () = { front = []; back = [] }
+
+let push_front t x = t.front <- x :: t.front
+
+let push_back t x = t.back <- x :: t.back
+
+let normalize t =
+  if t.front = [] then begin
+    t.front <- List.rev t.back;
+    t.back <- []
+  end
+
+let pop_front t =
+  normalize t;
+  match t.front with
+  | [] -> None
+  | x :: rest ->
+    t.front <- rest;
+    Some x
+
+let peek_front t =
+  normalize t;
+  match t.front with [] -> None | x :: _ -> Some x
+
+let to_list t = t.front @ List.rev t.back
+
+let remove t pred =
+  let all = to_list t in
+  let rec go acc = function
+    | [] -> None
+    | x :: rest ->
+      if pred x then begin
+        t.front <- List.rev_append acc rest;
+        t.back <- [];
+        Some x
+      end
+      else go (x :: acc) rest
+  in
+  go [] all
+
+let length t = List.length t.front + List.length t.back
+let is_empty t = t.front = [] && t.back = []
+let iter t f = List.iter f (to_list t)

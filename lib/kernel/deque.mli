@@ -1,0 +1,21 @@
+(** Double-ended queue (for round-robin run queues).
+
+    A preempted-but-unexpired thread goes back to the front; a thread whose
+    quantum expired rotates to the back. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val push_front : 'a t -> 'a -> unit
+val push_back : 'a t -> 'a -> unit
+val pop_front : 'a t -> 'a option
+val peek_front : 'a t -> 'a option
+val remove : 'a t -> ('a -> bool) -> 'a option
+(** Remove the frontmost element satisfying the predicate. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val iter : 'a t -> ('a -> unit) -> unit
+(** Front to back. *)
+
+val to_list : 'a t -> 'a list

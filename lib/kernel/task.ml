@@ -1,0 +1,56 @@
+open Hrt_engine
+
+type task = {
+  declared : Time.ns option;
+  duration : Time.ns;
+  run : unit -> unit;
+  submitted : Time.ns;
+}
+
+type t = {
+  sized : task Queue.t;
+  unsized : task Queue.t;
+  mutable executed : int;
+  mutable latency_total : float;
+}
+
+let create () =
+  {
+    sized = Queue.create ();
+    unsized = Queue.create ();
+    executed = 0;
+    latency_total = 0.;
+  }
+
+let submit t ?declared ~duration ~now run =
+  let task = { declared; duration; run; submitted = now } in
+  match declared with
+  | Some _ -> Queue.add task t.sized
+  | None -> Queue.add task t.unsized
+
+let take_sized t ~fits =
+  (* Oldest-first scan; tasks too large to fit now stay queued in order. *)
+  let keep = Queue.create () in
+  let found = ref None in
+  Queue.iter
+    (fun task ->
+      match (!found, task.declared) with
+      | None, Some sz when Time.(sz <= fits) -> found := Some task
+      | _ -> Queue.add task keep)
+    t.sized;
+  Queue.clear t.sized;
+  Queue.transfer keep t.sized;
+  !found
+
+let take_unsized t = Queue.take_opt t.unsized
+
+let sized_pending t = Queue.length t.sized
+let unsized_pending t = Queue.length t.unsized
+let executed t = t.executed
+
+let complete t task ~now =
+  t.executed <- t.executed + 1;
+  t.latency_total <- t.latency_total +. Int64.to_float Time.(now - task.submitted)
+
+let mean_latency t =
+  if t.executed = 0 then 0. else t.latency_total /. float_of_int t.executed

@@ -1,0 +1,45 @@
+(** Lightweight tasks (paper Section 3.1).
+
+    Tasks are queued callbacks, cheaper than threads, similar to softIRQs /
+    DPCs with one crucial difference: a task may carry a {e size} tag
+    declaring its worst-case execution time. The scheduler may execute a
+    size-tagged task directly when there is room before the next real-time
+    arrival; untagged tasks must go through a helper thread. Either way,
+    tasks can never delay periodic or sporadic threads.
+
+    Each task also carries its {e actual} duration (how long it really
+    takes), which the simulator charges as busy time; a well-behaved task
+    has [duration <= declared size]. *)
+
+open Hrt_engine
+
+type task = {
+  declared : Time.ns option;  (** size tag, if any *)
+  duration : Time.ns;  (** actual execution time *)
+  run : unit -> unit;
+  submitted : Time.ns;
+}
+
+type t
+
+val create : unit -> t
+
+val submit :
+  t -> ?declared:Time.ns -> duration:Time.ns -> now:Time.ns -> (unit -> unit) -> unit
+
+val take_sized : t -> fits:Time.ns -> task option
+(** Oldest size-tagged task whose declared size is at most [fits]. *)
+
+val take_unsized : t -> task option
+(** Oldest untagged task (helper-thread work). *)
+
+val sized_pending : t -> int
+val unsized_pending : t -> int
+
+val executed : t -> int
+
+val complete : t -> task -> now:Time.ns -> unit
+(** Record completion; accumulates queueing+execution latency. *)
+
+val mean_latency : t -> float
+(** Mean submit-to-complete latency (ns) of completed tasks; 0 if none. *)

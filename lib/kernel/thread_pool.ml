@@ -1,0 +1,44 @@
+type t = {
+  capacity : int;
+  mutable next_fresh : int;
+  mutable free_list : int list;
+  used : bool array;
+  mutable in_use : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Thread_pool.create";
+  {
+    capacity;
+    next_fresh = 0;
+    free_list = [];
+    used = Array.make capacity false;
+    in_use = 0;
+  }
+
+let alloc t =
+  match t.free_list with
+  | id :: rest ->
+    t.free_list <- rest;
+    t.used.(id) <- true;
+    t.in_use <- t.in_use + 1;
+    Some id
+  | [] ->
+    if t.next_fresh >= t.capacity then None
+    else begin
+      let id = t.next_fresh in
+      t.next_fresh <- t.next_fresh + 1;
+      t.used.(id) <- true;
+      t.in_use <- t.in_use + 1;
+      Some id
+    end
+
+let free t id =
+  if id < 0 || id >= t.capacity || not t.used.(id) then
+    invalid_arg "Thread_pool.free: slot not in use";
+  t.used.(id) <- false;
+  t.free_list <- id :: t.free_list;
+  t.in_use <- t.in_use - 1
+
+let in_use t = t.in_use
+let capacity t = t.capacity

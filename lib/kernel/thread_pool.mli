@@ -1,0 +1,22 @@
+(** Fixed-capacity thread-slot pool.
+
+    The paper fixes the maximum number of threads at compile time so every
+    scheduler structure is fixed-size and every scheduler pass has bounded
+    cost (Section 3.3). This pool models that: slot ids are recycled
+    (reaping/reanimation) and allocation fails when the machine-wide limit
+    is reached. *)
+
+type t
+
+val create : capacity:int -> t
+(** Requires [capacity > 0]. *)
+
+val alloc : t -> int option
+(** A free slot id, or [None] when the pool is exhausted. Recycled slots are
+    reused before fresh ones (LIFO, like a thread pool keeping hot state). *)
+
+val free : t -> int -> unit
+(** Return a slot. Raises [Invalid_argument] if the slot is not in use. *)
+
+val in_use : t -> int
+val capacity : t -> int

@@ -1,0 +1,27 @@
+type 'a t = { q : 'a Queue.t }
+
+let create () = { q = Queue.create () }
+
+let enqueue t x = Queue.add x t.q
+
+let wake_one t = Queue.take_opt t.q
+
+let wake_all t =
+  let xs = List.of_seq (Queue.to_seq t.q) in
+  Queue.clear t.q;
+  xs
+
+let remove t pred =
+  let found = ref None in
+  let keep = Queue.create () in
+  Queue.iter
+    (fun x ->
+      if !found = None && pred x then found := Some x else Queue.add x keep)
+    t.q;
+  Queue.clear t.q;
+  Queue.transfer keep t.q;
+  !found
+
+let length t = Queue.length t.q
+let is_empty t = Queue.is_empty t.q
+let iter t f = Queue.iter f t.q

@@ -1,0 +1,22 @@
+(** FIFO wait queues.
+
+    The kernel parks blocked threads here; wake order is arrival order,
+    which keeps the simulation deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val enqueue : 'a t -> 'a -> unit
+
+val wake_one : 'a t -> 'a option
+(** Remove and return the oldest waiter. *)
+
+val wake_all : 'a t -> 'a list
+(** Remove and return every waiter, oldest first. *)
+
+val remove : 'a t -> ('a -> bool) -> 'a option
+(** Remove the oldest waiter satisfying the predicate. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val iter : 'a t -> ('a -> unit) -> unit

@@ -1,0 +1,19 @@
+open Hrt_engine
+
+let pick_victim rng ~self ~n ~load =
+  if n < 2 then None
+  else begin
+    let pick () =
+      let rec go () =
+        let c = Rng.int rng n in
+        if c = self then go () else c
+      in
+      go ()
+    in
+    let a = pick () in
+    let b = pick () in
+    let la = load a and lb = load b in
+    if la <= 0 && lb <= 0 then None
+    else if la >= lb then Some a
+    else Some b
+  end

@@ -1,0 +1,13 @@
+(** Work-stealing victim selection.
+
+    The idle thread's work stealer uses power-of-two-random-choices victim
+    selection (paper Section 3.4, citing Mitzenmacher) to avoid global
+    coordination: probe two random other CPUs and steal from the more
+    loaded one, only if it actually has stealable work. *)
+
+open Hrt_engine
+
+val pick_victim : Rng.t -> self:int -> n:int -> load:(int -> int) -> int option
+(** [pick_victim rng ~self ~n ~load] probes two distinct CPUs other than
+    [self] among [0..n-1] and returns the one with the larger positive
+    [load], or [None] when both are empty (or [n < 2]). *)

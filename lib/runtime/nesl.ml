@@ -1,0 +1,93 @@
+open Hrt_hw
+
+type 'a seg_vec = {
+  data : 'a array;
+  offsets : int array; (* segments+1 entries; segment s = [offsets.(s), offsets.(s+1)) *)
+}
+
+let of_arrays arrays =
+  let n = Array.fold_left (fun acc a -> acc + Array.length a) 0 arrays in
+  let offsets = Array.make (Array.length arrays + 1) 0 in
+  Array.iteri
+    (fun i a -> offsets.(i + 1) <- offsets.(i) + Array.length a)
+    arrays;
+  if n = 0 then { data = [||]; offsets }
+  else begin
+    let first =
+      let rec find i =
+        if Array.length arrays.(i) > 0 then arrays.(i).(0) else find (i + 1)
+      in
+      find 0
+    in
+    let data = Array.make n first in
+    Array.iteri
+      (fun i a -> Array.blit a 0 data offsets.(i) (Array.length a))
+      arrays;
+    { data; offsets }
+  end
+
+let segments t = Array.length t.offsets - 1
+let total_length t = Array.length t.data
+
+let segment_lengths t =
+  Array.init (segments t) (fun s -> t.offsets.(s + 1) - t.offsets.(s))
+
+let to_arrays t =
+  Array.init (segments t) (fun s ->
+      Array.sub t.data t.offsets.(s) (t.offsets.(s + 1) - t.offsets.(s)))
+
+let flat t = Array.copy t.data
+
+type ctx = { team : Omp.team; sync : [ `Barrier | `Timed ] }
+
+let ctx team ~sync = { team; sync }
+
+(* The functional result is computed exactly; the simulated execution time
+   is charged by flat loops over the same index space (the flattening
+   transform's cost), with the loop bodies intentionally pure no-ops. *)
+let charge ctx ~iterations ~cost =
+  if iterations > 0 then
+    Omp.parallel_for ctx.team ~sync:ctx.sync ~iterations
+      ~cost_per_iteration:cost ignore
+
+let mean_segment_cost t (c : Platform.cost) =
+  let segs = Stdlib.max 1 (segments t) in
+  let mean_len = float_of_int (total_length t) /. float_of_int segs in
+  Platform.cost
+    (c.Platform.mean_cycles *. mean_len)
+    (c.Platform.sigma_cycles *. sqrt (Float.max 1. mean_len))
+
+let map ctx ~cost_per_element f t =
+  charge ctx ~iterations:(total_length t) ~cost:cost_per_element;
+  { data = Array.map f t.data; offsets = Array.copy t.offsets }
+
+let reduce ctx ~cost_per_element ~zero ~combine ~of_elt t =
+  (* One flattened loop per segment; per-iteration cost approximates the
+     segment's length by the mean (ragged exactness is not needed for the
+     timing model). *)
+  charge ctx ~iterations:(segments t) ~cost:(mean_segment_cost t cost_per_element);
+  Array.init (segments t) (fun s ->
+      let acc = ref zero in
+      for i = t.offsets.(s) to t.offsets.(s + 1) - 1 do
+        acc := combine !acc (of_elt t.data.(i))
+      done;
+      !acc)
+
+let scan ctx ~cost_per_element ~zero ~combine ~of_elt t =
+  charge ctx ~iterations:(segments t) ~cost:(mean_segment_cost t cost_per_element);
+  let out = Array.make (total_length t) zero in
+  for s = 0 to segments t - 1 do
+    let acc = ref zero in
+    for i = t.offsets.(s) to t.offsets.(s + 1) - 1 do
+      out.(i) <- !acc;
+      acc := combine !acc (of_elt t.data.(i))
+    done
+  done;
+  { data = out; offsets = Array.copy t.offsets }
+
+let pack ctx ~cost_per_element pred t =
+  charge ctx ~iterations:(total_length t) ~cost:cost_per_element;
+  let kept = Array.map (fun a -> Array.of_list (List.filter pred (Array.to_list a))) (to_arrays t) in
+  of_arrays kept
+
+let run ctx = Omp.run_to_completion ctx.team

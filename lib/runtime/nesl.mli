@@ -1,0 +1,69 @@
+(** Nested data parallelism on a team — a NESL-style core.
+
+    Nautilus's flagship ported run-times include NESL and NDPC (paper
+    Section 2), and the future work adds barrier removal to them
+    (Section 8). This module gives the essential NESL surface: {e segmented
+    vectors} (a ragged nested vector represented flat, plus a segment
+    descriptor) and the data-parallel operations over them, compiled to
+    flat [parallel_for] loops over the underlying team — the classic
+    flattening transform. Under a hard real-time team the loops can run
+    with [`Timed] synchronization, i.e. barrier-free.
+
+    Costs: each operation takes a per-element cost model, so the simulated
+    time of a NESL program reflects its work; the visible effects are
+    computed exactly. *)
+
+open Hrt_hw
+
+type 'a seg_vec
+(** A nested vector [[v_0; v_1; ...]] stored flat. *)
+
+val of_arrays : 'a array array -> 'a seg_vec
+(** Build from a ragged array-of-arrays. *)
+
+val to_arrays : 'a seg_vec -> 'a array array
+val flat : 'a seg_vec -> 'a array
+(** The underlying flat data, segment by segment. *)
+
+val segments : 'a seg_vec -> int
+val total_length : 'a seg_vec -> int
+val segment_lengths : 'a seg_vec -> int array
+
+type ctx
+(** Execution context: a team plus the loop-synchronization policy. *)
+
+val ctx : Omp.team -> sync:[ `Barrier | `Timed ] -> ctx
+
+val map :
+  ctx -> cost_per_element:Platform.cost -> ('a -> 'b) -> 'a seg_vec -> 'b seg_vec
+(** Elementwise apply, preserving segmentation: one flat parallel loop. *)
+
+val reduce :
+  ctx ->
+  cost_per_element:Platform.cost ->
+  zero:'b ->
+  combine:('b -> 'b -> 'b) ->
+  of_elt:('a -> 'b) ->
+  'a seg_vec ->
+  'b array
+(** Per-segment reduction ("apply-to-each of sum"): a parallel loop over
+    segments, each iteration's cost proportional to its segment length
+    (the flattened nested loop). *)
+
+val scan :
+  ctx ->
+  cost_per_element:Platform.cost ->
+  zero:'b ->
+  combine:('b -> 'b -> 'b) ->
+  of_elt:('a -> 'b) ->
+  'a seg_vec ->
+  'b seg_vec
+(** Per-segment exclusive prefix scan. *)
+
+val pack :
+  ctx -> cost_per_element:Platform.cost -> ('a -> bool) -> 'a seg_vec -> 'a seg_vec
+(** Per-segment filter, preserving segment structure (segments shrink). *)
+
+val run : ctx -> unit
+(** Drive the simulation until every operation issued on this context has
+    completed (operations are lazy until run). *)

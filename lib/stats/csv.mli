@@ -1,0 +1,10 @@
+(** Minimal CSV writing for exporting experiment series. *)
+
+val escape : string -> string
+(** RFC-4180 quoting when the field contains a comma, quote, or newline. *)
+
+val line : string list -> string
+(** One CSV record (no trailing newline). *)
+
+val write : path:string -> header:string list -> string list list -> unit
+(** Write a whole file: header then rows. *)

@@ -1,0 +1,65 @@
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable under : int;
+  mutable over : int;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if not (lo < hi) then invalid_arg "Histogram.create: lo >= hi";
+  if bins <= 0 then invalid_arg "Histogram.create: bins <= 0";
+  { lo; hi; counts = Array.make bins 0; under = 0; over = 0; total = 0 }
+
+let add t x =
+  t.total <- t.total + 1;
+  if x < t.lo then t.under <- t.under + 1
+  else if x >= t.hi then t.over <- t.over + 1
+  else begin
+    let nbins = Array.length t.counts in
+    let idx =
+      int_of_float (float_of_int nbins *. (x -. t.lo) /. (t.hi -. t.lo))
+    in
+    let idx = if idx >= nbins then nbins - 1 else idx in
+    t.counts.(idx) <- t.counts.(idx) + 1
+  end
+
+let count t = t.total
+let bins t = Array.length t.counts
+let bin_count t i = t.counts.(i)
+
+let bin_width t = (t.hi -. t.lo) /. float_of_int (Array.length t.counts)
+let bin_lo t i = t.lo +. (float_of_int i *. bin_width t)
+let bin_hi t i = t.lo +. (float_of_int (i + 1) *. bin_width t)
+
+let underflow t = t.under
+let overflow t = t.over
+
+let max_bin t =
+  let best = ref 0 in
+  for i = 1 to Array.length t.counts - 1 do
+    if t.counts.(i) > t.counts.(!best) then best := i
+  done;
+  !best
+
+let of_array ~lo ~hi ~bins xs =
+  let t = create ~lo ~hi ~bins in
+  Array.iter (add t) xs;
+  t
+
+let render ?(width = 50) t =
+  let buf = Buffer.create 256 in
+  let peak = Stdlib.max 1 (t.counts.(max_bin t)) in
+  for i = 0 to bins t - 1 do
+    let c = t.counts.(i) in
+    let bar = c * width / peak in
+    Buffer.add_string buf
+      (Printf.sprintf "[%10.1f, %10.1f) %6d %s\n" (bin_lo t i) (bin_hi t i) c
+         (String.make bar '#'))
+  done;
+  if t.under > 0 then
+    Buffer.add_string buf (Printf.sprintf "underflow %d\n" t.under);
+  if t.over > 0 then
+    Buffer.add_string buf (Printf.sprintf "overflow %d\n" t.over);
+  Buffer.contents buf

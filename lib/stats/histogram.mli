@@ -1,0 +1,28 @@
+(** Fixed-bin histograms, as used for the cycle-offset figure (Fig 3). *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** [create ~lo ~hi ~bins] covers [\[lo, hi)] with [bins] equal bins.
+    Requires [lo < hi] and [bins > 0]. *)
+
+val add : t -> float -> unit
+(** Samples outside [\[lo, hi)] are counted in underflow/overflow. *)
+
+val count : t -> int
+(** Total samples, including under/overflow. *)
+
+val bin_count : t -> int -> int
+val bin_lo : t -> int -> float
+val bin_hi : t -> int -> float
+val bins : t -> int
+val underflow : t -> int
+val overflow : t -> int
+
+val max_bin : t -> int
+(** Index of the fullest bin (ties: lowest index). *)
+
+val of_array : lo:float -> hi:float -> bins:int -> float array -> t
+
+val render : ?width:int -> t -> string
+(** ASCII bar rendering, one line per bin: "[lo, hi) count ####". *)

@@ -1,0 +1,47 @@
+type t = {
+  mutable data : float array;
+  mutable len : int;
+  mutable sorted : bool;
+}
+
+let create () = { data = Array.make 64 0.; len = 0; sorted = true }
+
+let add t x =
+  if t.len = Array.length t.data then begin
+    let ndata = Array.make (t.len * 2) 0. in
+    Array.blit t.data 0 ndata 0 t.len;
+    t.data <- ndata
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1;
+  t.sorted <- false
+
+let count t = t.len
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let sub = Array.sub t.data 0 t.len in
+    Array.sort compare sub;
+    Array.blit sub 0 t.data 0 t.len;
+    t.sorted <- true
+  end
+
+let value t p =
+  if t.len = 0 then invalid_arg "Percentile.value: empty";
+  if p < 0. || p > 100. then invalid_arg "Percentile.value: p out of range";
+  ensure_sorted t;
+  let rank = p /. 100. *. float_of_int (t.len - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = int_of_float (ceil rank) in
+  if lo = hi then t.data.(lo)
+  else begin
+    let frac = rank -. float_of_int lo in
+    t.data.(lo) +. (frac *. (t.data.(hi) -. t.data.(lo)))
+  end
+
+let median t = value t 50.
+
+let of_array xs =
+  let t = create () in
+  Array.iter (add t) xs;
+  t

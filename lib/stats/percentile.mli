@@ -1,0 +1,15 @@
+(** Exact percentiles over stored samples. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+
+val value : t -> float -> float
+(** [value t p] is the [p]-th percentile (0. <= p <= 100.), linear
+    interpolation between closest ranks. Raises [Invalid_argument] when
+    empty or [p] out of range. *)
+
+val median : t -> float
+val of_array : float array -> t

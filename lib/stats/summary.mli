@@ -1,0 +1,35 @@
+(** Streaming summary statistics (Welford's online algorithm).
+
+    Numerically stable mean/variance plus min/max over a stream of samples,
+    without storing them. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val add_int64 : t -> int64 -> unit
+
+val count : t -> int
+val mean : t -> float
+(** 0.0 when empty. *)
+
+val variance : t -> float
+(** Sample variance (n-1 denominator); 0.0 with fewer than two samples. *)
+
+val stddev : t -> float
+
+val min : t -> float
+(** [infinity] when empty. *)
+
+val max : t -> float
+(** [neg_infinity] when empty. *)
+
+val total : t -> float
+
+val merge : t -> t -> t
+(** Combine two summaries as if their streams were concatenated. *)
+
+val of_array : float array -> t
+
+val pp : Format.formatter -> t -> unit
+(** "mean=… std=… min=… max=… n=…" *)

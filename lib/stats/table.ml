@@ -1,0 +1,79 @@
+type align = Left | Right
+
+type t = {
+  title : string;
+  columns : (string * align) list;
+  mutable body : string list list; (* reverse order *)
+  mutable nrows : int;
+}
+
+let create ~title ~columns = { title; columns; body = []; nrows = 0 }
+
+let row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Table.row: %d cells for %d columns (table %S)"
+         (List.length cells) (List.length t.columns) t.title);
+  t.body <- cells :: t.body;
+  t.nrows <- t.nrows + 1
+
+let rowf t fmt =
+  Printf.ksprintf (fun s -> row t (String.split_on_char '\t' s)) fmt
+
+let rows t = t.nrows
+let title t = t.title
+let headers t = List.map fst t.columns
+let to_rows t = List.rev t.body
+
+let render t =
+  let headers = List.map fst t.columns in
+  let body = List.rev t.body in
+  let ncols = List.length headers in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri
+      (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c)
+      cells
+  in
+  measure headers;
+  List.iter measure body;
+  let pad align w s =
+    let fill = String.make (w - String.length s) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let aligns = List.map snd t.columns in
+  let render_row ?(as_header = false) cells =
+    let padded =
+      List.mapi
+        (fun i c ->
+          let a = if as_header then Left else List.nth aligns i in
+          pad a widths.(i) c)
+        cells
+    in
+    "| " ^ String.concat " | " padded ^ " |"
+  in
+  let sep =
+    "+"
+    ^ String.concat "+"
+        (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "+"
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buf (sep ^ "\n");
+  Buffer.add_string buf (render_row ~as_header:true headers ^ "\n");
+  Buffer.add_string buf (sep ^ "\n");
+  List.iter (fun cells -> Buffer.add_string buf (render_row cells ^ "\n")) body;
+  Buffer.add_string buf (sep ^ "\n");
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let cell_f x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.6g" x
+
+let cell_pct x = Printf.sprintf "%.1f%%" x

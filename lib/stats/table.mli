@@ -1,0 +1,37 @@
+(** ASCII table rendering for experiment output.
+
+    Every figure/table the benchmark harness regenerates is printed through
+    this module so the output has one consistent look. *)
+
+type align = Left | Right
+
+type t
+
+val create : title:string -> columns:(string * align) list -> t
+(** A table with a caption and named columns. *)
+
+val row : t -> string list -> unit
+(** Append a row. Raises [Invalid_argument] on column-count mismatch. *)
+
+val rowf : t -> ('a, unit, string, unit) format4 -> 'a
+(** [rowf t fmt ...] formats a single-cell-per-'\t' row: the formatted string
+    is split on tab characters into cells. *)
+
+val rows : t -> int
+
+val title : t -> string
+val headers : t -> string list
+val to_rows : t -> string list list
+(** Body rows in insertion order (for CSV export). *)
+
+val render : t -> string
+(** Boxed ASCII rendering with column widths fitted to content. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line. *)
+
+val cell_f : float -> string
+(** Canonical float cell: 6 significant digits, no trailing noise. *)
+
+val cell_pct : float -> string
+(** Percentage with one decimal, e.g. "42.5%". *)

@@ -1,0 +1,15 @@
+(* Tiny helpers shared across test files. *)
+
+open Hrt_engine
+open Hrt_core
+
+let periodic sys ~cpu ~period ~slice =
+  Scheduler.spawn sys ~cpu ~bound:true
+    (Program.seq
+       [
+         Program.of_steps
+           (Scheduler.admission_ops sys
+              (Constraints.periodic ~period ~slice ())
+              ~on_result:(fun _ -> ()));
+         Program.compute_forever (Time.sec 3600);
+       ])

@@ -1,0 +1,103 @@
+open Hrt_engine
+open Hrt_bsp
+
+let small ?(barrier = true) ?(iters = 60) () =
+  { (Bsp.fine_grain ~cpus:8 ~barrier) with Bsp.iters }
+
+let test_completes_all_iterations () =
+  let p = small () in
+  let r = Bsp.run p Bsp.Aperiodic in
+  Alcotest.(check int) "iterations" (8 * 60) r.Bsp.iterations_done;
+  Alcotest.(check bool) "nonzero exec" true Time.(r.Bsp.exec_time > 0L);
+  Alcotest.(check bool) "aperiodic admits trivially" true r.Bsp.admitted
+
+let test_rt_admitted_and_completes () =
+  let p = small () in
+  let r =
+    Bsp.run p
+      (Bsp.Rt { period = Time.us 100; slice = Time.us 80; phase_correction = true })
+  in
+  Alcotest.(check bool) "admitted" true r.Bsp.admitted;
+  Alcotest.(check int) "iterations" (8 * 60) r.Bsp.iterations_done
+
+let test_throttling_monotone () =
+  let p = small ~barrier:false () in
+  let time u =
+    let period = Time.us 100 in
+    let slice = Int64.of_float (Int64.to_float period *. u) in
+    let r = Bsp.run p (Bsp.Rt { period; slice; phase_correction = true }) in
+    Time.to_float_ms r.Bsp.exec_time
+  in
+  let t30 = time 0.3 and t60 = time 0.6 and t90 = time 0.9 in
+  Alcotest.(check bool) "30% slower than 60%" true (t30 > t60 *. 1.3);
+  Alcotest.(check bool) "60% slower than 90%" true (t60 > t90 *. 1.2)
+
+let test_barrier_removal_gains () =
+  let rt = Bsp.Rt { period = Time.us 100; slice = Time.us 90; phase_correction = true } in
+  let wb = Bsp.run (small ~barrier:true ()) rt in
+  let nb = Bsp.run (small ~barrier:false ()) rt in
+  Alcotest.(check bool) "no-barrier faster" true
+    Time.(nb.Bsp.exec_time < wb.Bsp.exec_time)
+
+let test_checksum_deterministic () =
+  let p = small () in
+  let a = Bsp.run ~seed:5L p Bsp.Aperiodic in
+  let b = Bsp.run ~seed:5L p Bsp.Aperiodic in
+  Alcotest.(check (float 0.)) "same seed same checksum" a.Bsp.checksum b.Bsp.checksum;
+  Alcotest.(check int64) "same exec time" a.Bsp.exec_time b.Bsp.exec_time
+
+let test_work_per_iteration_model () =
+  let plat = Hrt_hw.Platform.phi in
+  let fine = Bsp.work_per_iteration plat (Bsp.fine_grain ~cpus:8 ~barrier:true) in
+  let coarse = Bsp.work_per_iteration plat (Bsp.coarse_grain ~cpus:8 ~barrier:true) in
+  Alcotest.(check bool) "fine is microseconds" true
+    Time.(fine > Time.us 2 && fine < Time.us 50);
+  Alcotest.(check bool) "coarse is ~50x fine" true
+    (Int64.to_float coarse /. Int64.to_float fine > 20.)
+
+let test_invalid_params () =
+  Alcotest.check_raises "cpus < 1" (Invalid_argument "Bsp.run: cpus < 1")
+    (fun () -> ignore (Bsp.run { (small ()) with Bsp.cpus = 0 } Bsp.Aperiodic))
+
+let test_exec_time_scales_with_iters () =
+  let t iters =
+    let r = Bsp.run (small ~barrier:false ~iters ()) Bsp.Aperiodic in
+    Time.to_float_ms r.Bsp.exec_time
+  in
+  let t1 = t 40 and t2 = t 120 in
+  Alcotest.(check bool) "3x iterations ~ 3x time" true
+    (t2 /. t1 > 2.5 && t2 /. t1 < 3.5)
+
+let test_exec_times_util_constant () =
+  (* The Fig 13 invariant at test scale: exec_time * utilization is the
+     same across utilizations (coarse grain, where barriers are cheap
+     relative to work). *)
+  let p = { (Bsp.coarse_grain ~cpus:8 ~barrier:true) with Bsp.iters = 20 } in
+  let products =
+    List.map
+      (fun u ->
+        let period = Time.us 500 in
+        let slice = Int64.of_float (Int64.to_float period *. u) in
+        let r = Bsp.run p (Bsp.Rt { period; slice; phase_correction = true }) in
+        Time.to_float_ms r.Bsp.exec_time *. u)
+      [ 0.3; 0.5; 0.7; 0.9 ]
+  in
+  let mn = List.fold_left min (List.hd products) products in
+  let mx = List.fold_left max (List.hd products) products in
+  Alcotest.(check bool)
+    (Printf.sprintf "exec*util constant within 15%% (%.1f..%.1f)" mn mx)
+    true
+    (mx /. mn < 1.15)
+
+let suite =
+  [
+    Alcotest.test_case "completes all iterations" `Quick test_completes_all_iterations;
+    Alcotest.test_case "rt mode admitted and completes" `Quick test_rt_admitted_and_completes;
+    Alcotest.test_case "throttling monotone in utilization" `Quick test_throttling_monotone;
+    Alcotest.test_case "barrier removal gains" `Quick test_barrier_removal_gains;
+    Alcotest.test_case "checksum deterministic" `Quick test_checksum_deterministic;
+    Alcotest.test_case "work/iteration model" `Quick test_work_per_iteration_model;
+    Alcotest.test_case "invalid params" `Quick test_invalid_params;
+    Alcotest.test_case "exec time scales with iterations" `Quick test_exec_time_scales_with_iters;
+    Alcotest.test_case "exec*util constant (Fig 13 invariant)" `Slow test_exec_times_util_constant;
+  ]

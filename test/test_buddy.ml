@@ -1,0 +1,116 @@
+open Hrt_kernel
+
+let test_create_validation () =
+  Alcotest.check_raises "total pow2"
+    (Invalid_argument "Buddy.create: total not a power of two") (fun () ->
+      ignore (Buddy.create ~total:1000 ~min_block:64));
+  Alcotest.check_raises "min pow2"
+    (Invalid_argument "Buddy.create: min_block not a power of two") (fun () ->
+      ignore (Buddy.create ~total:1024 ~min_block:100));
+  Alcotest.check_raises "min <= total"
+    (Invalid_argument "Buddy.create: min_block > total") (fun () ->
+      ignore (Buddy.create ~total:64 ~min_block:128))
+
+let test_basic_alloc_free () =
+  let b = Buddy.create ~total:1024 ~min_block:64 in
+  Alcotest.(check int) "starts empty" 1024 (Buddy.free_bytes b);
+  let a = Option.get (Buddy.alloc b 100) in
+  Alcotest.(check (option int)) "rounded to 128" (Some 128) (Buddy.block_size b a);
+  Alcotest.(check int) "used" 128 (Buddy.used_bytes b);
+  Buddy.free b a;
+  Alcotest.(check int) "all back" 1024 (Buddy.free_bytes b);
+  Alcotest.(check int) "fully coalesced" 1024 (Buddy.largest_free_block b)
+
+let test_min_block_floor () =
+  let b = Buddy.create ~total:1024 ~min_block:64 in
+  let a = Option.get (Buddy.alloc b 1) in
+  Alcotest.(check (option int)) "floored at min block" (Some 64)
+    (Buddy.block_size b a)
+
+let test_exhaustion () =
+  let b = Buddy.create ~total:256 ~min_block:64 in
+  let blocks = List.init 4 (fun _ -> Option.get (Buddy.alloc b 64)) in
+  Alcotest.(check bool) "full" true (Buddy.alloc b 64 = None);
+  Alcotest.(check int) "four live" 4 (Buddy.allocations b);
+  List.iter (Buddy.free b) blocks;
+  Alcotest.(check bool) "usable again" true (Buddy.alloc b 256 <> None)
+
+let test_oversized () =
+  let b = Buddy.create ~total:256 ~min_block:64 in
+  Alcotest.(check bool) "too big" true (Buddy.alloc b 512 = None)
+
+let test_split_and_coalesce () =
+  let b = Buddy.create ~total:1024 ~min_block:64 in
+  let big = Option.get (Buddy.alloc b 512) in
+  let small = Option.get (Buddy.alloc b 64) in
+  (* 512 + 64 used; the largest free block is 256. *)
+  Alcotest.(check int) "fragmented" 256 (Buddy.largest_free_block b);
+  Buddy.free b big;
+  Alcotest.(check int) "big side coalesced" 512 (Buddy.largest_free_block b);
+  Buddy.free b small;
+  Alcotest.(check int) "whole zone back" 1024 (Buddy.largest_free_block b);
+  Alcotest.(check bool) "invariants" true (Buddy.check b = Ok ())
+
+let test_double_free () =
+  let b = Buddy.create ~total:256 ~min_block:64 in
+  let a = Option.get (Buddy.alloc b 64) in
+  Buddy.free b a;
+  Alcotest.check_raises "double free"
+    (Invalid_argument "Buddy.free: address not allocated") (fun () ->
+      Buddy.free b a)
+
+let test_no_overlap () =
+  let b = Buddy.create ~total:4096 ~min_block:64 in
+  let blocks = ref [] in
+  let rec grab () =
+    match Buddy.alloc b 64 with
+    | Some off ->
+      blocks := off :: !blocks;
+      grab ()
+    | None -> ()
+  in
+  grab ();
+  let sorted = List.sort compare !blocks in
+  Alcotest.(check int) "64 blocks" 64 (List.length sorted);
+  List.iteri (fun i off -> Alcotest.(check int) "contiguous" (i * 64) off) sorted
+
+let prop_buddy_model =
+  QCheck.Test.make ~name:"buddy invariants under random workloads" ~count:100
+    QCheck.(list (pair bool (int_range 1 600)))
+    (fun ops ->
+      let b = Buddy.create ~total:4096 ~min_block:64 in
+      let live = ref [] in
+      List.iter
+        (fun (do_alloc, size) ->
+          if do_alloc then begin
+            match Buddy.alloc b size with
+            | Some off -> live := off :: !live
+            | None -> ()
+          end
+          else begin
+            match !live with
+            | off :: rest ->
+              Buddy.free b off;
+              live := rest
+            | [] -> ()
+          end)
+        ops;
+      match Buddy.check b with
+      | Ok () ->
+        (* Free everything: the zone must fully coalesce. *)
+        List.iter (Buddy.free b) !live;
+        Buddy.largest_free_block b = 4096 && Buddy.check b = Ok ()
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "create validation" `Quick test_create_validation;
+    Alcotest.test_case "alloc/free round trip" `Quick test_basic_alloc_free;
+    Alcotest.test_case "min block floor" `Quick test_min_block_floor;
+    Alcotest.test_case "exhaustion and reuse" `Quick test_exhaustion;
+    Alcotest.test_case "oversized request" `Quick test_oversized;
+    Alcotest.test_case "split and coalesce" `Quick test_split_and_coalesce;
+    Alcotest.test_case "double free rejected" `Quick test_double_free;
+    Alcotest.test_case "allocations never overlap" `Quick test_no_overlap;
+    QCheck_alcotest.to_alcotest prop_buddy_model;
+  ]

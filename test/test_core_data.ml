@@ -1,0 +1,405 @@
+open Hrt_engine
+open Hrt_core
+
+(* ---- Constraints ---- *)
+
+let test_constructors () =
+  (match Constraints.aperiodic ~prio:3 () with
+  | Constraints.Aperiodic { prio } -> Alcotest.(check int) "prio" 3 prio
+  | _ -> Alcotest.fail "aperiodic");
+  (match Constraints.periodic ~phase:1L ~period:10L ~slice:5L () with
+  | Constraints.Periodic { phase; period; slice } ->
+    Alcotest.(check int64) "phase" 1L phase;
+    Alcotest.(check int64) "period" 10L period;
+    Alcotest.(check int64) "slice" 5L slice
+  | _ -> Alcotest.fail "periodic")
+
+let test_is_realtime () =
+  Alcotest.(check bool) "aperiodic" false
+    (Constraints.is_realtime (Constraints.aperiodic ()));
+  Alcotest.(check bool) "periodic" true
+    (Constraints.is_realtime (Constraints.periodic ~period:10L ~slice:1L ()));
+  Alcotest.(check bool) "sporadic" true
+    (Constraints.is_realtime (Constraints.sporadic ~size:1L ~deadline:10L ()))
+
+let test_utilization () =
+  Alcotest.(check (float 1e-9)) "periodic" 0.25
+    (Constraints.utilization (Constraints.periodic ~period:100L ~slice:25L ()));
+  Alcotest.(check (float 1e-9)) "aperiodic" 0.
+    (Constraints.utilization (Constraints.aperiodic ()))
+
+let test_with_phase () =
+  let c = Constraints.periodic ~phase:5L ~period:10L ~slice:2L () in
+  (match Constraints.with_phase c 7L with
+  | Constraints.Periodic { phase; _ } -> Alcotest.(check int64) "new phase" 7L phase
+  | _ -> Alcotest.fail "kind preserved");
+  let a = Constraints.aperiodic () in
+  Alcotest.(check bool) "aperiodic unchanged" true (Constraints.with_phase a 7L = a)
+
+let test_validate () =
+  let ok c = Alcotest.(check bool) "valid" true (Result.is_ok (Constraints.validate c)) in
+  let bad c = Alcotest.(check bool) "invalid" true (Result.is_error (Constraints.validate c)) in
+  ok (Constraints.periodic ~period:10L ~slice:10L ());
+  bad (Constraints.periodic ~period:10L ~slice:11L ());
+  bad (Constraints.periodic ~period:0L ~slice:0L ());
+  bad (Constraints.periodic ~phase:(-1L) ~period:10L ~slice:1L ());
+  ok (Constraints.sporadic ~size:1L ~deadline:100L ());
+  bad (Constraints.sporadic ~size:0L ~deadline:100L ());
+  ok (Constraints.aperiodic ())
+
+(* ---- Config ---- *)
+
+let test_config_default () =
+  let c = Config.default in
+  Alcotest.(check (float 1e-9)) "util limit" 0.99 c.Config.util_limit;
+  Alcotest.(check (float 1e-9)) "capacity strict" 0.79 (Config.periodic_capacity c);
+  Alcotest.(check (float 1e-9)) "capacity relaxed" 0.99
+    (Config.periodic_capacity { c with Config.strict_reservations = false });
+  Alcotest.(check int64) "10Hz quantum" (Time.ms 100) c.Config.aperiodic_quantum;
+  Alcotest.(check bool) "valid" true (Result.is_ok (Config.validate c))
+
+let test_config_validate () =
+  let bad c = Alcotest.(check bool) "rejected" true (Result.is_error (Config.validate c)) in
+  bad { Config.default with Config.util_limit = 0. };
+  bad { Config.default with Config.util_limit = 1.5 };
+  bad { Config.default with Config.sporadic_reservation = -0.1 };
+  bad { Config.default with Config.sporadic_reservation = 0.5; aperiodic_reservation = 0.5 };
+  bad { Config.default with Config.max_threads = 0 }
+
+(* ---- Prio_queue ---- *)
+
+let test_pq_order () =
+  let q = Prio_queue.create ~capacity:16 in
+  List.iter (fun (k, v) -> ignore (Prio_queue.add q ~key:k v))
+    [ (30L, "c"); (10L, "a"); (20L, "b") ];
+  Alcotest.(check (option (pair int64 string))) "peek" (Some (10L, "a"))
+    (Prio_queue.peek q);
+  Alcotest.(check (option (pair int64 string))) "pop a" (Some (10L, "a"))
+    (Prio_queue.pop q);
+  Alcotest.(check (option (pair int64 string))) "pop b" (Some (20L, "b"))
+    (Prio_queue.pop q)
+
+let test_pq_ties_fifo () =
+  let q = Prio_queue.create ~capacity:16 in
+  for i = 0 to 7 do
+    ignore (Prio_queue.add q ~key:5L i)
+  done;
+  for i = 0 to 7 do
+    let _, v = Option.get (Prio_queue.pop q) in
+    Alcotest.(check int) "fifo" i v
+  done
+
+let test_pq_capacity () =
+  let q = Prio_queue.create ~capacity:2 in
+  Alcotest.(check bool) "fits" true (Prio_queue.add q ~key:1L ());
+  Alcotest.(check bool) "fits" true (Prio_queue.add q ~key:2L ());
+  Alcotest.(check bool) "full" false (Prio_queue.add q ~key:3L ());
+  Alcotest.(check int) "length" 2 (Prio_queue.length q)
+
+let test_pq_remove () =
+  let q = Prio_queue.create ~capacity:16 in
+  List.iter (fun v -> ignore (Prio_queue.add q ~key:(Int64.of_int v) v)) [ 5; 1; 3 ];
+  Alcotest.(check (option int)) "remove middle" (Some 3)
+    (Prio_queue.remove q (fun v -> v = 3));
+  Alcotest.(check int) "length" 2 (Prio_queue.length q);
+  Alcotest.(check (option (pair int64 int))) "heap intact" (Some (1L, 1))
+    (Prio_queue.pop q);
+  Alcotest.(check (option int)) "remove missing" None
+    (Prio_queue.remove q (fun v -> v = 99))
+
+let test_pq_remove_heap_invariant () =
+  (* Removal from the middle must keep the heap ordered. *)
+  let q = Prio_queue.create ~capacity:64 in
+  let r = Rng.create 61L in
+  for _ = 1 to 50 do
+    let k = Int64.of_int (Rng.int r 1000) in
+    ignore (Prio_queue.add q ~key:k k)
+  done;
+  (* Remove ~10 random elements. *)
+  for _ = 1 to 10 do
+    let target = Int64.of_int (Rng.int r 1000) in
+    ignore (Prio_queue.remove q (fun v -> Int64.compare v target >= 0))
+  done;
+  let last = ref Int64.min_int in
+  let rec drain () =
+    match Prio_queue.pop q with
+    | None -> ()
+    | Some (k, _) ->
+      Alcotest.(check bool) "sorted" true (Int64.compare k !last >= 0);
+      last := k;
+      drain ()
+  in
+  drain ()
+
+let test_pq_mem_iter_to_list () =
+  let q = Prio_queue.create ~capacity:8 in
+  List.iter (fun v -> ignore (Prio_queue.add q ~key:(Int64.of_int v) v)) [ 2; 1; 3 ];
+  Alcotest.(check bool) "mem" true (Prio_queue.mem q (fun v -> v = 2));
+  Alcotest.(check bool) "not mem" false (Prio_queue.mem q (fun v -> v = 9));
+  let sum = ref 0 in
+  Prio_queue.iter q (fun _ v -> sum := !sum + v);
+  Alcotest.(check int) "iter visits all" 6 !sum;
+  Alcotest.(check (list (pair int64 int))) "to_list sorted"
+    [ (1L, 1); (2L, 2); (3L, 3) ] (Prio_queue.to_list q);
+  Prio_queue.clear q;
+  Alcotest.(check bool) "cleared" true (Prio_queue.is_empty q)
+
+(* ---- Admission ---- *)
+
+let mk_admission ?(config = Config.default) () = Admission.create config
+
+let test_admission_aperiodic_always () =
+  let a = mk_admission () in
+  Alcotest.(check bool) "always" true
+    (Admission.request a ~now:0L ~old_constr:(Constraints.aperiodic ())
+       (Constraints.aperiodic ~prio:9 ()))
+
+let test_admission_periodic_capacity () =
+  let a = mk_admission () in
+  let old = Constraints.aperiodic () in
+  let p u = Constraints.periodic ~period:(Time.us 100)
+      ~slice:(Int64.of_float (Int64.to_float (Time.us 100) *. u)) () in
+  Alcotest.(check bool) "40% fits" true (Admission.request a ~now:0L ~old_constr:old (p 0.4));
+  Alcotest.(check bool) "another 30% fits" true
+    (Admission.request a ~now:0L ~old_constr:old (p 0.3));
+  (* capacity is 0.79 with strict reservations: 0.4+0.3+0.2 > 0.79 *)
+  Alcotest.(check bool) "20% more rejected" false
+    (Admission.request a ~now:0L ~old_constr:old (p 0.2));
+  Alcotest.(check int) "rejection counted" 1 (Admission.rejections a);
+  Alcotest.(check (float 1e-9)) "committed util" 0.7 (Admission.periodic_util a)
+
+let test_admission_release () =
+  let a = mk_admission () in
+  let old = Constraints.aperiodic () in
+  let c = Constraints.periodic ~period:(Time.us 100) ~slice:(Time.us 70) () in
+  Alcotest.(check bool) "70%" true (Admission.request a ~now:0L ~old_constr:old c);
+  Admission.release a c;
+  Alcotest.(check (float 1e-9)) "released" 0. (Admission.periodic_util a);
+  Alcotest.(check bool) "can admit again" true
+    (Admission.request a ~now:0L ~old_constr:old c)
+
+let test_admission_change_restores_on_failure () =
+  let a = mk_admission () in
+  let old = Constraints.aperiodic () in
+  let c1 = Constraints.periodic ~period:(Time.us 100) ~slice:(Time.us 50) () in
+  Alcotest.(check bool) "first" true (Admission.request a ~now:0L ~old_constr:old c1);
+  (* Changing to something infeasible keeps the old contribution. *)
+  let c2 = Constraints.periodic ~period:(Time.us 100) ~slice:(Time.us 90) () in
+  Alcotest.(check bool) "change rejected" false
+    (Admission.request a ~now:0L ~old_constr:c1 c2);
+  Alcotest.(check (float 1e-9)) "old restored" 0.5 (Admission.periodic_util a)
+
+let test_admission_granularity () =
+  let a = mk_admission () in
+  let old = Constraints.aperiodic () in
+  Alcotest.(check bool) "period below bound rejected" false
+    (Admission.request a ~now:0L ~old_constr:old
+       (Constraints.periodic ~period:(Time.ns 1500) ~slice:(Time.ns 700) ()))
+
+let test_admission_sporadic_density () =
+  let a = mk_admission () in
+  let old = Constraints.aperiodic () in
+  (* 10% sporadic reservation * 0.99 limit: density must stay below. *)
+  let fits =
+    Constraints.sporadic ~size:(Time.us 90) ~deadline:(Time.us 1000) ()
+  in
+  Alcotest.(check bool) "9% density fits" true
+    (Admission.request a ~now:0L ~old_constr:old fits);
+  let too_much =
+    Constraints.sporadic ~size:(Time.us 50) ~deadline:(Time.us 1000) ()
+  in
+  Alcotest.(check bool) "combined density rejected" false
+    (Admission.request a ~now:0L ~old_constr:old too_much);
+  (* After the first one expires, capacity is back. *)
+  Alcotest.(check bool) "after expiry" true
+    (Admission.request a ~now:(Time.us 2000) ~old_constr:old
+       (Constraints.sporadic ~phase:0L ~size:(Time.us 90)
+          ~deadline:(Time.us 3000) ()))
+
+let test_admission_sporadic_past_deadline () =
+  let a = mk_admission () in
+  Alcotest.(check bool) "deadline before arrival rejected" false
+    (Admission.request a ~now:(Time.us 100) ~old_constr:(Constraints.aperiodic ())
+       (Constraints.sporadic ~size:1L ~deadline:(Time.us 50) ()))
+
+let test_admission_off () =
+  let a = mk_admission ~config:{ Config.default with Config.admission_control = false } () in
+  Alcotest.(check bool) "infeasible accepted" true
+    (Admission.request a ~now:0L ~old_constr:(Constraints.aperiodic ())
+       (Constraints.periodic ~period:(Time.us 10) ~slice:(Time.us 9) ()));
+  (* Structural garbage is still rejected. *)
+  Alcotest.(check bool) "invalid still rejected" false
+    (Admission.request a ~now:0L ~old_constr:(Constraints.aperiodic ())
+       (Constraints.periodic ~period:(Time.us 10) ~slice:(Time.us 11) ()))
+
+let test_admission_hyperperiod_sim () =
+  (* The paper's prototype (Section 3.2): a schedule simulation that
+     charges scheduler overhead, so it catches the Fig 6 feasibility edge
+     that plain utilization bounds miss — and still admits more than RM. *)
+  let config = { Config.default with Config.admission = Config.Hyperperiod_sim } in
+  let overhead = Time.of_float_us 9.2 (* 2 x ~6000 cycles on Phi *) in
+  let old = Constraints.aperiodic () in
+  let fresh () = Admission.create ~overhead_ns:overhead config in
+  (* 10us period, 10% slice: only 10% utilization, but overhead makes the
+     demand 10.2us per 10us period -> reject. *)
+  Alcotest.(check bool) "catches the overhead edge" false
+    (Admission.request (fresh ()) ~now:0L ~old_constr:old
+       (Constraints.periodic ~period:(Time.us 10) ~slice:(Time.us 1) ()));
+  (* 100us period, 50% slice: demand 59.2us per 100us -> fine. *)
+  Alcotest.(check bool) "feasible set admitted" true
+    (Admission.request (fresh ()) ~now:0L ~old_constr:old
+       (Constraints.periodic ~period:(Time.us 100) ~slice:(Time.us 50) ()));
+  (* Admits more than the RM bound: two threads at 35% each (70% total,
+     above the 2-thread Liu-Layland bound of ~65% of capacity). *)
+  let a = fresh () in
+  Alcotest.(check bool) "first 35%" true
+    (Admission.request a ~now:0L ~old_constr:old
+       (Constraints.periodic ~period:(Time.us 1000) ~slice:(Time.us 350) ()));
+  Alcotest.(check bool) "second 35% (beats RM)" true
+    (Admission.request a ~now:0L ~old_constr:old
+       (Constraints.periodic ~period:(Time.us 1000) ~slice:(Time.us 350) ()));
+  (* But still bounded by capacity: a third one must fail. *)
+  Alcotest.(check bool) "third rejected" false
+    (Admission.request a ~now:0L ~old_constr:old
+       (Constraints.periodic ~period:(Time.us 1000) ~slice:(Time.us 350) ()))
+
+let test_admission_rate_monotonic () =
+  let a = mk_admission ~config:{ Config.default with Config.admission = Config.Rate_monotonic } () in
+  let old = Constraints.aperiodic () in
+  let p u = Constraints.periodic ~period:(Time.us 100)
+      ~slice:(Int64.of_float (Int64.to_float (Time.us 100) *. u)) () in
+  (* Liu-Layland bound for n=1 is 1.0; scaled by 0.79 capacity. *)
+  Alcotest.(check bool) "single 70% fits" true
+    (Admission.request a ~now:0L ~old_constr:old (p 0.7));
+  (* n=2 bound ~0.828 * 0.79 ~ 0.654: a second 10% thread pushes past. *)
+  Alcotest.(check bool) "second rejected under RM" false
+    (Admission.request a ~now:0L ~old_constr:old (p 0.1))
+
+(* ---- Account ---- *)
+
+let test_account_breakdown () =
+  let a = Account.create ~ghz:1.3 in
+  Account.record_invocation a ~irq_ns:1000L ~other_ns:100L ~pass_ns:2000L
+    ~switch_ns:500L;
+  Account.record_invocation a ~irq_ns:1000L ~other_ns:100L ~pass_ns:2000L
+    ~switch_ns:0L;
+  Alcotest.(check int) "invocations" 2 (Account.invocations a);
+  Alcotest.(check (float 1e-6)) "irq cycles" 1300. (Hrt_stats.Summary.mean (Account.irq_cycles a));
+  (* Zero switch is not added to the switch distribution. *)
+  Alcotest.(check int) "switch samples" 1
+    (Hrt_stats.Summary.count (Account.switch_cycles a))
+
+let test_account_misses () =
+  let a = Account.create ~ghz:1.0 in
+  Account.record_arrival a;
+  Account.record_arrival a;
+  Account.record_miss a ~miss_time_ns:5_000L;
+  Alcotest.(check (float 1e-9)) "rate" 0.5 (Account.miss_rate a);
+  Alcotest.(check (float 1e-9)) "miss us" 5.
+    (Hrt_stats.Summary.mean (Account.miss_times_us a))
+
+let test_account_merge () =
+  let a = Account.create ~ghz:1.0 and b = Account.create ~ghz:1.0 in
+  Account.record_arrival a;
+  Account.record_miss a ~miss_time_ns:1_000L;
+  Account.record_arrival b;
+  Account.record_kick b;
+  let m = Account.merge a b in
+  Alcotest.(check int) "arrivals" 2 (Account.arrivals m);
+  Alcotest.(check int) "misses" 1 (Account.misses m);
+  Alcotest.(check int) "kicks" 1 (Account.kicks m)
+
+(* ---- Program ---- *)
+
+let dummy_thread body = Thread.make ~id:0 ~name:"t" ~cpu:0 body
+
+let dummy_ctx th =
+  {
+    Thread.svc =
+      {
+        Thread.now = (fun () -> 0L);
+        wake = (fun _ -> ());
+        sample = (fun _ _ -> 0L);
+        rng = Rng.create 1L;
+      };
+    self = th;
+  }
+
+let pull body th = body (dummy_ctx th)
+
+let test_program_of_steps () =
+  let body = Program.of_steps [ Thread.Compute 5L; Thread.Yield ] in
+  let th = dummy_thread body in
+  Alcotest.(check bool) "step 1" true (pull body th = Thread.Compute 5L);
+  Alcotest.(check bool) "step 2" true (pull body th = Thread.Yield);
+  Alcotest.(check bool) "then exit" true (pull body th = Thread.Exit);
+  Alcotest.(check bool) "stays exit" true (pull body th = Thread.Exit)
+
+let test_program_repeat () =
+  let seen = ref [] in
+  let body =
+    Program.repeat 3 (fun i _ ->
+        seen := i :: !seen;
+        Thread.Compute 1L)
+  in
+  let th = dummy_thread body in
+  for _ = 1 to 3 do
+    ignore (pull body th)
+  done;
+  Alcotest.(check bool) "exit after n" true (pull body th = Thread.Exit);
+  Alcotest.(check (list int)) "indices" [ 0; 1; 2 ] (List.rev !seen)
+
+let test_program_seq () =
+  let body =
+    Program.seq
+      [
+        Program.of_steps [ Thread.Compute 1L ];
+        Program.of_steps [ Thread.Compute 2L; Thread.Compute 3L ];
+      ]
+  in
+  let th = dummy_thread body in
+  Alcotest.(check bool) "1" true (pull body th = Thread.Compute 1L);
+  Alcotest.(check bool) "2" true (pull body th = Thread.Compute 2L);
+  Alcotest.(check bool) "3" true (pull body th = Thread.Compute 3L);
+  Alcotest.(check bool) "exit" true (pull body th = Thread.Exit)
+
+let test_program_forever () =
+  let body = Program.compute_forever 7L in
+  let th = dummy_thread body in
+  for _ = 1 to 10 do
+    Alcotest.(check bool) "compute" true (pull body th = Thread.Compute 7L)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "constraint constructors" `Quick test_constructors;
+    Alcotest.test_case "is_realtime" `Quick test_is_realtime;
+    Alcotest.test_case "utilization" `Quick test_utilization;
+    Alcotest.test_case "with_phase" `Quick test_with_phase;
+    Alcotest.test_case "constraint validation" `Quick test_validate;
+    Alcotest.test_case "config defaults" `Quick test_config_default;
+    Alcotest.test_case "config validation" `Quick test_config_validate;
+    Alcotest.test_case "prio queue order" `Quick test_pq_order;
+    Alcotest.test_case "prio queue FIFO ties" `Quick test_pq_ties_fifo;
+    Alcotest.test_case "prio queue capacity" `Quick test_pq_capacity;
+    Alcotest.test_case "prio queue remove" `Quick test_pq_remove;
+    Alcotest.test_case "prio queue remove keeps invariant" `Quick test_pq_remove_heap_invariant;
+    Alcotest.test_case "prio queue mem/iter/to_list" `Quick test_pq_mem_iter_to_list;
+    Alcotest.test_case "admission: aperiodic always" `Quick test_admission_aperiodic_always;
+    Alcotest.test_case "admission: periodic capacity" `Quick test_admission_periodic_capacity;
+    Alcotest.test_case "admission: release" `Quick test_admission_release;
+    Alcotest.test_case "admission: failed change restores" `Quick test_admission_change_restores_on_failure;
+    Alcotest.test_case "admission: granularity bound" `Quick test_admission_granularity;
+    Alcotest.test_case "admission: sporadic density" `Quick test_admission_sporadic_density;
+    Alcotest.test_case "admission: sporadic past deadline" `Quick test_admission_sporadic_past_deadline;
+    Alcotest.test_case "admission: control off" `Quick test_admission_off;
+    Alcotest.test_case "admission: rate monotonic bound" `Quick test_admission_rate_monotonic;
+    Alcotest.test_case "admission: hyperperiod simulation" `Quick test_admission_hyperperiod_sim;
+    Alcotest.test_case "account breakdown" `Quick test_account_breakdown;
+    Alcotest.test_case "account misses" `Quick test_account_misses;
+    Alcotest.test_case "account merge" `Quick test_account_merge;
+    Alcotest.test_case "program of_steps" `Quick test_program_of_steps;
+    Alcotest.test_case "program repeat" `Quick test_program_repeat;
+    Alcotest.test_case "program seq" `Quick test_program_seq;
+    Alcotest.test_case "program forever" `Quick test_program_forever;
+  ]

@@ -1,0 +1,101 @@
+open Hrt_engine
+
+let test_order () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.add q ~time:30L "c");
+  ignore (Event_queue.add q ~time:10L "a");
+  ignore (Event_queue.add q ~time:20L "b");
+  let pop () = Option.get (Event_queue.pop q) in
+  Alcotest.(check (pair int64 string)) "first" (10L, "a") (pop ());
+  Alcotest.(check (pair int64 string)) "second" (20L, "b") (pop ());
+  Alcotest.(check (pair int64 string)) "third" (30L, "c") (pop ());
+  Alcotest.(check bool) "empty" true (Event_queue.pop q = None)
+
+let test_fifo_ties () =
+  let q = Event_queue.create () in
+  for i = 0 to 9 do
+    ignore (Event_queue.add q ~time:5L (string_of_int i))
+  done;
+  for i = 0 to 9 do
+    let _, v = Option.get (Event_queue.pop q) in
+    Alcotest.(check string) "insertion order at equal time" (string_of_int i) v
+  done
+
+let test_cancel () =
+  let q = Event_queue.create () in
+  let a = Event_queue.add q ~time:1L "a" in
+  ignore (Event_queue.add q ~time:2L "b");
+  Event_queue.cancel q a;
+  Alcotest.(check bool) "cancelled not live" false (Event_queue.is_live a);
+  Alcotest.(check int) "size excludes cancelled" 1 (Event_queue.size q);
+  let _, v = Option.get (Event_queue.pop q) in
+  Alcotest.(check string) "skips cancelled" "b" v
+
+let test_cancel_idempotent () =
+  let q = Event_queue.create () in
+  let a = Event_queue.add q ~time:1L () in
+  Event_queue.cancel q a;
+  Event_queue.cancel q a;
+  Alcotest.(check int) "size stays 0" 0 (Event_queue.size q)
+
+let test_peek () =
+  let q = Event_queue.create () in
+  Alcotest.(check bool) "empty peek" true (Event_queue.peek_time q = None);
+  let a = Event_queue.add q ~time:7L () in
+  ignore (Event_queue.add q ~time:9L ());
+  Alcotest.(check (option int64)) "peek min" (Some 7L) (Event_queue.peek_time q);
+  Event_queue.cancel q a;
+  Alcotest.(check (option int64)) "peek skips cancelled" (Some 9L)
+    (Event_queue.peek_time q)
+
+let test_requeue_preserves_order () =
+  let q = Event_queue.create () in
+  let a = Event_queue.add q ~time:1L "a" in
+  let b = Event_queue.add q ~time:2L "b" in
+  (* Defer both to the same instant; relative (sequence) order survives. *)
+  ignore (Event_queue.requeue q b ~time:50L);
+  ignore (Event_queue.requeue q a ~time:50L);
+  let _, v1 = Option.get (Event_queue.pop q) in
+  let _, v2 = Option.get (Event_queue.pop q) in
+  Alcotest.(check string) "a still first" "a" v1;
+  Alcotest.(check string) "b still second" "b" v2
+
+let test_requeue_cancelled_rejected () =
+  let q = Event_queue.create () in
+  let a = Event_queue.add q ~time:1L () in
+  Event_queue.cancel q a;
+  Alcotest.check_raises "requeue cancelled"
+    (Invalid_argument "Event_queue.requeue: cancelled entry") (fun () ->
+      ignore (Event_queue.requeue q a ~time:2L))
+
+let test_large_volume () =
+  let q = Event_queue.create () in
+  let r = Rng.create 3L in
+  for _ = 1 to 10_000 do
+    ignore (Event_queue.add q ~time:(Int64.of_int (Rng.int r 1_000_000)) ())
+  done;
+  let last = ref Int64.min_int in
+  let count = ref 0 in
+  let rec drain () =
+    match Event_queue.pop q with
+    | None -> ()
+    | Some (t, ()) ->
+      Alcotest.(check bool) "monotone" true (Int64.compare t !last >= 0);
+      last := t;
+      incr count;
+      drain ()
+  in
+  drain ();
+  Alcotest.(check int) "all popped" 10_000 !count
+
+let suite =
+  [
+    Alcotest.test_case "time order" `Quick test_order;
+    Alcotest.test_case "FIFO within equal times" `Quick test_fifo_ties;
+    Alcotest.test_case "cancellation" `Quick test_cancel;
+    Alcotest.test_case "cancel idempotent" `Quick test_cancel_idempotent;
+    Alcotest.test_case "peek" `Quick test_peek;
+    Alcotest.test_case "requeue preserves order" `Quick test_requeue_preserves_order;
+    Alcotest.test_case "requeue cancelled rejected" `Quick test_requeue_cancelled_rejected;
+    Alcotest.test_case "10k random events sorted" `Quick test_large_volume;
+  ]

@@ -1,0 +1,24 @@
+let () =
+  Alcotest.run "hrt"
+    [
+      ("time", Test_time.suite);
+      ("rng", Test_rng.suite);
+      ("event_queue", Test_event_queue.suite);
+      ("engine", Test_engine.suite);
+      ("trace", Test_trace.suite);
+      ("stats", Test_stats.suite);
+      ("hw", Test_hw.suite);
+      ("kernel", Test_kernel.suite);
+      ("buddy", Test_buddy.suite);
+      ("core-data", Test_core_data.suite);
+      ("scheduler", Test_sched.suite);
+      ("scheduler-edge", Test_sched_edge.suite);
+      ("group", Test_group.suite);
+      ("bsp", Test_bsp.suite);
+      ("properties", Test_props.suite);
+      ("harness", Test_harness.suite);
+      ("cyclic", Test_cyclic.suite);
+      ("soak", Test_soak.suite);
+      ("omp-runtime", Test_omp.suite);
+      ("nesl", Test_nesl.suite);
+    ]

@@ -1,0 +1,109 @@
+open Hrt_engine
+open Hrt_core
+open Hrt_runtime
+
+let phi = Hrt_hw.Platform.phi
+let cost = Hrt_hw.Platform.cost 500. 50.
+
+let mk_ctx ?(sync = `Barrier) ?(mode = Omp.Aperiodic) () =
+  let sys = Scheduler.create ~num_cpus:5 phi in
+  let team = Omp.create_team sys ~cpus:[ 1; 2; 3; 4 ] ~mode in
+  (Nesl.ctx team ~sync, team)
+
+let ragged = [| [| 1; 2; 3 |]; [||]; [| 4 |]; [| 5; 6; 7; 8 |] |]
+
+let test_segvec_structure () =
+  let v = Nesl.of_arrays ragged in
+  Alcotest.(check int) "segments" 4 (Nesl.segments v);
+  Alcotest.(check int) "total" 8 (Nesl.total_length v);
+  Alcotest.(check (array int)) "lengths" [| 3; 0; 1; 4 |] (Nesl.segment_lengths v);
+  Alcotest.(check (array int)) "flat" [| 1; 2; 3; 4; 5; 6; 7; 8 |] (Nesl.flat v);
+  Alcotest.(check bool) "round trip" true (Nesl.to_arrays v = ragged)
+
+let test_empty () =
+  let v = Nesl.of_arrays [| [||]; [||] |] in
+  Alcotest.(check int) "segments" 2 (Nesl.segments v);
+  Alcotest.(check int) "empty" 0 (Nesl.total_length v)
+
+let test_map () =
+  let ctx, _ = mk_ctx () in
+  let v = Nesl.of_arrays ragged in
+  let doubled = Nesl.map ctx ~cost_per_element:cost (fun x -> x * 2) v in
+  Nesl.run ctx;
+  Alcotest.(check bool) "values doubled, structure kept" true
+    (Nesl.to_arrays doubled = Array.map (Array.map (fun x -> x * 2)) ragged)
+
+let test_reduce () =
+  let ctx, _ = mk_ctx () in
+  let v = Nesl.of_arrays ragged in
+  let sums =
+    Nesl.reduce ctx ~cost_per_element:cost ~zero:0 ~combine:( + )
+      ~of_elt:Fun.id v
+  in
+  Nesl.run ctx;
+  Alcotest.(check (array int)) "per-segment sums" [| 6; 0; 4; 26 |] sums
+
+let test_scan () =
+  let ctx, _ = mk_ctx () in
+  let v = Nesl.of_arrays [| [| 1; 2; 3; 4 |]; [| 10; 20 |] |] in
+  let s =
+    Nesl.scan ctx ~cost_per_element:cost ~zero:0 ~combine:( + ) ~of_elt:Fun.id v
+  in
+  Nesl.run ctx;
+  Alcotest.(check bool) "exclusive prefix per segment" true
+    (Nesl.to_arrays s = [| [| 0; 1; 3; 6 |]; [| 0; 10 |] |])
+
+let test_pack () =
+  let ctx, _ = mk_ctx () in
+  let v = Nesl.of_arrays ragged in
+  let evens = Nesl.pack ctx ~cost_per_element:cost (fun x -> x mod 2 = 0) v in
+  Nesl.run ctx;
+  Alcotest.(check bool) "filtered per segment" true
+    (Nesl.to_arrays evens = [| [| 2 |]; [||]; [| 4 |]; [| 6; 8 |] |])
+
+let test_time_scales_with_work () =
+  let elapsed n =
+    let ctx, team = mk_ctx () in
+    let v = Nesl.of_arrays [| Array.init n Fun.id |] in
+    ignore (Nesl.map ctx ~cost_per_element:cost (fun x -> x + 1) v);
+    Nesl.run ctx;
+    Int64.to_float (Omp.last_completion team)
+  in
+  let t1 = elapsed 1_000 and t4 = elapsed 4_000 in
+  Alcotest.(check bool) "4x elements ~ 4x time" true
+    (t4 /. t1 > 3.0 && t4 /. t1 < 5.0)
+
+let test_timed_pipeline_on_rt_team () =
+  (* A three-op NESL pipeline with no barriers at all, on a gang-scheduled
+     team: results exact, simulated time charged. *)
+  let ctx, team =
+    mk_ctx ~sync:`Timed
+      ~mode:(Omp.Realtime { period = Time.us 100; slice = Time.us 70 })
+      ()
+  in
+  let v = Nesl.of_arrays (Array.init 16 (fun s -> Array.init (s + 1) Fun.id)) in
+  let squared = Nesl.map ctx ~cost_per_element:cost (fun x -> x * x) v in
+  let sums =
+    Nesl.reduce ctx ~cost_per_element:cost ~zero:0 ~combine:( + )
+      ~of_elt:Fun.id squared
+  in
+  Nesl.run ctx;
+  Alcotest.(check bool) "admitted" true (Omp.admitted team);
+  Alcotest.(check int) "all ops ran" 2 (Omp.loops_completed team);
+  Array.iteri
+    (fun s total ->
+      let expect = List.fold_left (fun a i -> a + (i * i)) 0 (List.init (s + 1) Fun.id) in
+      Alcotest.(check int) "sum of squares" expect total)
+    sums
+
+let suite =
+  [
+    Alcotest.test_case "segmented vector structure" `Quick test_segvec_structure;
+    Alcotest.test_case "empty segments" `Quick test_empty;
+    Alcotest.test_case "map" `Quick test_map;
+    Alcotest.test_case "per-segment reduce" `Quick test_reduce;
+    Alcotest.test_case "per-segment scan" `Quick test_scan;
+    Alcotest.test_case "pack" `Quick test_pack;
+    Alcotest.test_case "time scales with work" `Quick test_time_scales_with_work;
+    Alcotest.test_case "timed pipeline on RT team" `Quick test_timed_pipeline_on_rt_team;
+  ]

@@ -1,0 +1,265 @@
+(* Property-based tests (qcheck) on core data structures and scheduler
+   invariants. *)
+
+open Hrt_engine
+open Hrt_core
+
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+(* ---- Prio_queue: heap order ---- *)
+
+let prop_pq_sorted =
+  QCheck.Test.make ~name:"prio_queue pops sorted" ~count:200
+    QCheck.(list (int_bound 10_000))
+    (fun keys ->
+      let q = Prio_queue.create ~capacity:(List.length keys + 1) in
+      List.iter (fun k -> ignore (Prio_queue.add q ~key:(Int64.of_int k) k)) keys;
+      let rec drain last acc =
+        match Prio_queue.pop q with
+        | None -> List.rev acc
+        | Some (k, _) ->
+          if Int64.compare k last < 0 then failwith "out of order"
+          else drain k (k :: acc)
+      in
+      let popped = drain Int64.min_int [] in
+      List.length popped = List.length keys)
+
+let prop_pq_remove_keeps_order =
+  QCheck.Test.make ~name:"prio_queue remove keeps heap invariant" ~count:200
+    QCheck.(pair (list (int_bound 1000)) (list (int_bound 1000)))
+    (fun (keys, removals) ->
+      let q = Prio_queue.create ~capacity:(List.length keys + 1) in
+      List.iter (fun k -> ignore (Prio_queue.add q ~key:(Int64.of_int k) k)) keys;
+      List.iter
+        (fun r -> ignore (Prio_queue.remove q (fun v -> v mod 17 = r mod 17)))
+        removals;
+      let rec drain last =
+        match Prio_queue.pop q with
+        | None -> true
+        | Some (k, _) -> Int64.compare k last >= 0 && drain k
+      in
+      drain Int64.min_int)
+
+(* ---- Event_queue ---- *)
+
+let prop_eq_sorted_with_cancels =
+  QCheck.Test.make ~name:"event_queue sorted despite cancellations" ~count:200
+    QCheck.(list (pair (int_bound 10_000) bool))
+    (fun entries ->
+      let q = Event_queue.create () in
+      let live = ref 0 in
+      List.iter
+        (fun (t, keep) ->
+          let e = Event_queue.add q ~time:(Int64.of_int t) t in
+          if keep then incr live else Event_queue.cancel q e)
+        entries;
+      if Event_queue.size q <> !live then false
+      else begin
+        let rec drain last n =
+          match Event_queue.pop q with
+          | None -> n = !live
+          | Some (t, _) -> Int64.compare t last >= 0 && drain t (n + 1)
+        in
+        drain Int64.min_int 0
+      end)
+
+(* ---- Summary ---- *)
+
+let nonempty_floats =
+  QCheck.(list_of_size Gen.(int_range 1 200) (float_bound_exclusive 1000.))
+
+let prop_summary_bounds =
+  QCheck.Test.make ~name:"summary: min <= mean <= max" ~count:300 nonempty_floats
+    (fun xs ->
+      let s = Hrt_stats.Summary.of_array (Array.of_list xs) in
+      Hrt_stats.Summary.min s <= Hrt_stats.Summary.mean s +. 1e-9
+      && Hrt_stats.Summary.mean s <= Hrt_stats.Summary.max s +. 1e-9)
+
+let prop_summary_merge_commutes =
+  QCheck.Test.make ~name:"summary merge commutes" ~count:200
+    QCheck.(pair nonempty_floats nonempty_floats)
+    (fun (xs, ys) ->
+      let a = Hrt_stats.Summary.of_array (Array.of_list xs) in
+      let b = Hrt_stats.Summary.of_array (Array.of_list ys) in
+      let m1 = Hrt_stats.Summary.merge a b in
+      let m2 = Hrt_stats.Summary.merge b a in
+      Float.abs (Hrt_stats.Summary.mean m1 -. Hrt_stats.Summary.mean m2) < 1e-6
+      && Float.abs
+           (Hrt_stats.Summary.variance m1 -. Hrt_stats.Summary.variance m2)
+         < 1e-3)
+
+(* ---- Histogram ---- *)
+
+let prop_histogram_conservation =
+  QCheck.Test.make ~name:"histogram conserves samples" ~count:300
+    QCheck.(list (float_range (-100.) 1100.))
+    (fun xs ->
+      let h = Hrt_stats.Histogram.create ~lo:0. ~hi:1000. ~bins:13 in
+      List.iter (Hrt_stats.Histogram.add h) xs;
+      let binned = ref 0 in
+      for i = 0 to Hrt_stats.Histogram.bins h - 1 do
+        binned := !binned + Hrt_stats.Histogram.bin_count h i
+      done;
+      !binned + Hrt_stats.Histogram.underflow h + Hrt_stats.Histogram.overflow h
+      = List.length xs)
+
+(* ---- Percentile ---- *)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentiles monotone in p" ~count:200
+    QCheck.(pair nonempty_floats (list (int_bound 100)))
+    (fun (xs, ps) ->
+      let p = Hrt_stats.Percentile.of_array (Array.of_list xs) in
+      let ps = List.sort compare (List.map float_of_int ps) in
+      let rec check last = function
+        | [] -> true
+        | q :: rest ->
+          let v = Hrt_stats.Percentile.value p q in
+          v >= last -. 1e-9 && check v rest
+      in
+      check neg_infinity ps)
+
+(* ---- Rng ---- *)
+
+let prop_rng_int_bounds =
+  QCheck.Test.make ~name:"rng int in bounds" ~count:300
+    QCheck.(pair int64 (int_range 1 1_000_000))
+    (fun (seed, n) ->
+      let r = Rng.create seed in
+      let x = Rng.int r n in
+      x >= 0 && x < n)
+
+(* ---- Deque vs list model ---- *)
+
+type dq_op = Push_front of int | Push_back of int | Pop
+
+let dq_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun x -> Push_front x) (int_bound 100));
+        (3, map (fun x -> Push_back x) (int_bound 100));
+        (2, return Pop);
+      ])
+
+let prop_deque_model =
+  QCheck.Test.make ~name:"deque behaves like a list" ~count:300
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 60) dq_op_gen))
+    (fun ops ->
+      let d = Hrt_kernel.Deque.create () in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          match op with
+          | Push_front x ->
+            Hrt_kernel.Deque.push_front d x;
+            model := x :: !model;
+            true
+          | Push_back x ->
+            Hrt_kernel.Deque.push_back d x;
+            model := !model @ [ x ];
+            true
+          | Pop -> (
+            let got = Hrt_kernel.Deque.pop_front d in
+            match !model with
+            | [] -> got = None
+            | x :: rest ->
+              model := rest;
+              got = Some x))
+        ops
+      && Hrt_kernel.Deque.to_list d = !model)
+
+(* ---- Admission: utilization never exceeds capacity ---- *)
+
+let prop_admission_capacity =
+  QCheck.Test.make ~name:"admission never over-commits" ~count:200
+    QCheck.(list (pair (int_range 10 1000) (int_range 1 100)))
+    (fun reqs ->
+      let adm = Admission.create Config.default in
+      let capacity = Config.periodic_capacity Config.default in
+      List.iter
+        (fun (period_us, slice_pct) ->
+          let period = Time.us period_us in
+          let slice =
+            Time.max 1_000L
+              (Int64.div (Int64.mul period (Int64.of_int slice_pct)) 100L)
+          in
+          ignore
+            (Admission.request adm ~now:0L
+               ~old_constr:(Constraints.aperiodic ())
+               (Constraints.periodic ~period ~slice ())))
+        reqs;
+      Admission.periodic_util adm <= capacity +. 1e-9)
+
+(* ---- Time conversions conservative ---- *)
+
+let prop_time_cycle_roundtrip =
+  QCheck.Test.make ~name:"cycle conversion conservative" ~count:300
+    QCheck.(pair (int_range 1 1_000_000_000) (int_range 10 40))
+    (fun (t, ghz10) ->
+      let ghz = float_of_int ghz10 /. 10. in
+      let t = Int64.of_int t in
+      let c = Time.cycles_of_ns ~ghz t in
+      let t' = Time.ns_of_cycles ~ghz c in
+      (* Floor then ceil: lands within one cycle's worth of nanoseconds
+         (plus <= 1 ns of float slack in the frequency). *)
+      Float.abs (Int64.to_float (Int64.sub t t')) <= (1. /. ghz) +. 1.)
+
+(* ---- Feasible task sets never miss (the paper's core guarantee) ---- *)
+
+let prop_feasible_no_misses =
+  QCheck.Test.make ~name:"feasible task sets never miss" ~count:10
+    QCheck.(
+      pair (int_range 0 1000)
+        (list_of_size Gen.(int_range 1 3) (pair (int_range 2 10) (int_range 5 15))))
+    (fun (seed, specs) ->
+      (* Periods 200us-1ms, slices 5-15% each, at most 3 threads: total
+         utilization <= 45%, far below capacity: the scheduler must meet
+         every deadline. *)
+      let sys =
+        Scheduler.create ~seed:(Int64.of_int seed) ~num_cpus:2
+          Hrt_hw.Platform.phi
+      in
+      let threads =
+        List.map
+          (fun (p100, slice_pct) ->
+            let period = Time.us (p100 * 100) in
+            let slice =
+              Int64.div (Int64.mul period (Int64.of_int slice_pct)) 100L
+            in
+            let admitted = ref false in
+            let th =
+              Scheduler.spawn sys ~cpu:1 ~bound:true
+                (Program.seq
+                   [
+                     Program.of_steps
+                       (Scheduler.admission_ops sys
+                          (Constraints.periodic ~period ~slice ())
+                          ~on_result:(fun ok -> admitted := ok));
+                     Program.compute_forever (Time.sec 3600);
+                   ])
+            in
+            (th, admitted))
+          specs
+      in
+      Scheduler.run ~until:(Time.ms 30) sys;
+      List.for_all
+        (fun ((th : Thread.t), admitted) -> !admitted && th.Thread.misses = 0)
+        threads)
+
+let suite =
+  List.map to_alcotest
+    [
+      prop_pq_sorted;
+      prop_pq_remove_keeps_order;
+      prop_eq_sorted_with_cancels;
+      prop_summary_bounds;
+      prop_summary_merge_commutes;
+      prop_histogram_conservation;
+      prop_percentile_monotone;
+      prop_rng_int_bounds;
+      prop_deque_model;
+      prop_admission_capacity;
+      prop_time_cycle_roundtrip;
+      prop_feasible_no_misses;
+    ]

@@ -1,0 +1,95 @@
+open Hrt_engine
+
+let test_determinism () =
+  let a = Rng.create 7L and b = Rng.create 7L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 7L and b = Rng.create 8L in
+  Alcotest.(check bool) "different seeds differ" true (Rng.next a <> Rng.next b)
+
+let test_split_independence () =
+  let a = Rng.create 7L in
+  let c = Rng.split a in
+  let v1 = Rng.next c in
+  (* Drawing more from the parent does not perturb the child's past. *)
+  let a2 = Rng.create 7L in
+  let c2 = Rng.split a2 in
+  ignore (Rng.next a2);
+  Alcotest.(check int64) "split stream stable" v1 (Rng.next c2 |> fun _ -> v1);
+  Alcotest.(check int64) "child reproducible" v1
+    (let a3 = Rng.create 7L in
+     Rng.next (Rng.split a3))
+
+let test_float_range () =
+  let r = Rng.create 11L in
+  for _ = 1 to 1000 do
+    let x = Rng.float r in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0. && x < 1.)
+  done
+
+let test_int_range () =
+  let r = Rng.create 13L in
+  let seen = Array.make 10 false in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 10 in
+    Alcotest.(check bool) "in [0,10)" true (x >= 0 && x < 10);
+    seen.(x) <- true
+  done;
+  Alcotest.(check bool) "all values reachable" true
+    (Array.for_all Fun.id seen)
+
+let test_int_invalid () =
+  let r = Rng.create 1L in
+  Alcotest.check_raises "n=0 rejected" (Invalid_argument "Rng.int") (fun () ->
+      ignore (Rng.int r 0))
+
+let test_range_ns () =
+  let r = Rng.create 17L in
+  for _ = 1 to 1000 do
+    let x = Rng.range_ns r 100L 200L in
+    Alcotest.(check bool) "in [lo,hi)" true Time.(x >= 100L && x < 200L)
+  done;
+  Alcotest.check_raises "empty range rejected"
+    (Invalid_argument "Rng.range_ns") (fun () ->
+      ignore (Rng.range_ns r 5L 5L))
+
+let test_gaussian_moments () =
+  let r = Rng.create 23L in
+  let n = 20_000 in
+  let sum = ref 0. and sq = ref 0. in
+  for _ = 1 to n do
+    let x = Rng.gaussian r ~mu:10. ~sigma:2. in
+    sum := !sum +. x;
+    sq := !sq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check (float 0.1)) "mean ~ 10" 10. mean;
+  Alcotest.(check (float 0.3)) "variance ~ 4" 4. var
+
+let test_exponential_mean () =
+  let r = Rng.create 29L in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    let x = Rng.exponential r ~mean:50. in
+    Alcotest.(check bool) "positive" true (x >= 0.);
+    sum := !sum +. x
+  done;
+  Alcotest.(check (float 2.0)) "mean ~ 50" 50. (!sum /. float_of_int n)
+
+let suite =
+  [
+    Alcotest.test_case "determinism per seed" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "float in [0,1)" `Quick test_float_range;
+    Alcotest.test_case "int range and coverage" `Quick test_int_range;
+    Alcotest.test_case "int rejects n<=0" `Quick test_int_invalid;
+    Alcotest.test_case "range_ns bounds" `Quick test_range_ns;
+    Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+  ]

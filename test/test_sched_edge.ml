@@ -1,0 +1,289 @@
+(* Edge cases and failure injection for the local scheduler. *)
+
+open Hrt_engine
+open Hrt_core
+
+let phi = Hrt_hw.Platform.phi
+
+let mk ?(num_cpus = 3) ?(config = Config.default) ?(seed = 42L) () =
+  Scheduler.create ~seed ~num_cpus ~config phi
+
+let spawn_periodic ?(cpu = 1) sys ~period ~slice =
+  let th =
+    Scheduler.spawn sys ~cpu ~bound:true
+      (Program.seq
+         [
+           Program.of_steps
+             (Scheduler.admission_ops sys
+                (Constraints.periodic ~period ~slice ())
+                ~on_result:(fun _ -> ()));
+           Program.compute_forever (Time.sec 3600);
+         ])
+  in
+  th
+
+let test_smi_with_slack_no_miss () =
+  (* Eager scheduling: a 30us SMI against ~50us of slack is absorbed. *)
+  let sys = mk () in
+  let th = spawn_periodic sys ~period:(Time.us 100) ~slice:(Time.us 40) in
+  ignore
+    (Hrt_hw.Smi.install (Scheduler.engine sys)
+       { Hrt_hw.Smi.mean_interval = Time.us 300; duration_mean = Time.us 30; duration_jitter = 0.1 });
+  Scheduler.run ~until:(Time.ms 20) sys;
+  Alcotest.(check bool) "arrivals continue" true (th.Thread.arrivals > 150);
+  (* A single 30us SMI fits in the ~50us of slack; only the rare periods
+     hit by two SMIs can miss. *)
+  Alcotest.(check bool) "misses are rare" true
+    (float_of_int th.Thread.misses /. float_of_int th.Thread.arrivals < 0.05)
+
+let test_freeze_mid_slice_still_full_slice () =
+  (* One SMI exactly inside a slice: the thread still receives its full
+     guaranteed CPU time (missing time is not charged as progress). *)
+  let sys = mk () in
+  let th = spawn_periodic sys ~period:(Time.ms 1) ~slice:(Time.us 200) in
+  ignore
+    (Engine.schedule (Scheduler.engine sys) ~at:(Time.us 1300) (fun eng ->
+         Hrt_hw.Smi.inject eng ~duration:(Time.us 50)));
+  Scheduler.run ~until:(Time.ms 10) sys;
+  Alcotest.(check int) "no miss (slack 800us)" 0 th.Thread.misses;
+  (* ~9-10 full slices of 200us each. *)
+  let expect = Time.to_float_ms th.Thread.cpu_time in
+  Alcotest.(check bool) "full slices delivered" true
+    (expect > 1.7 && expect < 2.3)
+
+let test_blocked_through_periods_rejoins () =
+  let sys = mk () in
+  let resumed_at = ref 0L in
+  let th =
+    Scheduler.spawn sys ~cpu:1 ~bound:true
+      (Program.seq
+         [
+           Program.of_steps
+             (Scheduler.admission_ops sys
+                (Constraints.periodic ~period:(Time.us 100) ~slice:(Time.us 20) ())
+                ~on_result:(fun _ -> ()));
+           Program.of_steps [ Thread.Compute (Time.us 10) ];
+           (* Sleep across many periods. *)
+           Program.of_steps [ Thread.Sleep_until (Time.ms 5) ];
+           Program.of_thunks
+             [
+               (fun { Thread.svc; _ } ->
+                 resumed_at := svc.Thread.now ();
+                 Thread.Compute (Time.sec 1));
+             ];
+         ])
+  in
+  Scheduler.run ~until:(Time.ms 10) sys;
+  Alcotest.(check bool) "resumed soon after 5ms" true
+    Time.(!resumed_at >= Time.ms 5 && !resumed_at < Time.ms 5 + Time.us 200);
+  (* Sleeping threads waive their arrivals: no misses for skipped periods. *)
+  Alcotest.(check int) "no misses while sleeping" 0 th.Thread.misses;
+  (* After resuming, it is throttled to 20% again. *)
+  Scheduler.run ~until:(Time.ms 30) sys;
+  let used = Time.to_float_ms th.Thread.cpu_time in
+  Alcotest.(check bool) "throttled after resume" true (used > 4.0 && used < 6.0)
+
+let test_independent_cpus () =
+  (* Two identical workloads on different CPUs: identical arrivals, no
+     cross-talk, each meets every deadline. *)
+  let sys = mk ~num_cpus:4 () in
+  let a = spawn_periodic ~cpu:1 sys ~period:(Time.us 100) ~slice:(Time.us 70) in
+  let b = spawn_periodic ~cpu:2 sys ~period:(Time.us 100) ~slice:(Time.us 70) in
+  Scheduler.run ~until:(Time.ms 10) sys;
+  Alcotest.(check int) "same arrivals" a.Thread.arrivals b.Thread.arrivals;
+  Alcotest.(check int) "a misses" 0 a.Thread.misses;
+  Alcotest.(check int) "b misses" 0 b.Thread.misses
+
+let test_ppr_follows_thread_class () =
+  let sys = mk () in
+  let apic = (Hrt_hw.Machine.cpu (Scheduler.machine sys) 1).Hrt_hw.Machine.apic in
+  ignore (spawn_periodic ~cpu:1 sys ~period:(Time.us 100) ~slice:(Time.us 50));
+  let rt_seen = ref false and idle_seen = ref false in
+  let rec sample at =
+    if Time.(at < Time.ms 5) then
+      ignore
+        (Engine.schedule (Scheduler.engine sys) ~at (fun _ ->
+             (if Hrt_hw.Apic.ppr apic = Hrt_hw.Apic.rt_ppr then rt_seen := true
+              else if Hrt_hw.Apic.ppr apic = 0 then idle_seen := true);
+             sample Time.(at + Time.us 13)))
+  in
+  sample (Time.ms 1);
+  Scheduler.run ~until:(Time.ms 6) sys;
+  Alcotest.(check bool) "PPR raised while RT runs" true !rt_seen;
+  Alcotest.(check bool) "PPR lowered when idle" true !idle_seen
+
+let test_sporadic_miss_recorded () =
+  (* A sporadic thread that blocks instead of computing cannot be saved by
+     the scheduler, but one that is starved by an SMI must record a miss. *)
+  let config = { Config.default with Config.admission_control = false } in
+  let sys = mk ~config () in
+  let th =
+    Scheduler.spawn sys ~cpu:1 ~bound:true
+      (Program.seq
+         [
+           Program.of_thunks
+             [
+               (fun { Thread.svc; _ } ->
+                 Thread.Set_constraints
+                   ( Constraints.sporadic ~size:(Time.us 900)
+                       ~deadline:Time.(svc.Thread.now () + Time.ms 1)
+                       (),
+                     fun _ -> () ));
+             ];
+           Program.of_steps [ Thread.Compute (Time.ms 2) ];
+         ])
+  in
+  (* Steal most of the window. *)
+  ignore
+    (Engine.schedule (Scheduler.engine sys) ~at:(Time.us 100) (fun eng ->
+         Hrt_hw.Smi.inject eng ~duration:(Time.us 500)));
+  Scheduler.run ~until:(Time.ms 5) sys;
+  Alcotest.(check int) "sporadic missed" 1 th.Thread.misses
+
+let test_stale_sleep_does_not_wake () =
+  (* A thread that blocks, is woken, and blocks again must not be woken by
+     its earlier (stale) sleep timeout. *)
+  let sys = mk () in
+  let wakes = ref 0 in
+  let th =
+    Scheduler.spawn sys ~cpu:1 ~bound:true
+      (Program.seq
+         [
+           Program.of_steps [ Thread.Sleep_until (Time.ms 2) ];
+           Program.of_thunks [ (fun _ -> incr wakes; Thread.Block) ];
+           Program.of_thunks [ (fun _ -> incr wakes; Thread.Block) ];
+         ])
+  in
+  (* External wake at 3ms puts it into the second Block; the stale sleep
+     event (2ms) must not fire it out of that one. *)
+  ignore
+    (Engine.schedule (Scheduler.engine sys) ~at:(Time.ms 3) (fun _ ->
+         Scheduler.wake sys th));
+  Scheduler.run ~until:(Time.ms 10) sys;
+  Alcotest.(check int) "woken exactly twice" 2 !wakes;
+  Alcotest.(check bool) "still blocked at the end" true
+    (th.Thread.state = Thread.Blocked)
+
+let test_invocation_rate_two_per_period () =
+  let sys = mk () in
+  ignore (spawn_periodic ~cpu:1 sys ~period:(Time.us 100) ~slice:(Time.us 50));
+  Scheduler.run ~until:(Time.ms 20) sys;
+  let acc = Local_sched.account (Scheduler.sched sys 1) in
+  let per_period =
+    float_of_int (Account.invocations acc) /. float_of_int (Account.arrivals acc)
+  in
+  (* The paper: two interrupts per period (arrival + timeout), possibly
+     overlapping, plus occasional conservative-early refires. *)
+  Alcotest.(check bool) "~2-3 invocations per period" true
+    (per_period >= 1.5 && per_period <= 3.5)
+
+let test_idle_time_accounting () =
+  let sys = mk ~num_cpus:2 () in
+  ignore (spawn_periodic ~cpu:1 sys ~period:(Time.us 100) ~slice:(Time.us 25)) ;
+  Scheduler.run ~until:(Time.ms 20) sys;
+  let idle = Time.to_float_ms (Local_sched.idle_time (Scheduler.sched sys 1)) in
+  (* ~75% idle minus overheads. *)
+  Alcotest.(check bool) "idle ~ 1 - utilization" true (idle > 12. && idle < 16.5)
+
+let test_change_constraints_rt_to_rt () =
+  (* A periodic thread renegotiates to a different periodic constraint;
+     utilization accounting must swap, not accumulate. *)
+  let sys = mk () in
+  let changed = ref false in
+  let th =
+    Scheduler.spawn sys ~cpu:1 ~bound:true
+      (Program.seq
+         [
+           Program.of_steps
+             (Scheduler.admission_ops sys
+                (Constraints.periodic ~period:(Time.us 100) ~slice:(Time.us 60) ())
+                ~on_result:(fun ok -> assert ok));
+           Program.of_steps [ Thread.Compute (Time.ms 2) ];
+           Program.of_steps
+             (Scheduler.admission_ops sys
+                (Constraints.periodic ~period:(Time.us 100) ~slice:(Time.us 30) ())
+                ~on_result:(fun ok -> changed := ok));
+           Program.compute_forever (Time.sec 3600);
+         ])
+  in
+  Scheduler.run ~until:(Time.ms 30) sys;
+  Alcotest.(check bool) "renegotiated" true !changed;
+  Alcotest.(check int) "no misses through the change" 0 th.Thread.misses;
+  let util = Admission.periodic_util (Local_sched.admission (Scheduler.sched sys 1)) in
+  Alcotest.(check (float 1e-9)) "only the new utilization committed" 0.3 util
+
+let test_many_threads_one_cpu () =
+  (* Ten 5% threads: all admitted (50% < 79%), none ever misses. *)
+  let sys = mk () in
+  let threads =
+    List.init 10 (fun _ ->
+        spawn_periodic ~cpu:1 sys ~period:(Time.ms 1) ~slice:(Time.us 50))
+  in
+  Scheduler.run ~until:(Time.ms 50) sys;
+  List.iter
+    (fun (th : Thread.t) ->
+      Alcotest.(check bool) "admitted and running" true (th.Thread.arrivals > 40);
+      Alcotest.(check int) "no misses" 0 th.Thread.misses)
+    threads
+
+let test_exit_while_realtime_releases_util () =
+  let sys = mk () in
+  ignore
+    (Scheduler.spawn sys ~cpu:1 ~bound:true
+       (Program.seq
+          [
+            Program.of_steps
+              (Scheduler.admission_ops sys
+                 (Constraints.periodic ~period:(Time.us 100) ~slice:(Time.us 70) ())
+                 ~on_result:(fun _ -> ()));
+            Program.of_steps [ Thread.Compute (Time.us 500) ];
+            (* exits here *)
+          ]));
+  Scheduler.run ~until:(Time.ms 5) sys;
+  Alcotest.(check (float 1e-9)) "utilization released on exit" 0.
+    (Admission.periodic_util (Local_sched.admission (Scheduler.sched sys 1)));
+  (* And the slot can be reused at full utilization. *)
+  let th2 = spawn_periodic ~cpu:1 sys ~period:(Time.us 100) ~slice:(Time.us 70) in
+  Scheduler.run ~until:(Time.ms 10) sys;
+  Alcotest.(check bool) "new thread admitted" true (th2.Thread.arrivals > 10)
+
+let test_threaded_interrupts_protect_rt () =
+  (* §3.5's second mechanism: handler bodies run in an aperiodic interrupt
+     thread, so the RT thread only pays the bounded acknowledge cost. *)
+  let run ~threaded =
+    let sys = mk () in
+    let dev =
+      Scheduler.add_device sys ~name:"nic" ~prio:15 ~threaded
+        ~mean_interval:(Time.us 150)
+        ~handler_cost:(Hrt_hw.Platform.cost 40_000. 4_000.)
+        ()
+    in
+    Scheduler.steer_device sys dev ~cpus:[ 1 ];
+    Scheduler.start_device sys dev;
+    let th = spawn_periodic sys ~period:(Time.us 100) ~slice:(Time.us 70) in
+    Scheduler.run ~until:(Time.ms 50) sys;
+    (th.Thread.misses, th.Thread.arrivals)
+  in
+  let inline_misses, _ = run ~threaded:false in
+  let threaded_misses, arrivals = run ~threaded:true in
+  Alcotest.(check bool) "inline handlers wreck the RT thread" true
+    (inline_misses > 100);
+  Alcotest.(check bool) "threaded handlers protect it" true
+    (threaded_misses < arrivals / 50)
+
+let suite =
+  [
+    Alcotest.test_case "SMIs with slack never miss (eager)" `Quick test_smi_with_slack_no_miss;
+    Alcotest.test_case "freeze mid-slice still full slice" `Quick test_freeze_mid_slice_still_full_slice;
+    Alcotest.test_case "blocked across periods rejoins" `Quick test_blocked_through_periods_rejoins;
+    Alcotest.test_case "CPUs are independent" `Quick test_independent_cpus;
+    Alcotest.test_case "PPR follows thread class" `Quick test_ppr_follows_thread_class;
+    Alcotest.test_case "sporadic miss recorded" `Quick test_sporadic_miss_recorded;
+    Alcotest.test_case "stale sleep does not wake" `Quick test_stale_sleep_does_not_wake;
+    Alcotest.test_case "two invocations per period" `Quick test_invocation_rate_two_per_period;
+    Alcotest.test_case "idle time accounting" `Quick test_idle_time_accounting;
+    Alcotest.test_case "RT-to-RT constraint change" `Quick test_change_constraints_rt_to_rt;
+    Alcotest.test_case "ten threads, one CPU, zero misses" `Quick test_many_threads_one_cpu;
+    Alcotest.test_case "exit releases utilization" `Quick test_exit_while_realtime_releases_util;
+    Alcotest.test_case "threaded interrupts protect RT" `Quick test_threaded_interrupts_protect_rt;
+  ]

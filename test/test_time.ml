@@ -1,0 +1,58 @@
+open Hrt_engine
+
+let check = Alcotest.(check int64)
+
+let test_units () =
+  check "us" 1_000L (Time.us 1);
+  check "ms" 1_000_000L (Time.ms 1);
+  check "sec" 1_000_000_000L (Time.sec 1);
+  check "ns" 17L (Time.ns 17);
+  check "negative us" (-2_000L) (Time.us (-2))
+
+let test_arith () =
+  check "add" 30L Time.(10L + 20L);
+  check "sub" (-10L) Time.(10L - 20L);
+  check "mul" 50L Time.(10L * 5);
+  check "div" 3L Time.(10L / 3);
+  Alcotest.(check bool) "lt" true Time.(1L < 2L);
+  Alcotest.(check bool) "le eq" true Time.(2L <= 2L);
+  Alcotest.(check bool) "gt" false Time.(1L > 2L);
+  Alcotest.(check bool) "ge" true Time.(2L >= 2L)
+
+let test_min_max () =
+  check "min" 1L (Time.min 1L 2L);
+  check "max" 2L (Time.max 1L 2L);
+  check "min neg" (-5L) (Time.min (-5L) 3L)
+
+let test_float_conversions () =
+  Alcotest.(check (float 1e-9)) "to_float_us" 1.5 (Time.to_float_us 1_500L);
+  Alcotest.(check (float 1e-9)) "to_float_ms" 2.25 (Time.to_float_ms 2_250_000L);
+  Alcotest.(check (float 1e-9)) "to_float_s" 0.5 (Time.to_float_s 500_000_000L);
+  check "of_float_us rounds" 1_500L (Time.of_float_us 1.5);
+  check "of_float_us rounds nearest" 2L (Time.of_float_us 0.0015)
+
+let test_cycles () =
+  (* 1.3 GHz: 1000 ns = 1300 cycles exactly. *)
+  check "cycles of 1us at 1.3GHz" 1300L (Time.cycles_of_ns ~ghz:1.3 (Time.us 1));
+  check "ns of cycles round trip" (Time.us 1)
+    (Time.ns_of_cycles ~ghz:1.3 1300L);
+  (* Conversion back is conservative: never later (>= requested). *)
+  let v = Time.ns_of_cycles ~ghz:1.3 1301L in
+  Alcotest.(check bool) "ceil rounding" true Time.(v >= 1001L)
+
+let test_pp () =
+  let s v = Format.asprintf "%a" Time.pp v in
+  Alcotest.(check string) "ns" "500ns" (s 500L);
+  Alcotest.(check string) "us" "12.500us" (s 12_500L);
+  Alcotest.(check string) "ms" "3.200ms" (s 3_200_000L);
+  Alcotest.(check string) "s" "1.500s" (s 1_500_000_000L)
+
+let suite =
+  [
+    Alcotest.test_case "unit constructors" `Quick test_units;
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "min/max" `Quick test_min_max;
+    Alcotest.test_case "float conversions" `Quick test_float_conversions;
+    Alcotest.test_case "cycle conversions" `Quick test_cycles;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+  ]

@@ -1,0 +1,53 @@
+open Hrt_engine
+
+let test_series_creation () =
+  let t = Trace.create () in
+  let a = Trace.series t "alpha" in
+  let b = Trace.series t "beta" in
+  Alcotest.(check bool) "same name same series" true (a == Trace.series t "alpha");
+  Alcotest.(check bool) "distinct series" false (a == b);
+  Alcotest.(check (list string)) "names in creation order" [ "alpha"; "beta" ]
+    (Trace.names t)
+
+let test_record () =
+  let t = Trace.create () in
+  let s = Trace.series t "s" in
+  Trace.record s ~time:10L 1.5;
+  Trace.record s ~time:20L 2.5;
+  Trace.record_event s ~time:30L;
+  Alcotest.(check int) "length" 3 (Trace.length s);
+  Alcotest.(check (array int64)) "times" [| 10L; 20L; 30L |] (Trace.times s);
+  Alcotest.(check (array (float 0.))) "values" [| 1.5; 2.5; 1.0 |]
+    (Trace.values s)
+
+let test_growth () =
+  let t = Trace.create () in
+  let s = Trace.series t "big" in
+  for i = 0 to 999 do
+    Trace.record s ~time:(Int64.of_int i) (float_of_int i)
+  done;
+  Alcotest.(check int) "1000 samples" 1000 (Trace.length s);
+  Alcotest.(check (float 0.)) "last value" 999. (Trace.values s).(999)
+
+let test_fold () =
+  let t = Trace.create () in
+  let s = Trace.series t "s" in
+  List.iter (fun (tm, v) -> Trace.record s ~time:tm v)
+    [ (1L, 1.); (2L, 2.); (3L, 3.) ];
+  let sum = Trace.fold s ~init:0. ~f:(fun acc _ v -> acc +. v) in
+  Alcotest.(check (float 0.)) "fold sum" 6. sum
+
+let test_find () =
+  let t = Trace.create () in
+  ignore (Trace.series t "exists");
+  Alcotest.(check bool) "find some" true (Trace.find t "exists" <> None);
+  Alcotest.(check bool) "find none" true (Trace.find t "missing" = None)
+
+let suite =
+  [
+    Alcotest.test_case "series creation/identity" `Quick test_series_creation;
+    Alcotest.test_case "record and read back" `Quick test_record;
+    Alcotest.test_case "growth past capacity" `Quick test_growth;
+    Alcotest.test_case "fold" `Quick test_fold;
+    Alcotest.test_case "find" `Quick test_find;
+  ]
