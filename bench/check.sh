@@ -1,0 +1,17 @@
+#!/bin/sh
+# CI gate: type-check, run the full test suite, then verify that the
+# observability layer costs nothing when disabled (bench/overhead_check.ml).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build @check =="
+dune build @check
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== observability overhead gate =="
+dune exec bench/overhead_check.exe
+
+echo "check.sh: all gates passed"

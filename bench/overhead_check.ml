@@ -1,0 +1,75 @@
+(* Observability overhead gate.
+
+   The observability layer must be zero-cost when disabled: every
+   instrumentation site guards event construction behind a single
+   [Sink.enabled] branch on the null sink. This check times a fixed
+   scheduler workload with the sink disabled, twice, and fails if the two
+   series disagree by more than the tolerance — i.e. if the "disabled" path
+   has any measurable, non-noise cost. The enabled-sink cost is reported
+   informationally (it is allowed to cost something; that is what you pay
+   for a trace).
+
+   Run via bench/check.sh or `dune exec bench/overhead_check.exe`. *)
+
+open Hrt_engine
+open Hrt_core
+
+let tolerance = 0.02 (* 2% *)
+
+let workload ~obs () =
+  let config = { Config.default with Config.admission_control = false } in
+  let sys =
+    Scheduler.create ~num_cpus:4 ~config ~calibrate:false ~obs
+      Hrt_hw.Platform.phi
+  in
+  for cpu = 1 to 3 do
+    ignore
+      (Hrt_harness.Exp.periodic_thread sys ~cpu ~period:(Time.us 100)
+         ~slice:(Time.us 60) ())
+  done;
+  Scheduler.run ~until:(Time.ms 10) sys
+
+(* Min-of-N over samples of [reps] back-to-back runs each: the minimum is
+   the least-noise estimate of the true cost. *)
+let measure ?(samples = 9) ~reps f =
+  let best = ref infinity in
+  for _ = 1 to samples do
+    let t0 = Sys.time () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    let dt = Sys.time () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let () =
+  let reps = 20 in
+  (* Warm up allocators and code paths. *)
+  workload ~obs:Hrt_obs.Sink.null ();
+  let disabled_a = measure ~reps (workload ~obs:Hrt_obs.Sink.null) in
+  let disabled_b = measure ~reps (workload ~obs:Hrt_obs.Sink.null) in
+  let enabled =
+    measure ~reps (fun () -> workload ~obs:(Hrt_obs.Sink.create ()) ())
+  in
+  let base = Float.min disabled_a disabled_b in
+  let delta = Float.abs (disabled_a -. disabled_b) /. base in
+  Printf.printf "disabled: %.4fs / %.4fs (delta %.2f%%)\n" disabled_a
+    disabled_b (100. *. delta);
+  Printf.printf "enabled:  %.4fs (+%.1f%% over disabled; informational)\n"
+    enabled
+    (100. *. ((enabled -. base) /. base));
+  if delta > tolerance then begin
+    (* One retry: a background process can poison a series. *)
+    let a = measure ~reps (workload ~obs:Hrt_obs.Sink.null) in
+    let b = measure ~reps (workload ~obs:Hrt_obs.Sink.null) in
+    let delta = Float.abs (a -. b) /. Float.min a b in
+    Printf.printf "retry: %.4fs / %.4fs (delta %.2f%%)\n" a b (100. *. delta);
+    if delta > tolerance then begin
+      Printf.printf
+        "FAIL: disabled-observability runs differ by more than %.0f%%\n"
+        (100. *. tolerance);
+      exit 1
+    end
+  end;
+  print_endline "overhead check: OK"

@@ -19,6 +19,49 @@ let scale_term =
   Term.(
     const (fun full -> if full then Exp.Full else Exp.scale_of_env ()) $ full)
 
+(* ---- observability ---- *)
+
+let trace_out_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Record every scheduler event and write a Chrome-trace JSON file \
+           to $(docv) (loadable in chrome://tracing or Perfetto).")
+
+let metrics_out_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write the derived metrics registry as CSV to $(docv).")
+
+(* Install an enabled default sink before the workload runs (so systems
+   created inside harnesses pick it up), run, then export whatever was
+   requested. *)
+let with_obs ~trace_out ~metrics_out f =
+  (match (trace_out, metrics_out) with
+  | None, None -> ()
+  | _ ->
+    Hrt_obs.Sink.set_default
+      (Hrt_obs.Sink.create ~trace:(trace_out <> None) ()));
+  f ();
+  let sink = Hrt_obs.Sink.get_default () in
+  (match trace_out with
+  | Some path ->
+    (match Hrt_obs.Sink.tracer sink with
+    | Some tr ->
+      Hrt_obs.Export.write_chrome_trace tr ~path;
+      Printf.printf "wrote %s (%d events)\n" path (Hrt_obs.Tracer.length tr)
+    | None -> ())
+  | None -> ());
+  match metrics_out with
+  | Some path ->
+    Hrt_obs.Export.write_metrics_csv (Hrt_obs.Sink.metrics sink) ~path;
+    Printf.printf "wrote %s\n" path
+  | None -> ()
+
 (* ---- list ---- *)
 
 let list_cmd =
@@ -44,37 +87,47 @@ let run_cmd =
       & opt (some string) None
       & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each table as CSV into $(docv).")
   in
-  let run scale csv_dir names =
-    List.iter
-      (fun name ->
-        match Registry.find name with
-        | Some e -> (
-          Registry.run_and_print ~scale e;
-          match csv_dir with
-          | None -> ()
-          | Some dir ->
-            if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-            List.iteri
-              (fun i table ->
-                let path = Filename.concat dir (Printf.sprintf "%s-%d.csv" name i) in
-                Hrt_stats.Csv.write ~path
-                  ~header:(Hrt_stats.Table.headers table)
-                  (Hrt_stats.Table.to_rows table);
-                Printf.printf "wrote %s\n" path)
-              (e.Registry.run scale))
-        | None ->
-          Printf.eprintf "unknown experiment %S; try `hrt_sim list`\n" name;
-          exit 1)
-      names
+  let run scale csv_dir trace_out metrics_out names =
+    with_obs ~trace_out ~metrics_out (fun () ->
+        List.iter
+          (fun name ->
+            match Registry.find name with
+            | Some e -> (
+              Registry.run_and_print ~scale e;
+              match csv_dir with
+              | None -> ()
+              | Some dir ->
+                if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+                List.iteri
+                  (fun i table ->
+                    let path =
+                      Filename.concat dir (Printf.sprintf "%s-%d.csv" name i)
+                    in
+                    Hrt_stats.Csv.write ~path
+                      ~header:(Hrt_stats.Table.headers table)
+                      (Hrt_stats.Table.to_rows table);
+                    Printf.printf "wrote %s\n" path)
+                  (e.Registry.run scale))
+            | None ->
+              Printf.eprintf "unknown experiment %S; try `hrt_sim list`\n" name;
+              exit 1)
+          names)
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ scale_term $ csv_dir $ names)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ scale_term $ csv_dir $ trace_out_term $ metrics_out_term
+      $ names)
 
 (* ---- all ---- *)
 
 let all_cmd =
   let doc = "Run every experiment (the full evaluation section)." in
-  let run scale = List.iter (Registry.run_and_print ~scale) Registry.all in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ scale_term)
+  let run scale trace_out metrics_out =
+    with_obs ~trace_out ~metrics_out (fun () ->
+        List.iter (Registry.run_and_print ~scale) Registry.all)
+  in
+  Cmd.v (Cmd.info "all" ~doc)
+    Term.(const run $ scale_term $ trace_out_term $ metrics_out_term)
 
 (* ---- bsp ---- *)
 
@@ -106,32 +159,37 @@ let bsp_cmd =
   let iters =
     Arg.(value & opt int 500 & info [ "iters" ] ~doc:"BSP iterations.")
   in
-  let run cpus grain barrier aperiodic period_us slice_pct iters =
-    let params =
-      match grain with
-      | `Fine -> Hrt_bsp.Bsp.fine_grain ~cpus ~barrier:(barrier || aperiodic)
-      | `Coarse -> Hrt_bsp.Bsp.coarse_grain ~cpus ~barrier:(barrier || aperiodic)
-    in
-    let params = { params with Hrt_bsp.Bsp.iters } in
-    let mode =
-      if aperiodic then Hrt_bsp.Bsp.Aperiodic
-      else begin
-        let period = Time.us period_us in
-        let slice = Int64.div (Int64.mul period (Int64.of_int slice_pct)) 100L in
-        Hrt_bsp.Bsp.Rt { period; slice; phase_correction = true }
-      end
-    in
-    let r = Hrt_bsp.Bsp.run params mode in
-    Printf.printf
-      "exec=%.3f ms  iterations=%d  misses=%d  admitted=%b  checksum=%.0f\n"
-      (Time.to_float_ms r.Hrt_bsp.Bsp.exec_time)
-      r.Hrt_bsp.Bsp.iterations_done r.Hrt_bsp.Bsp.misses r.Hrt_bsp.Bsp.admitted
-      r.Hrt_bsp.Bsp.checksum
+  let run cpus grain barrier aperiodic period_us slice_pct iters trace_out
+      metrics_out =
+    with_obs ~trace_out ~metrics_out (fun () ->
+        let params =
+          match grain with
+          | `Fine -> Hrt_bsp.Bsp.fine_grain ~cpus ~barrier:(barrier || aperiodic)
+          | `Coarse ->
+            Hrt_bsp.Bsp.coarse_grain ~cpus ~barrier:(barrier || aperiodic)
+        in
+        let params = { params with Hrt_bsp.Bsp.iters } in
+        let mode =
+          if aperiodic then Hrt_bsp.Bsp.Aperiodic
+          else begin
+            let period = Time.us period_us in
+            let slice =
+              Int64.div (Int64.mul period (Int64.of_int slice_pct)) 100L
+            in
+            Hrt_bsp.Bsp.Rt { period; slice; phase_correction = true }
+          end
+        in
+        let r = Hrt_bsp.Bsp.run params mode in
+        Printf.printf
+          "exec=%.3f ms  iterations=%d  misses=%d  admitted=%b  checksum=%.0f\n"
+          (Time.to_float_ms r.Hrt_bsp.Bsp.exec_time)
+          r.Hrt_bsp.Bsp.iterations_done r.Hrt_bsp.Bsp.misses
+          r.Hrt_bsp.Bsp.admitted r.Hrt_bsp.Bsp.checksum)
   in
   Cmd.v (Cmd.info "bsp" ~doc)
     Term.(
       const run $ cpus $ grain $ barrier $ aperiodic $ period_us $ slice_pct
-      $ iters)
+      $ iters $ trace_out_term $ metrics_out_term)
 
 (* ---- missrate ---- *)
 
@@ -153,24 +211,31 @@ let missrate_cmd =
   let ms =
     Arg.(value & opt int 100 & info [ "duration" ] ~doc:"Simulated ms to run.")
   in
-  let run platform period_us slice_pct ms =
-    let config = { Config.default with Config.admission_control = false } in
-    let sys = Scheduler.create ~num_cpus:2 ~config platform in
-    let period = Time.us period_us in
-    let slice = Int64.div (Int64.mul period (Int64.of_int slice_pct)) 100L in
-    ignore (Exp.periodic_thread sys ~cpu:1 ~period ~slice ());
-    Scheduler.run ~until:(Time.ms ms) sys;
-    let acc = Local_sched.account (Scheduler.sched sys 1) in
-    Printf.printf
-      "platform=%s period=%dus slice=%d%%: arrivals=%d misses=%d rate=%.1f%% \
-       mean-miss=%.2fus\n"
-      platform.Hrt_hw.Platform.name period_us slice_pct (Account.arrivals acc)
-      (Account.misses acc)
-      (100. *. Account.miss_rate acc)
-      (Hrt_stats.Summary.mean (Account.miss_times_us acc))
+  let run platform period_us slice_pct ms trace_out metrics_out =
+    with_obs ~trace_out ~metrics_out (fun () ->
+        let config =
+          { Config.default with Config.admission_control = false }
+        in
+        let sys = Scheduler.create ~num_cpus:2 ~config platform in
+        let period = Time.us period_us in
+        let slice =
+          Int64.div (Int64.mul period (Int64.of_int slice_pct)) 100L
+        in
+        ignore (Exp.periodic_thread sys ~cpu:1 ~period ~slice ());
+        Scheduler.run ~until:(Time.ms ms) sys;
+        let acc = Local_sched.account (Scheduler.sched sys 1) in
+        Printf.printf
+          "platform=%s period=%dus slice=%d%%: arrivals=%d misses=%d \
+           rate=%.1f%% mean-miss=%.2fus\n"
+          platform.Hrt_hw.Platform.name period_us slice_pct
+          (Account.arrivals acc) (Account.misses acc)
+          (100. *. Account.miss_rate acc)
+          (Hrt_stats.Summary.mean (Account.miss_times_us acc)))
   in
   Cmd.v (Cmd.info "missrate" ~doc)
-    Term.(const run $ platform $ period_us $ slice_pct $ ms)
+    Term.(
+      const run $ platform $ period_us $ slice_pct $ ms $ trace_out_term
+      $ metrics_out_term)
 
 let () =
   let doc = "Hard real-time scheduling for parallel run-time systems (HPDC'18 reproduction)." in

@@ -1,12 +1,14 @@
 open Hrt_engine
 open Hrt_hw
 open Hrt_kernel
+module Obs = Hrt_obs
 
 type shared = {
   machine : Machine.t;
   config : Config.t;
   pool : Thread_pool.t;
   workload_rng : Rng.t;
+  obs : Obs.Sink.t;
   mutable scheds : t array;
   mutable total_aper_queued : int;
   mutable dispatch_hook : (int -> Thread.t -> Time.ns -> unit) option;
@@ -56,6 +58,13 @@ let task_thread t = t.task_thread
 let engine t = t.shared.machine.Machine.engine
 let platform t = t.shared.machine.Machine.platform
 let config t = t.shared.config
+let obs t = t.shared.obs
+
+(* Instrumentation sites call [obs_on] first so a disabled sink costs one
+   predictable branch and no event allocation. *)
+let obs_on t = Obs.Sink.enabled t.shared.obs
+
+let obs_emit t ~time ev = Obs.Sink.emit t.shared.obs ~time ~cpu:(cpu_id t) ev
 
 let sample t cost = Machine.sample t.shared.machine t.cpu cost
 
@@ -161,7 +170,7 @@ let rec pump t now =
    still owed slice time has missed. The miss *time* is recorded when the
    late slice finally completes. *)
 
-let flag_miss _t (th : Thread.t) now =
+let flag_miss t (th : Thread.t) now =
   if
     rt_active th
     && (not th.missed_current)
@@ -170,7 +179,15 @@ let flag_miss _t (th : Thread.t) now =
   then begin
     th.missed_current <- true;
     th.miss_deadline <- th.deadline;
-    th.misses <- th.misses + 1
+    th.misses <- th.misses + 1;
+    if obs_on t then
+      obs_emit t ~time:now
+        (Obs.Event.Deadline_miss
+           {
+             tid = th.id;
+             thread = th.name;
+             lateness_ns = Time.(now - th.deadline);
+           })
   end
 
 let flag_misses t now =
@@ -182,6 +199,12 @@ let record_miss_completion t (th : Thread.t) now =
     let miss_time = Time.max 0L Time.(now - th.miss_deadline) in
     th.miss_time_total <- Time.(th.miss_time_total + miss_time);
     Account.record_miss t.account ~miss_time_ns:miss_time;
+    (if obs_on t then
+       Obs.Metrics.observe
+         (Obs.Metrics.histo
+            (Obs.Sink.metrics t.shared.obs)
+            ~cpu:(cpu_id t) "sched.miss_time_us")
+         (Int64.to_float miss_time /. 1_000.));
     th.missed_current <- false
   end
 
@@ -191,6 +214,10 @@ let record_miss_completion t (th : Thread.t) now =
 
 let do_set_constraints t (th : Thread.t) c cb now =
   let ok = Admission.request t.admission ~now ~old_constr:th.constr c in
+  (if obs_on t then
+     obs_emit t ~time:now
+       (if ok then Obs.Event.Admission_accept { tid = th.id }
+        else Obs.Event.Admission_reject { tid = th.id }));
   let effective = if ok then c else th.constr in
   if ok then begin
     th.constr <- c;
@@ -628,16 +655,26 @@ and attempt_steal t eng =
   in
   let cost = sample t (platform t).Platform.steal_check in
   t.busy_until <- Time.max t.busy_until Time.(Engine.now eng + cost);
+  let emit_attempt victim success =
+    if obs_on t then
+      obs_emit t ~time:(Engine.now eng)
+        (Obs.Event.Steal_attempt { victim; success })
+  in
   (match victim with
   | Some v -> (
     match try_steal_from t.shared.scheds.(v) ~thief_cpu:(cpu_id t) with
     | Some th ->
+      emit_attempt (Some v) true;
       th.Thread.cpu <- cpu_id t;
       aper_push_back t th;
       Account.record_steal t.account;
       request_invoke t
-    | None -> arm_steal t)
-  | None -> arm_steal t)
+    | None ->
+      emit_attempt (Some v) false;
+      arm_steal t)
+  | None ->
+    emit_attempt None false;
+    arm_steal t)
 
 and try_steal_from t ~thief_cpu =
   ignore thief_cpu;
@@ -687,6 +724,8 @@ and invoke t eng ~irq_ns ~handler_ns =
     Time.(irq_ns + handler_ns + task_ns + pass_ns + other_ns + switch_ns)
   in
   let resume_at = Time.(now + overhead) in
+  (* Legacy probe shim: the same windows the registry-backed events carry,
+     delivered through the old callback record for the scope harnesses. *)
   (match t.probe with
   | Some p ->
     if Time.(irq_ns > 0L) then p.irq_window ~start:now ~stop:resume_at;
@@ -695,6 +734,24 @@ and invoke t eng ~irq_ns ~handler_ns =
       ~stop:Time.(now + irq_ns + handler_ns + other_ns + pass_ns);
     p.thread_active next resume_at
   | None -> ());
+  (if obs_on t then begin
+     if Time.(irq_ns > 0L) then
+       obs_emit t ~time:now
+         (Obs.Event.Irq { dur_ns = Time.(irq_ns + handler_ns) });
+     obs_emit t
+       ~time:Time.(now + irq_ns + handler_ns)
+       (Obs.Event.Sched_pass { dur_ns = Time.(pass_ns + other_ns) });
+     (match (prev, next) with
+     | Some p, Some n when (not (p == n)) && Thread.runnable p ->
+       obs_emit t ~time:now
+         (Obs.Event.Preempt { tid = p.Thread.id; thread = p.Thread.name })
+     | _ -> ());
+     match next with
+     | Some th ->
+       obs_emit t ~time:resume_at
+         (Obs.Event.Dispatch { tid = th.Thread.id; thread = th.Thread.name })
+     | None -> if t.idle_since = None then obs_emit t ~time:resume_at Obs.Event.Idle
+   end);
   t.busy_until <- resume_at;
   (match next with
   | Some th ->

@@ -32,6 +32,9 @@ type shared = {
   config : Config.t;
   pool : Thread_pool.t;
   workload_rng : Rng.t;  (** stream for thread-body randomness *)
+  obs : Hrt_obs.Sink.t;
+      (** observability sink shared by every local scheduler; the null sink
+          disables all instrumentation at the cost of one branch per site *)
   mutable scheds : t array;
   mutable total_aper_queued : int;
       (** machine-wide count of queued aperiodic threads (steal signal) *)
@@ -42,9 +45,16 @@ type shared = {
 
 and t
 
-(** Instrumentation for the external-verification experiment (Fig 4): the
-    scheduler raises "pins" around its interrupt handling and scheduling
-    pass, and marks the active thread at the end of the pass. *)
+(** Legacy instrumentation shim for the external-verification experiment
+    (Fig 4): the scheduler raises "pins" around its interrupt handling and
+    scheduling pass, and marks the active thread at the end of the pass.
+
+    New code should prefer the registry-backed instrumentation: the same
+    transitions are published as typed {!Hrt_obs.Event.t} values
+    ({!Hrt_obs.Event.Irq}, {!Hrt_obs.Event.Sched_pass},
+    {!Hrt_obs.Event.Dispatch}) on [shared.obs], which also derives per-CPU
+    metrics. The probe record is kept because the scope harness needs the
+    exact window edges it has always measured. *)
 type probe = {
   irq_window : start:Time.ns -> stop:Time.ns -> unit;
   pass_window : start:Time.ns -> stop:Time.ns -> unit;
@@ -72,6 +82,9 @@ val account : t -> Account.t
 val admission : t -> Admission.t
 val tasks : t -> Task.t
 val current : t -> Thread.t option
+
+val obs : t -> Hrt_obs.Sink.t
+(** The shared observability sink (possibly {!Hrt_obs.Sink.null}). *)
 
 val set_probe : t -> probe option -> unit
 val set_clock_skew : t -> Time.ns -> unit

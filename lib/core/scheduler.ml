@@ -1,6 +1,7 @@
 open Hrt_engine
 open Hrt_hw
 open Hrt_kernel
+module Obs = Hrt_obs
 
 type t = {
   shared : Local_sched.shared;
@@ -17,6 +18,7 @@ let platform t = (machine t).Machine.platform
 let num_cpus t = Machine.num_cpus (machine t)
 let sched t i = t.shared.Local_sched.scheds.(i)
 let calibration t = t.calibration
+let obs t = t.shared.Local_sched.obs
 
 let rec spawn t ?name ?(cpu = 0) ?(bound = false) ?(prio = 0) body =
   if cpu < 0 || cpu >= num_cpus t then invalid_arg "Scheduler.spawn: bad CPU";
@@ -132,9 +134,38 @@ let admission_ops t constr ~on_result =
 let sync_accounting t =
   Array.iter Local_sched.sync_accounting t.shared.Local_sched.scheds
 
+(* End-of-run scrape of the engine's and each CPU's native counters into
+   the metrics registry, so every harness that calls [run] exports
+   event-loop and accounting health for free. Gauges hold the latest run's
+   value; event-derived counters/histograms keep accumulating. *)
+let snapshot_metrics t =
+  let obs = t.shared.Local_sched.obs in
+  if Obs.Sink.enabled obs then begin
+    let m = Obs.Sink.metrics obs in
+    let eng = engine t in
+    let setg ?cpu name v = Obs.Metrics.set (Obs.Metrics.gauge m ?cpu name) v in
+    setg "engine.events_executed" (float_of_int (Engine.events_executed eng));
+    setg "engine.queue_depth_hwm" (float_of_int (Engine.max_queue_depth eng));
+    setg "engine.pending_events" (float_of_int (Engine.pending eng));
+    setg "engine.sim_time_ns" (Int64.to_float (Engine.now eng));
+    setg "engine.total_frozen_ns" (Int64.to_float (Engine.total_frozen eng));
+    Array.iteri
+      (fun i s ->
+        let acc = Local_sched.account s in
+        setg ~cpu:i "cpu.idle_ns" (Int64.to_float (Local_sched.idle_time s));
+        setg ~cpu:i "account.invocations"
+          (float_of_int (Account.invocations acc));
+        setg ~cpu:i "account.arrivals" (float_of_int (Account.arrivals acc));
+        setg ~cpu:i "account.misses" (float_of_int (Account.misses acc));
+        setg ~cpu:i "account.kicks" (float_of_int (Account.kicks acc));
+        setg ~cpu:i "account.steals" (float_of_int (Account.steals acc)))
+      t.shared.Local_sched.scheds
+  end
+
 let run ?until t =
   Engine.run ?until (engine t);
-  sync_accounting t
+  sync_accounting t;
+  snapshot_metrics t
 
 let set_dispatch_hook t hook = t.shared.Local_sched.dispatch_hook <- hook
 
@@ -171,11 +202,14 @@ let total_arrivals t =
 
 let threads_alive t = Thread_pool.in_use t.shared.Local_sched.pool
 
-let create ?(seed = 42L) ?num_cpus ?(config = Config.default) ?(calibrate = true)
-    platform =
+let create ?(seed = 42L) ?num_cpus ?(config = Config.default)
+    ?(calibrate = true) ?obs platform =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Scheduler.create: " ^ msg));
+  let obs =
+    match obs with Some s -> s | None -> Obs.Sink.get_default ()
+  in
   let machine = Machine.create ~seed ?num_cpus platform in
   let shared =
     {
@@ -183,6 +217,7 @@ let create ?(seed = 42L) ?num_cpus ?(config = Config.default) ?(calibrate = true
       config;
       pool = Thread_pool.create ~capacity:config.Config.max_threads;
       workload_rng = Rng.split machine.Machine.rng;
+      obs;
       scheds = [||];
       total_aper_queued = 0;
       dispatch_hook = None;

@@ -16,11 +16,15 @@ val create :
   ?num_cpus:int ->
   ?config:Config.t ->
   ?calibrate:bool ->
+  ?obs:Hrt_obs.Sink.t ->
   Platform.t ->
   t
 (** Boot a system. [calibrate] (default true) runs the boot-time TSC
     synchronization and installs the residual clock skews into the local
-    schedulers. *)
+    schedulers. [obs] is the observability sink shared by every local
+    scheduler; it defaults to {!Hrt_obs.Sink.get_default} (the process-wide
+    sink, normally {!Hrt_obs.Sink.null}), so instrumentation costs one dead
+    branch per site unless a harness opts in. *)
 
 val machine : t -> Machine.t
 val engine : t -> Engine.t
@@ -29,6 +33,9 @@ val platform : t -> Platform.t
 val num_cpus : t -> int
 val sched : t -> int -> Local_sched.t
 val calibration : t -> Sync_cal.result option
+
+val obs : t -> Hrt_obs.Sink.t
+(** The observability sink this system reports through. *)
 
 val spawn :
   t ->
@@ -66,7 +73,15 @@ val admission_ops :
     so its cost never perturbs already-admitted threads (Section 3.2). *)
 
 val run : ?until:Time.ns -> t -> unit
-(** Run the simulation; progress accounting is synchronized on return. *)
+(** Run the simulation; progress accounting is synchronized on return, and
+    (when the sink is enabled) engine/accounting gauges are snapshot into
+    the metrics registry via {!snapshot_metrics}. *)
+
+val snapshot_metrics : t -> unit
+(** Scrape engine counters (events executed, queue-depth high-water mark,
+    simulated time, missing time) and per-CPU accounting (idle time,
+    invocations, arrivals, misses, kicks, steals) into the sink's metrics
+    registry as gauges. No-op on a disabled sink. *)
 
 val sync_accounting : t -> unit
 (** Charge all running threads' progress up to the current instant (done

@@ -12,6 +12,7 @@ and t = {
   mutable total_frozen_closed : Time.ns;
   mutable stopped : bool;
   mutable executed : int;
+  mutable max_pending : int;
 }
 
 type handle = callback Event_queue.entry
@@ -27,17 +28,24 @@ let create ?(seed = 42L) () =
     total_frozen_closed = 0L;
     stopped = false;
     executed = 0;
+    max_pending = 0;
   }
 
 let now t = t.now
 let rng t = t.rng
+
+let track_depth t =
+  let n = Event_queue.size t.queue in
+  if n > t.max_pending then t.max_pending <- n
 
 let schedule t ~at f =
   if Time.(at < t.now) then
     invalid_arg
       (Format.asprintf "Engine.schedule: %a is in the past (now %a)" Time.pp at
          Time.pp t.now);
-  Event_queue.add t.queue ~time:at f
+  let h = Event_queue.add t.queue ~time:at f in
+  track_depth t;
+  h
 
 let schedule_after t ~after f = schedule t ~at:Time.(t.now + after) f
 
@@ -91,6 +99,7 @@ let total_frozen t =
 let stop t = t.stopped <- true
 let events_executed t = t.executed
 let pending t = Event_queue.size t.queue
+let max_queue_depth t = t.max_pending
 
 let run ?until ?max_events t =
   t.stopped <- false;

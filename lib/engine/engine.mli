@@ -53,3 +53,7 @@ val events_executed : t -> int
 
 val pending : t -> int
 (** Number of live events still queued. *)
+
+val max_queue_depth : t -> int
+(** High-water mark of {!pending} over the engine's lifetime (an event-loop
+    health metric; exported by the observability layer). *)

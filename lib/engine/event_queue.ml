@@ -1,7 +1,9 @@
 type 'a entry = {
   time : Time.ns;
   seq : int;
-  payload : 'a;
+  mutable payload : 'a option;
+  (* [None] once popped or cancelled, so the heap never retains dead
+     payloads (closures can capture large state). *)
   mutable live : bool;
 }
 
@@ -10,9 +12,15 @@ type 'a t = {
   mutable len : int;
   mutable next_seq : int;
   mutable live_count : int;
+  sentinel : 'a entry;
+      (* fills vacated and never-used slots: a dead, payload-free entry *)
 }
 
-let create () = { heap = [||]; len = 0; next_seq = 0; live_count = 0 }
+let create () =
+  let sentinel =
+    { time = Int64.min_int; seq = -1; payload = None; live = false }
+  in
+  { heap = [||]; len = 0; next_seq = 0; live_count = 0; sentinel }
 
 let before a b =
   Int64.compare a.time b.time < 0
@@ -21,10 +29,7 @@ let before a b =
 let grow t =
   let cap = Array.length t.heap in
   let ncap = if cap = 0 then 64 else cap * 2 in
-  (* [t.len > 0] whenever grow is needed after the first add, so heap.(0)
-     is a valid filler. *)
-  let filler = if t.len > 0 then t.heap.(0) else Obj.magic 0 in
-  let nheap = Array.make ncap filler in
+  let nheap = Array.make ncap t.sentinel in
   Array.blit t.heap 0 nheap 0 t.len;
   t.heap <- nheap
 
@@ -58,7 +63,7 @@ let add_entry t e =
   sift_up t (t.len - 1)
 
 let add t ~time payload =
-  let e = { time; seq = t.next_seq; payload; live = true } in
+  let e = { time; seq = t.next_seq; payload = Some payload; live = true } in
   t.next_seq <- t.next_seq + 1;
   add_entry t e;
   t.live_count <- t.live_count + 1;
@@ -67,6 +72,7 @@ let add t ~time payload =
 let cancel t e =
   if e.live then begin
     e.live <- false;
+    e.payload <- None;
     t.live_count <- t.live_count - 1
   end
 
@@ -77,8 +83,10 @@ let remove_root t =
   t.len <- t.len - 1;
   if t.len > 0 then begin
     t.heap.(0) <- t.heap.(t.len);
+    t.heap.(t.len) <- t.sentinel;
     sift_down t 0
   end
+  else t.heap.(0) <- t.sentinel
 
 let rec pop_entry t =
   if t.len = 0 then None
@@ -97,7 +105,9 @@ let pop t =
   | None -> None
   | Some e ->
     t.live_count <- t.live_count - 1;
-    Some (e.time, e.payload)
+    let p = match e.payload with Some p -> p | None -> assert false in
+    e.payload <- None;
+    Some (e.time, p)
 
 let rec peek_time t =
   if t.len = 0 then None
@@ -112,8 +122,13 @@ let rec peek_time t =
 
 let requeue t e ~time =
   if not e.live then invalid_arg "Event_queue.requeue: cancelled entry";
+  let payload = match e.payload with Some p -> p | None -> assert false in
   cancel t e;
-  let e' = { time; seq = e.seq; payload = e.payload; live = true } in
+  (* A requeue is a fresh insertion: it takes a new sequence number so the
+     documented FIFO tie-break among same-timestamp events holds relative
+     to everything already scheduled, not to the entry's original age. *)
+  let e' = { time; seq = t.next_seq; payload = Some payload; live = true } in
+  t.next_seq <- t.next_seq + 1;
   add_entry t e';
   t.live_count <- t.live_count + 1;
   e'

@@ -3,7 +3,9 @@
     Events are ordered by (time, sequence number): two events at the same
     simulated instant fire in insertion order, which is what makes the whole
     simulation deterministic. Cancellation is lazy: a cancelled entry stays in
-    the heap until popped, then is skipped. *)
+    the heap until popped, then is skipped — but its payload is released
+    immediately, and popped slots are overwritten with a sentinel, so the
+    queue never retains dead payloads across long runs. *)
 
 type 'a t
 
@@ -23,10 +25,11 @@ val is_live : 'a entry -> bool
 val entry_time : 'a entry -> Time.ns
 
 val requeue : 'a t -> 'a entry -> time:Time.ns -> 'a entry
-(** [requeue q e ~time] cancels [e] and re-adds its payload at [time]
-    {e keeping the original sequence number}, so relative order among
-    deferred events is preserved (used for SMI freezes). Returns the new
-    handle. Raises [Invalid_argument] if [e] is cancelled. *)
+(** [requeue q e ~time] cancels [e] and re-adds its payload at [time] with
+    a {e fresh} sequence number: a requeue counts as a new insertion, so it
+    fires after events already scheduled at the same instant (the FIFO
+    tie-break documented above). Returns the new handle. Raises
+    [Invalid_argument] if [e] is cancelled. *)
 
 val pop : 'a t -> (Time.ns * 'a) option
 (** Remove and return the earliest live event. *)

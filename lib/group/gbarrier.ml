@@ -1,5 +1,6 @@
 open Hrt_engine
 open Hrt_core
+module Obs = Hrt_obs
 
 type t = {
   sys : Scheduler.t;
@@ -11,6 +12,9 @@ type t = {
   mutable waiters : Thread.t list; (* reverse arrival order *)
   mutable rounds : int;
   mutable last_release : Time.ns option;
+  mutable first_arrive : Time.ns option;
+      (* arrival time of the round's first thread, for the release-time
+         wait-span event *)
   delta : Time.ns;
 }
 
@@ -36,6 +40,7 @@ let create ?arrive_cost ?(serialized_arrivals = false) sys ~parties =
     waiters = [];
     rounds = 0;
     last_release = None;
+    first_arrive = None;
     delta;
   }
 
@@ -78,13 +83,29 @@ let cross ?on_release ?record_order t =
       let k = t.arrived in
       t.arrived <- t.arrived + 1;
       (match record_order with Some f -> f self k | None -> ());
+      let sink = Scheduler.obs t.sys in
+      let now = svc.Thread.now () in
+      if Obs.Sink.enabled sink then begin
+        if t.first_arrive = None then t.first_arrive <- Some now;
+        Obs.Sink.emit sink ~time:now ~cpu:self.Thread.cpu
+          (Obs.Event.Barrier_arrive { tid = self.Thread.id; order = k })
+      end;
       phase := Waiting;
       if t.arrived < t.parties then begin
         t.waiters <- self :: t.waiters;
         Thread.Block
       end
       else begin
-        t.last_release <- Some (svc.Thread.now ());
+        t.last_release <- Some now;
+        (if Obs.Sink.enabled sink then
+           let wait_ns =
+             match t.first_arrive with
+             | Some first -> Int64.sub now first
+             | None -> 0L
+           in
+           Obs.Sink.emit sink ~time:now ~cpu:self.Thread.cpu
+             (Obs.Event.Barrier_release { parties = t.parties; wait_ns }));
+        t.first_arrive <- None;
         (match on_release with Some f -> f () | None -> ());
         let all = List.rev (self :: t.waiters) in
         t.waiters <- [];

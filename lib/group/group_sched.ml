@@ -61,13 +61,19 @@ let constraint_period = function
 
 let change_constraints ?probe s ~on_result =
   let sys = Group.scheduler s.group in
-  let mark name =
-    match probe with
-    | None -> fun (_ : Thread.ctx) -> Thread.Exit
-    | Some f ->
-      fun ({ Thread.svc; self } : Thread.ctx) ->
-        f name self (svc.Thread.now ());
-        Thread.Exit
+  let sink = Scheduler.obs sys in
+  (* Each phase mark feeds both the (optional) legacy probe callback and,
+     when the sink is enabled, a typed [Group_phase] event. *)
+  let mark name ({ Thread.svc; self } : Thread.ctx) =
+    (match probe with
+    | None -> ()
+    | Some f -> f name self (svc.Thread.now ()));
+    if Hrt_obs.Sink.enabled sink then
+      Hrt_obs.Sink.emit sink
+        ~time:(svc.Thread.now ())
+        ~cpu:self.Thread.cpu
+        (Hrt_obs.Event.Group_phase { tid = self.Thread.id; phase = name });
+    Thread.Exit
   in
   let is_leader = ref false in
   let my_ok = ref false in

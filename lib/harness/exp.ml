@@ -62,8 +62,15 @@ let make_spread_collector sys ~workers ~period ~settle =
                let ts = List.map snd cur in
                let mx = List.fold_left Time.max (List.hd ts) ts in
                let mn = List.fold_left Time.min (List.hd ts) ts in
-               c.spreads_rev <-
-                 (Int64.to_float Time.(mx - mn) *. c.ghz) :: c.spreads_rev;
+               let spread_cycles = Int64.to_float Time.(mx - mn) *. c.ghz in
+               c.spreads_rev <- spread_cycles :: c.spreads_rev;
+               (let sink = Scheduler.obs sys in
+                if Hrt_obs.Sink.enabled sink then
+                  Hrt_obs.Metrics.observe
+                    (Hrt_obs.Metrics.histo
+                       (Hrt_obs.Sink.metrics sink)
+                       "group.spread_cycles")
+                    spread_cycles);
                c.acc.(bucket) <- []
              end
            end

@@ -1,0 +1,63 @@
+open Hrt_engine
+
+type t =
+  | Dispatch of { tid : int; thread : string }
+  | Preempt of { tid : int; thread : string }
+  | Deadline_miss of { tid : int; thread : string; lateness_ns : Time.ns }
+  | Admission_accept of { tid : int }
+  | Admission_reject of { tid : int }
+  | Irq of { dur_ns : Time.ns }
+  | Sched_pass of { dur_ns : Time.ns }
+  | Steal_attempt of { victim : int option; success : bool }
+  | Barrier_arrive of { tid : int; order : int }
+  | Barrier_release of { parties : int; wait_ns : Time.ns }
+  | Group_phase of { tid : int; phase : string }
+  | Idle
+
+let kind = function
+  | Dispatch _ -> "dispatch"
+  | Preempt _ -> "preempt"
+  | Deadline_miss _ -> "deadline-miss"
+  | Admission_accept _ -> "admission-accept"
+  | Admission_reject _ -> "admission-reject"
+  | Irq _ -> "irq"
+  | Sched_pass _ -> "sched-pass"
+  | Steal_attempt _ -> "steal-attempt"
+  | Barrier_arrive _ -> "barrier-arrive"
+  | Barrier_release _ -> "barrier-release"
+  | Group_phase _ -> "group-phase"
+  | Idle -> "idle"
+
+let dur_ns = function
+  | Irq { dur_ns } | Sched_pass { dur_ns } -> Some dur_ns
+  | Dispatch _ | Preempt _ | Deadline_miss _ | Admission_accept _
+  | Admission_reject _ | Steal_attempt _ | Barrier_arrive _ | Barrier_release _
+  | Group_phase _ | Idle ->
+    None
+
+let args = function
+  | Dispatch { tid; thread } | Preempt { tid; thread } ->
+    [ ("tid", string_of_int tid); ("thread", thread) ]
+  | Deadline_miss { tid; thread; lateness_ns } ->
+    [
+      ("tid", string_of_int tid);
+      ("thread", thread);
+      ("lateness_ns", Int64.to_string lateness_ns);
+    ]
+  | Admission_accept { tid } | Admission_reject { tid } ->
+    [ ("tid", string_of_int tid) ]
+  | Irq _ | Sched_pass _ | Idle -> []
+  | Steal_attempt { victim; success } ->
+    [
+      ( "victim",
+        match victim with None -> "none" | Some v -> string_of_int v );
+      ("success", string_of_bool success);
+    ]
+  | Barrier_arrive { tid; order } ->
+    [ ("tid", string_of_int tid); ("order", string_of_int order) ]
+  | Barrier_release { parties; wait_ns } ->
+    [
+      ("parties", string_of_int parties); ("wait_ns", Int64.to_string wait_ns);
+    ]
+  | Group_phase { tid; phase } ->
+    [ ("tid", string_of_int tid); ("phase", phase) ]

@@ -1,0 +1,37 @@
+(** Typed scheduler events.
+
+    Every observable transition of the simulated node is one of these
+    constructors; the tracer records them with a simulated-time timestamp
+    and the CPU they happened on. Spans ({!Irq}, {!Sched_pass}) carry their
+    duration and export as Chrome-trace complete events; everything else is
+    an instant. *)
+
+open Hrt_engine
+
+type t =
+  | Dispatch of { tid : int; thread : string }
+      (** a thread was context-switched in *)
+  | Preempt of { tid : int; thread : string }
+      (** a still-runnable thread was switched out *)
+  | Deadline_miss of { tid : int; thread : string; lateness_ns : Time.ns }
+      (** detected at the instant the deadline passed with slice still owed *)
+  | Admission_accept of { tid : int }
+  | Admission_reject of { tid : int }
+  | Irq of { dur_ns : Time.ns }  (** interrupt entry to exit *)
+  | Sched_pass of { dur_ns : Time.ns }  (** one scheduler pass *)
+  | Steal_attempt of { victim : int option; success : bool }
+  | Barrier_arrive of { tid : int; order : int }
+  | Barrier_release of { parties : int; wait_ns : Time.ns }
+      (** [wait_ns] is first-arrival to release *)
+  | Group_phase of { tid : int; phase : string }
+      (** group-admission protocol phase marks (Algorithm 1) *)
+  | Idle  (** the CPU went idle *)
+
+val kind : t -> string
+(** Stable kebab-case tag, used as the metric and trace-event name. *)
+
+val dur_ns : t -> Time.ns option
+(** Duration for span events, [None] for instants. *)
+
+val args : t -> (string * string) list
+(** Payload fields as key/value strings (Chrome-trace [args]). *)

@@ -1,0 +1,114 @@
+open Hrt_stats
+
+type counter = { mutable n : int }
+type gauge = { mutable g : float; mutable touched : bool }
+type histo = { samples : Percentile.t; summary : Summary.t }
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histo of histo
+
+type key = { name : string; cpu : int option }
+
+type t = {
+  tbl : (key, instrument) Hashtbl.t;
+  mutable order : key list; (* reverse creation order *)
+}
+
+let create () = { tbl = Hashtbl.create 64; order = [] }
+
+let find_or_add t ~name ~cpu make =
+  let key = { name; cpu } in
+  match Hashtbl.find_opt t.tbl key with
+  | Some i -> i
+  | None ->
+    let i = make () in
+    Hashtbl.add t.tbl key i;
+    t.order <- key :: t.order;
+    i
+
+let counter t ?cpu name =
+  match find_or_add t ~name ~cpu (fun () -> Counter { n = 0 }) with
+  | Counter c -> c
+  | Gauge _ | Histo _ ->
+    invalid_arg (Printf.sprintf "Metrics.counter: %S is not a counter" name)
+
+let gauge t ?cpu name =
+  match
+    find_or_add t ~name ~cpu (fun () -> Gauge { g = 0.; touched = false })
+  with
+  | Gauge g -> g
+  | Counter _ | Histo _ ->
+    invalid_arg (Printf.sprintf "Metrics.gauge: %S is not a gauge" name)
+
+let histo t ?cpu name =
+  match
+    find_or_add t ~name ~cpu (fun () ->
+        Histo { samples = Percentile.create (); summary = Summary.create () })
+  with
+  | Histo h -> h
+  | Counter _ | Gauge _ ->
+    invalid_arg (Printf.sprintf "Metrics.histo: %S is not a histogram" name)
+
+let incr c = c.n <- c.n + 1
+let add c k = c.n <- c.n + k
+let counter_value c = c.n
+
+let set g v =
+  g.g <- v;
+  g.touched <- true
+
+let watermark g v = if (not g.touched) || v > g.g then set g v
+let gauge_value g = g.g
+
+let observe h v =
+  Percentile.add h.samples v;
+  Summary.add h.summary v
+
+let histo_count h = Percentile.count h.samples
+let histo_mean h = Summary.mean h.summary
+let histo_max h = Summary.max h.summary
+
+let histo_percentile h p =
+  if Percentile.count h.samples = 0 then 0. else Percentile.value h.samples p
+
+let size t = Hashtbl.length t.tbl
+
+let header =
+  [ "metric"; "cpu"; "kind"; "count"; "value"; "mean"; "p50"; "p90"; "p99"; "max" ]
+
+let f v = Printf.sprintf "%.6g" v
+
+let rows t =
+  let keys =
+    List.sort
+      (fun a b ->
+        match String.compare a.name b.name with
+        | 0 -> Stdlib.compare a.cpu b.cpu
+        | c -> c)
+      (List.rev t.order)
+  in
+  List.map
+    (fun key ->
+      let cpu = match key.cpu with None -> "" | Some c -> string_of_int c in
+      match Hashtbl.find t.tbl key with
+      | Counter c ->
+        [ key.name; cpu; "counter"; string_of_int c.n; ""; ""; ""; ""; ""; "" ]
+      | Gauge g ->
+        [ key.name; cpu; "gauge"; ""; f g.g; ""; ""; ""; ""; "" ]
+      | Histo h ->
+        let n = histo_count h in
+        [
+          key.name;
+          cpu;
+          "histogram";
+          string_of_int n;
+          "";
+          f (histo_mean h);
+          f (histo_percentile h 50.);
+          f (histo_percentile h 90.);
+          f (histo_percentile h 99.);
+          f (if n = 0 then 0. else histo_max h);
+        ])
+    keys

@@ -1,0 +1,50 @@
+(** Metrics registry: counters, gauges and histograms keyed by name plus an
+    optional per-CPU label.
+
+    Handles are created on first use and cached by the caller; updating a
+    handle is a field write (counter/gauge) or a sample append (histogram),
+    so instrumented hot paths stay cheap. Registering the same name with a
+    different instrument kind raises [Invalid_argument]. *)
+
+type t
+
+type counter
+type gauge
+type histo
+
+val create : unit -> t
+
+val counter : t -> ?cpu:int -> string -> counter
+val gauge : t -> ?cpu:int -> string -> gauge
+val histo : t -> ?cpu:int -> string -> histo
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val set : gauge -> float -> unit
+
+val watermark : gauge -> float -> unit
+(** [watermark g v] sets [g] to [max g v] (first call always sets). *)
+
+val gauge_value : gauge -> float
+
+val observe : histo -> float -> unit
+(** Raises [Invalid_argument] on NaN (see {!Hrt_stats.Percentile.add}). *)
+
+val histo_count : histo -> int
+val histo_mean : histo -> float
+val histo_max : histo -> float
+
+val histo_percentile : histo -> float -> float
+(** Exact percentile over the recorded samples; 0.0 when empty. *)
+
+val size : t -> int
+(** Number of registered instruments. *)
+
+val header : string list
+(** Column names matching {!rows}. *)
+
+val rows : t -> string list list
+(** One row per instrument, sorted by (name, cpu), ready for CSV or table
+    rendering. *)

@@ -1,0 +1,76 @@
+open Hrt_engine
+
+type subscriber = time:Time.ns -> cpu:int -> Event.t -> unit
+
+type t = {
+  enabled : bool;
+  metrics : Metrics.t;
+  trace : Tracer.t option;
+  mutable subscribers : subscriber list;
+}
+
+let null =
+  { enabled = false; metrics = Metrics.create (); trace = None; subscribers = [] }
+
+let create ?(trace = true) () =
+  {
+    enabled = true;
+    metrics = Metrics.create ();
+    trace = (if trace then Some (Tracer.create ()) else None);
+    subscribers = [];
+  }
+
+let enabled t = t.enabled
+let metrics t = t.metrics
+let tracer t = t.trace
+let subscribe t f = t.subscribers <- f :: t.subscribers
+
+let us ns = Int64.to_float ns /. 1_000.
+
+(* Derive the standard per-CPU metrics from an event. Handle lookup is a
+   hashtable hit; emit only runs on enabled sinks, so the disabled hot path
+   never gets here. *)
+let update_metrics t ~cpu ev =
+  let m = t.metrics in
+  let c name = Metrics.incr (Metrics.counter m ~cpu name) in
+  let h name v = Metrics.observe (Metrics.histo m ~cpu name) v in
+  match ev with
+  | Event.Dispatch _ -> c "sched.dispatch"
+  | Event.Preempt _ -> c "sched.preempt"
+  | Event.Deadline_miss { lateness_ns; _ } ->
+    c "sched.deadline_miss";
+    h "sched.miss_lateness_us" (us lateness_ns)
+  | Event.Admission_accept _ -> c "admission.accept"
+  | Event.Admission_reject _ -> c "admission.reject"
+  | Event.Irq { dur_ns } ->
+    c "irq.count";
+    h "irq.dur_us" (us dur_ns)
+  | Event.Sched_pass { dur_ns } ->
+    c "sched.pass";
+    h "sched.pass_us" (us dur_ns)
+  | Event.Steal_attempt { success; _ } ->
+    c "steal.attempt";
+    if success then c "steal.success"
+  | Event.Barrier_arrive _ -> c "barrier.arrive"
+  | Event.Barrier_release { wait_ns; _ } ->
+    c "barrier.release";
+    h "barrier.wait_us" (us wait_ns)
+  | Event.Group_phase { phase; _ } -> c ("group.phase." ^ phase)
+  | Event.Idle -> c "sched.idle_transition"
+
+let emit t ~time ~cpu ev =
+  if t.enabled then begin
+    update_metrics t ~cpu ev;
+    (match t.trace with
+    | Some tr -> Tracer.record tr ~time ~cpu ev
+    | None -> ());
+    match t.subscribers with
+    | [] -> ()
+    | subs -> List.iter (fun f -> f ~time ~cpu ev) subs
+  end
+
+(* Process-wide default, installed by the CLI so that harnesses which build
+   their own [Scheduler.t] internally still report through one sink. *)
+let default = ref null
+let set_default t = default := t
+let get_default () = !default

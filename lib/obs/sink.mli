@@ -1,0 +1,39 @@
+(** The observability sink: where instrumented code sends events.
+
+    A sink bundles a {!Metrics} registry, an optional {!Tracer}, and a list
+    of subscribers. The {!null} sink is disabled: {!emit} on it is a no-op,
+    and instrumentation sites are expected to guard event construction with
+    {!enabled} so that a run without observability costs nothing beyond a
+    predictable branch. *)
+
+open Hrt_engine
+
+type t
+
+type subscriber = time:Time.ns -> cpu:int -> Event.t -> unit
+
+val null : t
+(** The disabled sink (the default everywhere). *)
+
+val create : ?trace:bool -> unit -> t
+(** An enabled sink. [trace] (default true) also buffers every event in a
+    {!Tracer} for later export; metrics are always derived. *)
+
+val enabled : t -> bool
+
+val metrics : t -> Metrics.t
+val tracer : t -> Tracer.t option
+
+val emit : t -> time:Time.ns -> cpu:int -> Event.t -> unit
+(** Record an event: updates the derived metrics, appends to the trace
+    buffer (if any), and notifies subscribers. No-op on a disabled sink. *)
+
+val subscribe : t -> subscriber -> unit
+(** Add a callback invoked synchronously on every event (enabled sinks
+    only). Used for legacy probe shims and custom harness instruments. *)
+
+val set_default : t -> unit
+(** Install the process-wide default sink picked up by
+    [Scheduler.create] when no explicit sink is passed. *)
+
+val get_default : unit -> t

@@ -1,0 +1,38 @@
+open Hrt_engine
+
+type record = { time : Time.ns; cpu : int; event : Event.t }
+
+type t = {
+  mutable buf : record array;
+  mutable len : int;
+}
+
+let dummy = { time = 0L; cpu = 0; event = Event.Idle }
+
+let create () = { buf = [||]; len = 0 }
+
+let grow t =
+  let cap = Array.length t.buf in
+  let ncap = if cap = 0 then 256 else cap * 2 in
+  let nbuf = Array.make ncap dummy in
+  Array.blit t.buf 0 nbuf 0 t.len;
+  t.buf <- nbuf
+
+let record t ~time ~cpu event =
+  if t.len = Array.length t.buf then grow t;
+  t.buf.(t.len) <- { time; cpu; event };
+  t.len <- t.len + 1
+
+let length t = t.len
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.buf.(i)
+  done
+
+let to_array t = Array.sub t.buf 0 t.len
+
+let count t ~kind =
+  let n = ref 0 in
+  iter t (fun r -> if Event.kind r.event = kind then incr n);
+  !n

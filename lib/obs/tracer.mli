@@ -1,0 +1,17 @@
+(** Structured event trace: an append-only buffer of typed scheduler events
+    with simulated-time timestamps. *)
+
+open Hrt_engine
+
+type record = { time : Time.ns; cpu : int; event : Event.t }
+
+type t
+
+val create : unit -> t
+val record : t -> time:Time.ns -> cpu:int -> Event.t -> unit
+val length : t -> int
+val iter : t -> (record -> unit) -> unit
+val to_array : t -> record array
+
+val count : t -> kind:string -> int
+(** Number of recorded events whose {!Event.kind} equals [kind]. *)

@@ -13,6 +13,7 @@ let create ~lo ~hi ~bins =
   { lo; hi; counts = Array.make bins 0; under = 0; over = 0; total = 0 }
 
 let add t x =
+  if Float.is_nan x then invalid_arg "Histogram.add: NaN sample";
   t.total <- t.total + 1;
   if x < t.lo then t.under <- t.under + 1
   else if x >= t.hi then t.over <- t.over + 1

@@ -7,7 +7,8 @@ val create : lo:float -> hi:float -> bins:int -> t
     Requires [lo < hi] and [bins > 0]. *)
 
 val add : t -> float -> unit
-(** Samples outside [\[lo, hi)] are counted in underflow/overflow. *)
+(** Samples outside [\[lo, hi)] are counted in underflow/overflow. Raises
+    [Invalid_argument] on NaN (which belongs to no bin). *)
 
 val count : t -> int
 (** Total samples, including under/overflow. *)

@@ -7,6 +7,7 @@ type t = {
 let create () = { data = Array.make 64 0.; len = 0; sorted = true }
 
 let add t x =
+  if Float.is_nan x then invalid_arg "Percentile.add: NaN sample";
   if t.len = Array.length t.data then begin
     let ndata = Array.make (t.len * 2) 0. in
     Array.blit t.data 0 ndata 0 t.len;
@@ -21,7 +22,10 @@ let count t = t.len
 let ensure_sorted t =
   if not t.sorted then begin
     let sub = Array.sub t.data 0 t.len in
-    Array.sort compare sub;
+    (* Float.compare, not polymorphic compare: same order, but monomorphic
+       (no generic-compare dispatch per element). NaN is rejected in [add],
+       so the order here is total. *)
+    Array.sort Float.compare sub;
     Array.blit sub 0 t.data 0 t.len;
     t.sorted <- true
   end

@@ -3,7 +3,11 @@
 type t
 
 val create : unit -> t
+
 val add : t -> float -> unit
+(** Raises [Invalid_argument] on NaN: a NaN sample would silently poison
+    the sort order and every percentile after it. *)
+
 val count : t -> int
 
 val value : t -> float -> float

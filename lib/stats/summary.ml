@@ -11,6 +11,7 @@ let create () =
   { n = 0; mean = 0.; m2 = 0.; min = infinity; max = neg_infinity; total = 0. }
 
 let add t x =
+  if Float.is_nan x then invalid_arg "Summary.add: NaN sample";
   t.n <- t.n + 1;
   let delta = x -. t.mean in
   t.mean <- t.mean +. (delta /. float_of_int t.n);

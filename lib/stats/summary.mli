@@ -6,7 +6,11 @@
 type t
 
 val create : unit -> t
+
 val add : t -> float -> unit
+(** Raises [Invalid_argument] on NaN, which would silently poison the
+    running mean while leaving min/max untouched. *)
+
 val add_int64 : t -> int64 -> unit
 
 val count : t -> int

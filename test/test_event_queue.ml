@@ -48,17 +48,86 @@ let test_peek () =
   Alcotest.(check (option int64)) "peek skips cancelled" (Some 9L)
     (Event_queue.peek_time q)
 
-let test_requeue_preserves_order () =
+let test_requeue_is_reinsertion () =
   let q = Event_queue.create () in
   let a = Event_queue.add q ~time:1L "a" in
   let b = Event_queue.add q ~time:2L "b" in
-  (* Defer both to the same instant; relative (sequence) order survives. *)
+  (* Defer both to the same instant; each requeue is a fresh insertion, so
+     they fire in requeue order, not original insertion order. *)
   ignore (Event_queue.requeue q b ~time:50L);
   ignore (Event_queue.requeue q a ~time:50L);
   let _, v1 = Option.get (Event_queue.pop q) in
   let _, v2 = Option.get (Event_queue.pop q) in
-  Alcotest.(check string) "a still first" "a" v1;
-  Alcotest.(check string) "b still second" "b" v2
+  Alcotest.(check string) "b requeued first" "b" v1;
+  Alcotest.(check string) "a requeued second" "a" v2
+
+let test_requeue_no_queue_jumping () =
+  (* Determinism regression: an old entry requeued onto a timestamp that
+     already has later-scheduled events must fire AFTER them (FIFO at equal
+     times counts from insertion into that instant). The seed reused the
+     original seq, letting the requeued event jump the queue. *)
+  let q = Event_queue.create () in
+  let e1 = Event_queue.add q ~time:10L "early" in
+  ignore (Event_queue.add q ~time:50L "settled");
+  ignore (Event_queue.requeue q e1 ~time:50L);
+  let _, v1 = Option.get (Event_queue.pop q) in
+  let _, v2 = Option.get (Event_queue.pop q) in
+  Alcotest.(check string) "already-scheduled event keeps its turn" "settled" v1;
+  Alcotest.(check string) "requeued event goes behind" "early" v2
+
+(* The heap must not retain popped/cancelled payloads: attach a finalizer
+   to a heap-allocated payload, drop every reference, and check the GC can
+   actually reclaim it while the queue itself stays live (the queue must
+   outlive the GC check, or the collector frees the whole heap array and
+   hides the leak). On the seed code the vacated heap slots (and the grow
+   filler) kept payloads reachable for the life of the queue. *)
+let test_pop_releases_payload () =
+  let q = Event_queue.create () in
+  let freed = ref false in
+  (let payload = ref 42 in
+   Gc.finalise (fun _ -> freed := true) payload;
+   ignore (Event_queue.add q ~time:1L payload);
+   ignore (Event_queue.pop q));
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check bool) "popped payload is collectable" true !freed;
+  Alcotest.(check int) "queue still live and empty" 0 (Event_queue.size q)
+
+let test_cancel_releases_payload () =
+  let q = Event_queue.create () in
+  let freed = ref false in
+  (let payload = ref 7 in
+   Gc.finalise (fun _ -> freed := true) payload;
+   let e = Event_queue.add q ~time:1L payload in
+   ignore (Event_queue.add q ~time:2L (ref 0));
+   Event_queue.cancel q e);
+  (* The cancelled entry is still sitting in the heap (lazy deletion), but
+     its payload must already be unreachable. *)
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check bool) "cancelled payload is collectable" true !freed;
+  Alcotest.(check int) "live size" 1 (Event_queue.size q)
+
+let test_grow_does_not_duplicate_payloads () =
+  (* Force several grows, drain, and make sure every payload can be
+     reclaimed: the seed used heap.(0) as the grow filler, pinning one
+     payload into every unused slot. *)
+  let q = Event_queue.create () in
+  let n = 300 in
+  let freed = ref 0 in
+  for i = 1 to n do
+    let payload = ref i in
+    Gc.finalise (fun _ -> incr freed) payload;
+    ignore (Event_queue.add q ~time:(Int64.of_int i) payload)
+  done;
+  let rec drain () =
+    match Event_queue.pop q with Some _ -> drain () | None -> ()
+  in
+  drain ();
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check int) "all payloads collectable" n !freed;
+  Alcotest.(check int) "queue still live and empty" 0 (Event_queue.size q)
 
 let test_requeue_cancelled_rejected () =
   let q = Event_queue.create () in
@@ -95,7 +164,15 @@ let suite =
     Alcotest.test_case "cancellation" `Quick test_cancel;
     Alcotest.test_case "cancel idempotent" `Quick test_cancel_idempotent;
     Alcotest.test_case "peek" `Quick test_peek;
-    Alcotest.test_case "requeue preserves order" `Quick test_requeue_preserves_order;
+    Alcotest.test_case "requeue is a fresh insertion" `Quick
+      test_requeue_is_reinsertion;
+    Alcotest.test_case "requeue cannot jump same-time FIFO" `Quick
+      test_requeue_no_queue_jumping;
     Alcotest.test_case "requeue cancelled rejected" `Quick test_requeue_cancelled_rejected;
+    Alcotest.test_case "pop releases payload" `Quick test_pop_releases_payload;
+    Alcotest.test_case "cancel releases payload" `Quick
+      test_cancel_releases_payload;
+    Alcotest.test_case "grow retains no payloads" `Quick
+      test_grow_does_not_duplicate_payloads;
     Alcotest.test_case "10k random events sorted" `Quick test_large_volume;
   ]

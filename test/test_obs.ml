@@ -1,0 +1,234 @@
+open Hrt_engine
+open Hrt_core
+open Hrt_obs
+
+(* ---- metrics registry ---- *)
+
+let test_counter_identity () =
+  let m = Metrics.create () in
+  let c1 = Metrics.counter m "x" in
+  let c2 = Metrics.counter m "x" in
+  Metrics.incr c1;
+  Metrics.add c2 2;
+  (* Same name + label resolves to the same instrument. *)
+  Alcotest.(check int) "shared count" 3 (Metrics.counter_value c1);
+  Alcotest.(check int) "one instrument" 1 (Metrics.size m)
+
+let test_cpu_label_separates () =
+  let m = Metrics.create () in
+  let a = Metrics.counter m ~cpu:0 "x" in
+  let b = Metrics.counter m ~cpu:1 "x" in
+  let g = Metrics.counter m "x" in
+  Metrics.incr a;
+  Metrics.incr a;
+  Metrics.incr b;
+  Alcotest.(check int) "cpu 0" 2 (Metrics.counter_value a);
+  Alcotest.(check int) "cpu 1" 1 (Metrics.counter_value b);
+  Alcotest.(check int) "global" 0 (Metrics.counter_value g);
+  Alcotest.(check int) "three instruments" 3 (Metrics.size m)
+
+let test_kind_mismatch_rejected () =
+  let m = Metrics.create () in
+  ignore (Metrics.counter m "x");
+  Alcotest.check_raises "gauge over counter"
+    (Invalid_argument "Metrics.gauge: \"x\" is not a gauge") (fun () ->
+      ignore (Metrics.gauge m "x"))
+
+let test_gauge_watermark () =
+  let m = Metrics.create () in
+  let g = Metrics.gauge m "hwm" in
+  Metrics.watermark g (-5.);
+  Alcotest.(check (float 0.)) "first call sets" (-5.) (Metrics.gauge_value g);
+  Metrics.watermark g (-9.);
+  Alcotest.(check (float 0.)) "lower ignored" (-5.) (Metrics.gauge_value g);
+  Metrics.watermark g 3.;
+  Alcotest.(check (float 0.)) "higher wins" 3. (Metrics.gauge_value g)
+
+let test_histo_matches_percentile () =
+  let m = Metrics.create () in
+  let h = Metrics.histo m "lat" in
+  let p = Hrt_stats.Percentile.create () in
+  let r = Rng.create 9L in
+  for _ = 1 to 500 do
+    let v = Rng.float r *. 1000. in
+    Metrics.observe h v;
+    Hrt_stats.Percentile.add p v
+  done;
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "p%.0f" q)
+        (Hrt_stats.Percentile.value p q)
+        (Metrics.histo_percentile h q))
+    [ 50.; 90.; 99.; 100. ];
+  Alcotest.(check int) "count" 500 (Metrics.histo_count h)
+
+let test_rows_shape () =
+  let m = Metrics.create () in
+  Metrics.incr (Metrics.counter m ~cpu:1 "b");
+  Metrics.set (Metrics.gauge m "a") 2.5;
+  Metrics.observe (Metrics.histo m "c") 4.;
+  let rows = Metrics.rows m in
+  Alcotest.(check int) "row count" 3 (List.length rows);
+  List.iter
+    (fun row ->
+      Alcotest.(check int) "width matches header"
+        (List.length Metrics.header)
+        (List.length row))
+    rows;
+  (* Sorted by (name, cpu). *)
+  Alcotest.(check (list string)) "sort order" [ "a"; "b"; "c" ]
+    (List.map List.hd rows)
+
+(* ---- sink ---- *)
+
+let test_null_sink_noop () =
+  let s = Sink.null in
+  Alcotest.(check bool) "disabled" false (Sink.enabled s);
+  Sink.emit s ~time:5L ~cpu:0 (Event.Dispatch { tid = 1; thread = "t" });
+  Alcotest.(check bool) "no tracer" true (Sink.tracer s = None);
+  Alcotest.(check int) "no metrics recorded" 0 (Metrics.size (Sink.metrics s))
+
+let test_sink_derives_metrics () =
+  let s = Sink.create () in
+  Sink.emit s ~time:10L ~cpu:0
+    (Event.Deadline_miss { tid = 3; thread = "rt"; lateness_ns = 2_000L });
+  Sink.emit s ~time:20L ~cpu:0
+    (Event.Deadline_miss { tid = 3; thread = "rt"; lateness_ns = 4_000L });
+  let m = Sink.metrics s in
+  Alcotest.(check int) "miss counter" 2
+    (Metrics.counter_value (Metrics.counter m ~cpu:0 "sched.deadline_miss"));
+  let h = Metrics.histo m ~cpu:0 "sched.miss_lateness_us" in
+  Alcotest.(check int) "lateness samples" 2 (Metrics.histo_count h);
+  Alcotest.(check (float 1e-9)) "lateness max us" 4. (Metrics.histo_max h);
+  let tr = Option.get (Sink.tracer s) in
+  Alcotest.(check int) "traced" 2 (Tracer.count tr ~kind:"deadline-miss")
+
+let test_subscriber () =
+  let s = Sink.create ~trace:false () in
+  let seen = ref [] in
+  Sink.subscribe s (fun ~time ~cpu:_ ev -> seen := (time, Event.kind ev) :: !seen);
+  Sink.emit s ~time:1L ~cpu:0 Event.Idle;
+  Sink.emit s ~time:2L ~cpu:1 (Event.Irq { dur_ns = 100L });
+  Alcotest.(check (list (pair int64 string)))
+    "subscriber saw all"
+    [ (1L, "idle"); (2L, "irq") ]
+    (List.rev !seen)
+
+(* ---- chrome trace export ---- *)
+
+let test_chrome_json_shape () =
+  let span =
+    Export.chrome_json
+      { Tracer.time = 1_500L; cpu = 2; event = Event.Sched_pass { dur_ns = 3_000L } }
+  in
+  Alcotest.(check string) "complete event"
+    "{\"name\":\"sched-pass\",\"cat\":\"sched\",\"ph\":\"X\",\"ts\":1.500,\"dur\":3.000,\"pid\":2,\"tid\":0,\"args\":{}}"
+    span;
+  let inst =
+    Export.chrome_json
+      {
+        Tracer.time = 2_000L;
+        cpu = 0;
+        event = Event.Dispatch { tid = 7; thread = "a\"b" };
+      }
+  in
+  Alcotest.(check string) "instant event, escaped args"
+    "{\"name\":\"dispatch\",\"cat\":\"sched\",\"ph\":\"i\",\"s\":\"t\",\"ts\":2.000,\"pid\":0,\"tid\":7,\"args\":{\"tid\":\"7\",\"thread\":\"a\\\"b\"}}"
+    inst
+
+let test_chrome_lines_bracketed () =
+  let tr = Tracer.create () in
+  Tracer.record tr ~time:1L ~cpu:0 Event.Idle;
+  Tracer.record tr ~time:2L ~cpu:1 Event.Idle;
+  let lines = Export.chrome_lines tr in
+  Alcotest.(check string) "opens array" "[" (List.hd lines);
+  Alcotest.(check string) "closes array" "]" (List.nth lines (List.length lines - 1));
+  (* Every body line except the last ends with a comma (valid JSON array). *)
+  let body = List.filteri (fun i _ -> i > 0 && i < List.length lines - 1) lines in
+  List.iteri
+    (fun i line ->
+      let wants_comma = i < List.length body - 1 in
+      Alcotest.(check bool)
+        (Printf.sprintf "comma on line %d" i)
+        wants_comma
+        (String.length line > 0 && line.[String.length line - 1] = ','))
+    body;
+  (* Two CPUs seen -> two process_name metadata lines + two events. *)
+  Alcotest.(check int) "line count" (2 + 2 + 2) (List.length lines)
+
+let test_json_escape () =
+  Alcotest.(check string) "control chars" "a\\nb\\t\\\\\\\"c"
+    (Export.json_escape "a\nb\t\\\"c")
+
+(* ---- end to end: a real scheduler run produces a coherent trace ---- *)
+
+let test_end_to_end_events () =
+  let sink = Sink.create () in
+  let config = { Config.default with Config.admission_control = false } in
+  let sys =
+    Scheduler.create ~num_cpus:2 ~config ~obs:sink Hrt_hw.Platform.phi
+  in
+  let period = Time.us 100 in
+  (* A slice of 95% of the period plus timer overhead forces misses. *)
+  let slice = Time.us 95 in
+  ignore (Hrt_harness.Exp.periodic_thread sys ~cpu:1 ~period ~slice ());
+  Scheduler.run ~until:(Time.ms 10) sys;
+  let tr = Option.get (Sink.tracer sink) in
+  Alcotest.(check bool) "dispatches recorded" true
+    (Tracer.count tr ~kind:"dispatch" > 0);
+  Alcotest.(check bool) "sched passes recorded" true
+    (Tracer.count tr ~kind:"sched-pass" > 0);
+  let misses = Scheduler.total_misses sys in
+  Alcotest.(check int) "trace misses = account misses" misses
+    (Tracer.count tr ~kind:"deadline-miss");
+  Alcotest.(check bool) "misses happened" true (misses > 0);
+  (* run() snapshots engine gauges. *)
+  let m = Sink.metrics sink in
+  Alcotest.(check bool) "events_executed gauge" true
+    (Metrics.gauge_value (Metrics.gauge m "engine.events_executed") > 0.);
+  Alcotest.(check bool) "queue hwm gauge" true
+    (Metrics.gauge_value (Metrics.gauge m "engine.queue_depth_hwm") > 0.);
+  (* Timestamps are monotone per CPU. *)
+  let last = Array.make 2 Int64.min_int in
+  Tracer.iter tr (fun r ->
+      Alcotest.(check bool) "monotone per cpu" true
+        (Int64.compare r.Tracer.time last.(r.Tracer.cpu) >= 0);
+      last.(r.Tracer.cpu) <- r.Tracer.time)
+
+let test_disabled_run_records_nothing () =
+  let config = { Config.default with Config.admission_control = false } in
+  let sys =
+    Scheduler.create ~num_cpus:2 ~config ~obs:Sink.null Hrt_hw.Platform.phi
+  in
+  ignore
+    (Hrt_harness.Exp.periodic_thread sys ~cpu:1 ~period:(Time.us 100)
+       ~slice:(Time.us 50) ());
+  Scheduler.run ~until:(Time.ms 5) sys;
+  Alcotest.(check int) "no metrics" 0 (Metrics.size (Sink.metrics Sink.null))
+
+let suite =
+  [
+    Alcotest.test_case "counter identity by (name, cpu)" `Quick
+      test_counter_identity;
+    Alcotest.test_case "cpu label separates instruments" `Quick
+      test_cpu_label_separates;
+    Alcotest.test_case "kind mismatch rejected" `Quick
+      test_kind_mismatch_rejected;
+    Alcotest.test_case "gauge watermark" `Quick test_gauge_watermark;
+    Alcotest.test_case "histogram matches Percentile" `Quick
+      test_histo_matches_percentile;
+    Alcotest.test_case "rows match header shape" `Quick test_rows_shape;
+    Alcotest.test_case "null sink is a no-op" `Quick test_null_sink_noop;
+    Alcotest.test_case "sink derives metrics from events" `Quick
+      test_sink_derives_metrics;
+    Alcotest.test_case "subscribers see every event" `Quick test_subscriber;
+    Alcotest.test_case "chrome-trace event shape" `Quick test_chrome_json_shape;
+    Alcotest.test_case "chrome-trace array framing" `Quick
+      test_chrome_lines_bracketed;
+    Alcotest.test_case "json escaping" `Quick test_json_escape;
+    Alcotest.test_case "scheduler run traces coherently" `Quick
+      test_end_to_end_events;
+    Alcotest.test_case "disabled sink records nothing" `Quick
+      test_disabled_run_records_nothing;
+  ]

@@ -115,6 +115,29 @@ let test_percentile_unsorted_input () =
   let p = Percentile.of_array [| 5.; 1.; 3.; 2.; 4. |] in
   Alcotest.(check (float 1e-9)) "median of unsorted" 3. (Percentile.median p)
 
+(* NaN regressions: on the seed code these silently poisoned sorts (via
+   polymorphic compare), bin indices, and running means. *)
+let test_percentile_rejects_nan () =
+  let p = Percentile.of_array [| 1.; 2.; 3. |] in
+  Alcotest.check_raises "nan rejected"
+    (Invalid_argument "Percentile.add: NaN sample") (fun () ->
+      Percentile.add p Float.nan);
+  Alcotest.(check (float 1e-9)) "median unpoisoned" 2. (Percentile.median p)
+
+let test_histogram_rejects_nan () =
+  let h = Histogram.create ~lo:0. ~hi:10. ~bins:5 in
+  Alcotest.check_raises "nan rejected"
+    (Invalid_argument "Histogram.add: NaN sample") (fun () ->
+      Histogram.add h Float.nan);
+  Alcotest.(check int) "no phantom sample" 0 (Histogram.count h)
+
+let test_summary_rejects_nan () =
+  let s = Summary.of_array [| 1.; 3. |] in
+  Alcotest.check_raises "nan rejected"
+    (Invalid_argument "Summary.add: NaN sample") (fun () ->
+      Summary.add s Float.nan);
+  Alcotest.(check (float 1e-9)) "mean unpoisoned" 2. (Summary.mean s)
+
 let test_percentile_errors () =
   let p = Percentile.create () in
   Alcotest.check_raises "empty" (Invalid_argument "Percentile.value: empty")
@@ -200,6 +223,9 @@ let suite =
     Alcotest.test_case "percentile interpolation" `Quick test_percentile_interpolation;
     Alcotest.test_case "percentile unsorted input" `Quick test_percentile_unsorted_input;
     Alcotest.test_case "percentile errors" `Quick test_percentile_errors;
+    Alcotest.test_case "percentile rejects NaN" `Quick test_percentile_rejects_nan;
+    Alcotest.test_case "histogram rejects NaN" `Quick test_histogram_rejects_nan;
+    Alcotest.test_case "summary rejects NaN" `Quick test_summary_rejects_nan;
     Alcotest.test_case "table render" `Quick test_table_render;
     Alcotest.test_case "table column mismatch" `Quick test_table_mismatch;
     Alcotest.test_case "table rowf" `Quick test_table_rowf;
