@@ -19,6 +19,16 @@ let scale_term =
   Term.(
     const (fun full -> if full then Exp.Full else Exp.scale_of_env ()) $ full)
 
+let policy_term =
+  Arg.(
+    value
+    & opt (enum [ ("edf", Config.Edf); ("rm", Config.Rm) ]) Config.Edf
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:
+          "Scheduling policy: $(b,edf) (earliest deadline first, the \
+           paper's) or $(b,rm) (rate monotonic with the Liu-Layland \
+           admission bound). Drives both admission and dispatch.")
+
 (* ---- observability ---- *)
 
 let trace_out_term =
@@ -87,7 +97,8 @@ let run_cmd =
       & opt (some string) None
       & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each table as CSV into $(docv).")
   in
-  let run scale csv_dir trace_out metrics_out names =
+  let run scale csv_dir trace_out metrics_out policy names =
+    Exp.set_policy policy;
     with_obs ~trace_out ~metrics_out (fun () ->
         List.iter
           (fun name ->
@@ -116,7 +127,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ scale_term $ csv_dir $ trace_out_term $ metrics_out_term
-      $ names)
+      $ policy_term $ names)
 
 (* ---- all ---- *)
 
@@ -159,8 +170,8 @@ let bsp_cmd =
   let iters =
     Arg.(value & opt int 500 & info [ "iters" ] ~doc:"BSP iterations.")
   in
-  let run cpus grain barrier aperiodic period_us slice_pct iters trace_out
-      metrics_out =
+  let run cpus grain barrier aperiodic period_us slice_pct iters policy
+      trace_out metrics_out =
     with_obs ~trace_out ~metrics_out (fun () ->
         let params =
           match grain with
@@ -179,7 +190,7 @@ let bsp_cmd =
             Hrt_bsp.Bsp.Rt { period; slice; phase_correction = true }
           end
         in
-        let r = Hrt_bsp.Bsp.run params mode in
+        let r = Hrt_bsp.Bsp.run ~policy params mode in
         Printf.printf
           "exec=%.3f ms  iterations=%d  misses=%d  admitted=%b  checksum=%.0f\n"
           (Time.to_float_ms r.Hrt_bsp.Bsp.exec_time)
@@ -189,7 +200,7 @@ let bsp_cmd =
   Cmd.v (Cmd.info "bsp" ~doc)
     Term.(
       const run $ cpus $ grain $ barrier $ aperiodic $ period_us $ slice_pct
-      $ iters $ trace_out_term $ metrics_out_term)
+      $ iters $ policy_term $ trace_out_term $ metrics_out_term)
 
 (* ---- missrate ---- *)
 
@@ -211,10 +222,10 @@ let missrate_cmd =
   let ms =
     Arg.(value & opt int 100 & info [ "duration" ] ~doc:"Simulated ms to run.")
   in
-  let run platform period_us slice_pct ms trace_out metrics_out =
+  let run platform period_us slice_pct ms policy trace_out metrics_out =
     with_obs ~trace_out ~metrics_out (fun () ->
         let config =
-          { Config.default with Config.admission_control = false }
+          { Config.default with Config.admission_control = false; policy }
         in
         let sys = Scheduler.create ~num_cpus:2 ~config platform in
         let period = Time.us period_us in
@@ -234,8 +245,8 @@ let missrate_cmd =
   in
   Cmd.v (Cmd.info "missrate" ~doc)
     Term.(
-      const run $ platform $ period_us $ slice_pct $ ms $ trace_out_term
-      $ metrics_out_term)
+      const run $ platform $ period_us $ slice_pct $ ms $ policy_term
+      $ trace_out_term $ metrics_out_term)
 
 let () =
   let doc = "Hard real-time scheduling for parallel run-time systems (HPDC'18 reproduction)." in

@@ -128,9 +128,12 @@ let worker_loop sys shared p ~index ~iter_cost ~barrier_for =
     in
     step ()
 
-let run ?(seed = 42L) ?(platform = Platform.phi) ?(until = Time.sec 100) p mode =
+let run ?(seed = 42L) ?(platform = Platform.phi) ?(until = Time.sec 100)
+    ?(policy = Config.Edf) p mode =
   if p.cpus < 1 then invalid_arg "Bsp.run: cpus < 1";
-  let config = { Config.default with Config.strict_reservations = false } in
+  let config =
+    { Config.default with Config.strict_reservations = false; policy }
+  in
   let sys = Scheduler.create ~seed ~num_cpus:(p.cpus + 1) ~config platform in
   let shared =
     {

@@ -21,6 +21,7 @@
 
 open Hrt_engine
 open Hrt_hw
+open Hrt_core
 
 type params = {
   cpus : int;
@@ -56,6 +57,14 @@ val work_per_iteration : Platform.t -> params -> Time.ns
     computations + NW remote writes), before scheduling effects. *)
 
 val run :
-  ?seed:int64 -> ?platform:Platform.t -> ?until:Time.ns -> params -> mode -> result
+  ?seed:int64 ->
+  ?platform:Platform.t ->
+  ?until:Time.ns ->
+  ?policy:Config.policy ->
+  params ->
+  mode ->
+  result
 (** Build a fresh system and execute the benchmark to completion (or until
-    the [until] safety horizon, default 100 s simulated). *)
+    the [until] safety horizon, default 100 s simulated). [policy] selects
+    the scheduling discipline for admission and dispatch (default
+    {!Config.Edf}). *)

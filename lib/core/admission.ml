@@ -114,13 +114,17 @@ let admissible_periodic t ~period ~slice =
   else begin
     let u = Int64.to_float slice /. Int64.to_float period in
     let capacity = Config.periodic_capacity cfg in
-    match cfg.Config.admission with
-    | Config.Edf_utilization -> t.periodic_util +. u <= capacity
-    | Config.Rate_monotonic ->
+    (* The admission bound follows the scheduling policy: a bound is only a
+       guarantee when the dispatcher runs the discipline it was proved
+       for. The hyperperiod simulation is an EDF processor-demand test
+       (Config.validate rejects it combined with RM). *)
+    match (cfg.Config.admission, cfg.Config.policy) with
+    | Config.Hyperperiod_sim, _ ->
+      hyperperiod_feasible t ~capacity ((period, slice) :: t.periodic_set)
+    | Config.Policy_bound, Config.Edf -> t.periodic_util +. u <= capacity
+    | Config.Policy_bound, Config.Rm ->
       let bound = liu_layland (t.periodic_count + 1) in
       t.periodic_util +. u <= bound *. capacity
-    | Config.Hyperperiod_sim ->
-      hyperperiod_feasible t ~capacity ((period, slice) :: t.periodic_set)
   end
 
 let admissible_sporadic t ~now ~phase ~size ~deadline =

@@ -4,9 +4,11 @@
     utilization, which is what makes communication-free group scheduling
     possible (Section 4.1). The classic single-CPU tests are used:
 
-    - periodic threads: utilization-bound test against the periodic
-      capacity (EDF), or the Liu-Layland bound scaled by the capacity
-      (rate monotonic);
+    - periodic threads: the bound matching [Config.policy] — utilization
+      test against the periodic capacity (EDF) or the Liu-Layland bound
+      scaled by the capacity (rate monotonic) — or the hyperperiod
+      processor-demand simulation when [Config.admission] selects it
+      (EDF only);
     - sporadic threads: density test ([size / (deadline - arrival)])
       against the sporadic reservation, with expired sporadics purged;
     - aperiodic threads: always admitted.

@@ -1,6 +1,15 @@
 open Hrt_engine
 
-type admission_policy = Edf_utilization | Rate_monotonic | Hyperperiod_sim
+type policy = Edf | Rm
+
+let policy_name = function Edf -> "edf" | Rm -> "rm"
+
+let policy_of_string = function
+  | "edf" -> Some Edf
+  | "rm" -> Some Rm
+  | _ -> None
+
+type admission_mode = Policy_bound | Hyperperiod_sim
 type dispatch_policy = Eager | Lazy
 
 type t = {
@@ -11,7 +20,8 @@ type t = {
   min_period : Time.ns;
   min_slice : Time.ns;
   max_threads : int;
-  admission : admission_policy;
+  policy : policy;
+  admission : admission_mode;
   dispatch : dispatch_policy;
   admission_control : bool;
   strict_reservations : bool;
@@ -29,7 +39,8 @@ let default =
     min_period = Time.us 2;
     min_slice = Time.ns 500;
     max_threads = 2048;
-    admission = Edf_utilization;
+    policy = Edf;
+    admission = Policy_bound;
     dispatch = Eager;
     admission_control = true;
     strict_reservations = true;
@@ -49,5 +60,13 @@ let validate t =
     Error "negative reservation"
   else if periodic_capacity t <= 0. then Error "reservations exhaust the limit"
   else if Time.(t.aperiodic_quantum <= 0L) then Error "non-positive quantum"
+  else if Time.(t.min_period <= 0L) then Error "non-positive min_period"
+  else if Time.(t.min_slice <= 0L) then Error "non-positive min_slice"
+  else if Time.(t.steal_interval <= 0L) then Error "non-positive steal_interval"
+  else if Time.(t.lazy_slack < 0L) then Error "negative lazy_slack"
   else if t.max_threads <= 0 then Error "non-positive max_threads"
+  else if t.policy = Rm && t.admission = Hyperperiod_sim then
+    Error
+      "hyperperiod simulation is an EDF processor-demand test; it would \
+       over-admit under rate-monotonic dispatch"
   else Ok ()

@@ -6,9 +6,36 @@
 
 open Hrt_engine
 
-type admission_policy =
-  | Edf_utilization  (** sum of utilizations against the limit *)
-  | Rate_monotonic  (** Liu-Layland bound n(2^{1/n} - 1) *)
+(** The scheduling policy: one coherent knob that drives {e both} the
+    admission test and the dispatch order (see {!Policy}). Admission and
+    dispatch must agree — admitting against the EDF utilization bound but
+    dispatching fixed-priority (or vice versa) voids the schedulability
+    guarantee either test provides. *)
+type policy =
+  | Edf  (** earliest deadline first; utilization-bound admission *)
+  | Rm
+      (** rate monotonic: fixed priority by period (deadline-monotonic for
+          sporadic threads); Liu-Layland bound n(2^{1/n} - 1) admission *)
+
+val policy_name : policy -> string
+(** Stable lowercase label ("edf" / "rm") used by the CLI and the
+    observability layer. *)
+
+val policy_of_string : string -> policy option
+
+(** How periodic admission is tested. The per-policy utilization bound is
+    the default; the hyperperiod simulation is the paper's prototype and
+    only sound under EDF dispatch ({!validate} rejects it with {!Rm}).
+
+    This type replaces the former [admission_policy] enum
+    ([Edf_utilization | Rate_monotonic | Hyperperiod_sim]), which let the
+    admission test contradict the (then hardwired EDF) dispatch order; the
+    bound is now derived from {!policy}. *)
+type admission_mode =
+  | Policy_bound
+      (** the utilization-bound test matching {!policy}: sum of
+          utilizations against the limit (EDF), or the Liu-Layland bound
+          scaled by the capacity (RM) *)
   | Hyperperiod_sim
       (** the paper's prototype (Section 3.2): simulate the schedule over a
           hyperperiod — a processor-demand test that charges each arrival
@@ -32,7 +59,8 @@ type t = {
   min_period : Time.ns;  (** granularity bound on constraints (§3.3) *)
   min_slice : Time.ns;
   max_threads : int;  (** fixed system-wide thread limit (§3.3) *)
-  admission : admission_policy;
+  policy : policy;  (** drives both admission and dispatch *)
+  admission : admission_mode;
   dispatch : dispatch_policy;
   admission_control : bool;  (** off to reproduce Figs 6-9 *)
   strict_reservations : bool;

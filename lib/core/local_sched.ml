@@ -6,6 +6,7 @@ module Obs = Hrt_obs
 type shared = {
   machine : Machine.t;
   config : Config.t;
+  policy : Policy.t;
   pool : Thread_pool.t;
   workload_rng : Rng.t;
   obs : Obs.Sink.t;
@@ -58,7 +59,13 @@ let task_thread t = t.task_thread
 let engine t = t.shared.machine.Machine.engine
 let platform t = t.shared.machine.Machine.platform
 let config t = t.shared.config
+let policy t = t.shared.policy
 let obs t = t.shared.obs
+
+(* Every policy decision below goes through these: what the RT run queue
+   orders by, whether a deadline was missed, and the lazy-dispatch
+   horizon. The pipeline stages themselves are policy-agnostic. *)
+let rt_key t th = Policy.run_key t.shared.policy th
 
 (* Instrumentation sites call [obs_on] first so a disabled sink costs one
    predictable branch and no event allocation. *)
@@ -100,7 +107,8 @@ let rec run_gated t f eng =
   else f eng
 
 (* ------------------------------------------------------------------ *)
-(* Progress charging. *)
+(* Pipeline stage 1 — charge: account the interrupted thread's progress
+   (subtracting SMI "missing time") before any queue surgery. *)
 
 let rt_active (th : Thread.t) =
   match th.constr with
@@ -131,7 +139,9 @@ let cancel_completion t =
     t.completion_ev <- None
 
 (* ------------------------------------------------------------------ *)
-(* Arrival pump (pending -> EDF run queue). *)
+(* Pipeline stage 2 — pump: move due arrivals from the pending queue into
+   the RT run queue, keyed by the policy's run key, and flag deadline
+   misses the policy detects. *)
 
 let process_arrival t (th : Thread.t) =
   th.arrivals <- th.arrivals + 1;
@@ -152,7 +162,7 @@ let process_arrival t (th : Thread.t) =
     (* An aperiodic thread can never sit in the pending queue. *)
     assert false);
   th.state <- Thread.Ready;
-  if not (Prio_queue.add t.rt_run ~key:th.deadline th) then
+  if not (Prio_queue.add t.rt_run ~key:(rt_key t th) th) then
     failwith "local_sched: real-time run queue overflow"
 
 let rec pump t now =
@@ -174,8 +184,7 @@ let flag_miss t (th : Thread.t) now =
   if
     rt_active th
     && (not th.missed_current)
-    && Time.(th.slice_left > 0L)
-    && Time.(th.deadline <= now)
+    && Policy.missed (policy t) ~now th
   then begin
     th.missed_current <- true;
     th.miss_deadline <- th.deadline;
@@ -252,7 +261,7 @@ let do_set_constraints t (th : Thread.t) c cb now =
        the next one. *)
     if Time.(th.slice_left > 0L) && Time.(th.deadline > now) then begin
       th.state <- Thread.Ready;
-      ignore (Prio_queue.add t.rt_run ~key:th.deadline th)
+      ignore (Prio_queue.add t.rt_run ~key:(rt_key t th) th)
     end
     else begin
       th.state <- Thread.Pending_arrival;
@@ -295,7 +304,7 @@ let rec advance t (th : Thread.t) now =
       | Thread.Yield ->
         th.state <- Thread.Ready;
         (if rt_active th then
-           ignore (Prio_queue.add t.rt_run ~key:th.deadline th)
+           ignore (Prio_queue.add t.rt_run ~key:(rt_key t th) th)
          else begin
            th.quantum_left <- (config t).Config.aperiodic_quantum;
            aper_push_back t th
@@ -352,12 +361,12 @@ and wake_enqueue t (th : Thread.t) =
       aper_push_back t th
     | Constraints.Sporadic _ ->
       th.state <- Thread.Ready;
-      ignore (Prio_queue.add t.rt_run ~key:th.deadline th)
+      ignore (Prio_queue.add t.rt_run ~key:(rt_key t th) th)
     | Constraints.Periodic { period; _ } ->
       if Time.(th.slice_left > 0L) && Time.(th.deadline > now) then begin
         (* Resume the current arrival. *)
         th.state <- Thread.Ready;
-        ignore (Prio_queue.add t.rt_run ~key:th.deadline th)
+        ignore (Prio_queue.add t.rt_run ~key:(rt_key t th) th)
       end
       else begin
         (* Rejoin the arrival schedule at the latest arrival point <= now
@@ -390,9 +399,10 @@ and request_invoke t =
   end
 
 (* ------------------------------------------------------------------ *)
-(* Settling the interrupted thread: op completion, slice exhaustion, class
-   transitions. Afterwards [t.current] is [None] and any still-runnable
-   previous thread sits in the proper queue. *)
+(* Pipeline stage 3 — settle: resolve the interrupted thread — op
+   completion, slice exhaustion, class transitions. Afterwards
+   [t.current] is [None] and any still-runnable previous thread sits in
+   the proper queue (re-keyed by the policy). *)
 
 and end_rt_arrival t (th : Thread.t) now =
   record_miss_completion t th now;
@@ -433,7 +443,7 @@ and settle_current t now =
           (* Still runnable: requeue for the picker. *)
           if rt_active th then begin
             if th.state = Thread.Ready then
-              ignore (Prio_queue.add t.rt_run ~key:th.deadline th)
+              ignore (Prio_queue.add t.rt_run ~key:(rt_key t th) th)
           end
           else begin
             th.state <- Thread.Ready;
@@ -486,7 +496,10 @@ and run_sized_tasks t now =
   end
 
 (* ------------------------------------------------------------------ *)
-(* Next-thread selection: eager EDF, then priority round-robin, else idle. *)
+(* Pipeline stage 4 — pick: next-thread selection. The RT run queue head
+   (already policy-ordered) wins, subject to the dispatch mode's
+   lazy-start test; then priority round-robin over aperiodics; else
+   idle. *)
 
 and take_best_aper t =
   (* Highest priority wins; FIFO (deque order) within a priority. The scan
@@ -520,7 +533,8 @@ and pick_bounded t now depth =
       | Config.Eager -> Some th
       | Config.Lazy ->
         let latest =
-          Time.(th.deadline - th.slice_left - (config t).Config.lazy_slack)
+          Policy.latest_start (policy t)
+            ~slack:(config t).Config.lazy_slack th
         in
         if Time.(now >= latest) || th.missed_current then Some th else None)
   in
@@ -540,9 +554,11 @@ and prepare t (th : Thread.t) now depth =
   else pick_bounded t now (depth + 1)
 
 (* ------------------------------------------------------------------ *)
-(* Timer programming: one one-shot armed at the earliest future scheduling
-   event. Absolute wall-clock targets are reached when the local (skewed)
-   clock says so; durations are unaffected by clock skew. *)
+(* Pipeline stage 5 — program-timer: one one-shot armed at the earliest
+   future scheduling event (next arrival, current thread's slice end or
+   deadline, or the policy's lazy-start horizon). Absolute wall-clock
+   targets are reached when the local (skewed) clock says so; durations
+   are unaffected by clock skew. *)
 
 and program_timer t now resume_at =
   let cfg = config t in
@@ -562,7 +578,8 @@ and program_timer t now resume_at =
   (match (cfg.Config.dispatch, Prio_queue.peek t.rt_run) with
   | Config.Lazy, Some (_, th) ->
     abs_targets :=
-      Time.(th.deadline - th.slice_left - cfg.Config.lazy_slack) :: !abs_targets
+      Policy.latest_start (policy t) ~slack:cfg.Config.lazy_slack th
+      :: !abs_targets
   | (Config.Eager | Config.Lazy), _ -> ());
   (* Absolute targets already in the past were handled by this very
      invocation (arrivals pumped, misses flagged); arming for them again
@@ -688,20 +705,27 @@ and try_steal_from t ~thief_cpu =
   | None -> None
 
 (* ------------------------------------------------------------------ *)
-(* The invocation itself. *)
+(* The invocation itself: the staged pipeline in order —
+   charge -> pump -> settle -> pick -> program-timer. Each stage is
+   policy-agnostic; policy decisions happen through the [Policy.t] the
+   shared state carries (run-queue keys, miss checks, lazy horizons). *)
 
 and invoke t eng ~irq_ns ~handler_ns =
   let now = Engine.now eng in
   let prev = t.current in
   cancel_completion t;
+  (* charge *)
   charge_current t now;
+  (* pump *)
   pump t now;
   flag_misses t now;
+  (* settle *)
   settle_current t now;
   (* Settling can enqueue an arrival due immediately (e.g. a constraint
      change with zero phase) — pump again so it is not stranded. *)
   pump t now;
   let task_ns = run_sized_tasks t now in
+  (* pick *)
   let next = pick t now in
   let switching =
     match (prev, next) with
@@ -775,6 +799,7 @@ and invoke t eng ~irq_ns ~handler_ns =
     | Some th when rt_active th -> Apic.rt_ppr
     | Some _ | None -> 0);
   schedule_completion t resume_at;
+  (* program-timer *)
   program_timer t now resume_at
 
 (* ------------------------------------------------------------------ *)

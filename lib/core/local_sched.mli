@@ -1,27 +1,34 @@
 (** The per-CPU hard real-time scheduler (paper Section 3).
 
-    A local scheduler is an {e eager} earliest-deadline-first engine with a
-    pending queue (admitted real-time threads waiting for their next
-    arrival), a real-time run queue (EDF by deadline), and a non-real-time
-    run queue (round-robin within priority). It is invoked only by a timer
-    interrupt, a kick IPI from another local scheduler, a device interrupt,
-    or an action of the current thread (op completion, yield, block, exit,
-    constraint change).
+    A local scheduler is a staged pipeline around three queues: a pending
+    queue (admitted real-time threads waiting for their next arrival), a
+    real-time run queue ordered by the configured {!Policy} — absolute
+    deadline under EDF (the paper's discipline and the default), period
+    under rate-monotonic — and a non-real-time run queue (round-robin
+    within priority). It is invoked only by a timer interrupt, a kick IPI
+    from another local scheduler, a device interrupt, or an action of the
+    current thread (op completion, yield, block, exit, constraint change).
 
-    Every invocation:
-    + charges the interrupted thread's progress (subtracting any SMI
-      "missing time"),
-    + pumps newly arrived threads from the pending queue into the EDF queue,
-    + flags deadline misses,
-    + settles the current thread (slice exhaustion, op completion, class
-      transitions),
-    + runs size-tagged tasks if there is room before the next arrival,
-    + picks the next thread (eagerly preferring runnable RT work),
-    + charges its own overhead (IRQ entry + pass + other + context switch),
-    + reprograms the APIC one-shot timer for the next scheduling event.
+    Every invocation runs the pipeline stages in order:
+    + {b charge} — charge the interrupted thread's progress (subtracting
+      any SMI "missing time"),
+    + {b pump} — move newly arrived threads from the pending queue into
+      the RT run queue (keyed by the policy's run key) and flag deadline
+      misses,
+    + {b settle} — resolve the current thread (slice exhaustion, op
+      completion, class transitions), then run size-tagged tasks if there
+      is room before the next arrival,
+    + {b pick} — select the next thread (preferring runnable RT work,
+      subject to the dispatch mode) and charge the scheduler's own
+      overhead (IRQ entry + pass + other + context switch),
+    + {b program-timer} — reprogram the APIC one-shot timer for the next
+      scheduling event.
 
-    The scheduler is driven entirely by wall-clock time; its only cross-CPU
-    interactions are kick IPIs and (optional) work stealing. *)
+    The stages are policy-agnostic: every discipline-specific decision
+    (run-queue order, miss test, lazy-dispatch horizon) goes through the
+    {!Policy.t} carried in [shared]. The scheduler is driven entirely by
+    wall-clock time; its only cross-CPU interactions are kick IPIs and
+    (optional) work stealing. *)
 
 open Hrt_engine
 open Hrt_hw
@@ -30,6 +37,9 @@ open Hrt_kernel
 type shared = {
   machine : Machine.t;
   config : Config.t;
+  policy : Policy.t;
+      (** first-class scheduling policy; must match [config.policy]
+          ({!Policy.of_kind} of it) so admission and dispatch agree *)
   pool : Thread_pool.t;
   workload_rng : Rng.t;  (** stream for thread-body randomness *)
   obs : Hrt_obs.Sink.t;

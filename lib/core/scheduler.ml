@@ -144,6 +144,7 @@ let snapshot_metrics t =
     let m = Obs.Sink.metrics obs in
     let eng = engine t in
     let setg ?cpu name v = Obs.Metrics.set (Obs.Metrics.gauge m ?cpu name) v in
+    setg ("sched.policy." ^ Config.policy_name (config t).Config.policy) 1.;
     setg "engine.events_executed" (float_of_int (Engine.events_executed eng));
     setg "engine.queue_depth_hwm" (float_of_int (Engine.max_queue_depth eng));
     setg "engine.pending_events" (float_of_int (Engine.pending eng));
@@ -215,6 +216,7 @@ let create ?(seed = 42L) ?num_cpus ?(config = Config.default)
     {
       Local_sched.machine;
       config;
+      policy = Policy.of_kind config.Config.policy;
       pool = Thread_pool.create ~capacity:config.Config.max_threads;
       workload_rng = Rng.split machine.Machine.rng;
       obs;
@@ -227,6 +229,14 @@ let create ?(seed = 42L) ?num_cpus ?(config = Config.default)
     Array.map (fun cpu -> Local_sched.create shared cpu) machine.Machine.cpus
   in
   shared.Local_sched.scheds <- scheds;
+  (* Stamp every CPU's trace with the dispatch policy so exported traces
+     and metric snapshots are self-describing. *)
+  (if Obs.Sink.enabled obs then
+     let policy = Config.policy_name config.Config.policy in
+     Array.iteri
+       (fun cpu _ ->
+         Obs.Sink.emit obs ~time:0L ~cpu (Obs.Event.Policy { policy }))
+       scheds);
   let t =
     {
       shared;

@@ -3,6 +3,10 @@
     - {!eager_vs_lazy}: Section 3.6 — eager, work-conserving EDF starts
       early to end early, so SMI "missing time" rarely pushes completions
       past deadlines; classic latest-start (lazy) dispatch is fragile.
+    - {!edf_vs_rm}: why the paper schedules by deadline — past the
+      Liu-Layland bound (2 tasks: ~82.8%; asymptotically ln 2 ~ 69.3%)
+      rate-monotonic fixed priorities miss deadlines that EDF meets on
+      the identical workload.
     - {!interrupt_steering}: Section 3.5 — steering device interrupts away
       from the hard real-time partition (and masking them with the APIC
       processor priority) protects timing.
@@ -12,6 +16,7 @@
       removes the group-size-dependent bias (see also Fig 12). *)
 
 val eager_vs_lazy : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list
+val edf_vs_rm : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list
 val interrupt_steering : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list
 val utilization_limit : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list
 val phase_correction : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list
@@ -21,3 +26,15 @@ val cyclic_executive : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list
     EDF periodic threads vs compiled into one static cyclic executive —
     both meet every deadline, but the executive needs far fewer scheduler
     invocations. *)
+
+(** Raw data behind {!edf_vs_rm}, one point per swept total utilization. *)
+type policy_point = {
+  util : float;
+  edf_arrivals : int;
+  edf_misses : int;
+  rm_arrivals : int;
+  rm_misses : int;
+  rm_admissible : bool;  (** would RM admission (Liu-Layland) accept it *)
+}
+
+val edf_vs_rm_points : ?scale:Exp.scale -> unit -> policy_point list

@@ -9,6 +9,12 @@ let scale_of_env () =
 
 let cpus scale quick full = match scale with Quick -> quick | Full -> full
 
+(* The CLI's --policy flag lands here; every harness that builds its own
+   Config picks it up, so one flag switches the whole figure suite. *)
+let default_policy = ref Config.Edf
+let set_policy p = default_policy := p
+let policy () = !default_policy
+
 let periodic_thread sys ~cpu ?(phase = 0L) ~period ~slice ?(on_admit = fun _ -> ())
     () =
   let constr = Constraints.periodic ~phase ~period ~slice () in

@@ -13,6 +13,13 @@ val scale_of_env : unit -> scale
 val cpus : scale -> int -> int -> int
 (** [cpus scale quick full] picks a worker count. *)
 
+val set_policy : Config.policy -> unit
+(** Set the scheduling policy experiments run under (the CLI's [--policy]
+    flag). Defaults to {!Config.Edf}, the paper's discipline. *)
+
+val policy : unit -> Config.policy
+(** The policy experiment configs should carry. *)
+
 val periodic_thread :
   Scheduler.t ->
   cpu:int ->

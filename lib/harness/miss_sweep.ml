@@ -17,7 +17,13 @@ let r415_periods = [ 1000; 100; 50; 40; 30; 20; 10; 4 ]
 let slices = [ 10; 20; 30; 40; 50; 60; 70; 80; 90 ]
 
 let run_point ~horizon platform ~period_us ~slice_pct =
-  let config = { Config.default with Config.admission_control = false } in
+  let config =
+    {
+      Config.default with
+      Config.admission_control = false;
+      policy = Exp.policy ();
+    }
+  in
   let sys = Scheduler.create ~num_cpus:2 ~config platform in
   let period = Time.us period_us in
   let slice = Int64.div (Int64.mul period (Int64.of_int slice_pct)) 100L in

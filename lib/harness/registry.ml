@@ -82,6 +82,11 @@ let all =
       run = (fun scale -> Ablations.eager_vs_lazy ~scale ());
     };
     {
+      name = "ablation-policy";
+      title = "EDF vs rate-monotonic past the Liu-Layland bound";
+      run = (fun scale -> Ablations.edf_vs_rm ~scale ());
+    };
+    {
       name = "ablation-steering";
       title = "Interrupt steering and priority segregation";
       run = (fun scale -> Ablations.interrupt_steering ~scale ());

@@ -12,6 +12,7 @@ type t =
   | Barrier_arrive of { tid : int; order : int }
   | Barrier_release of { parties : int; wait_ns : Time.ns }
   | Group_phase of { tid : int; phase : string }
+  | Policy of { policy : string }
   | Idle
 
 let kind = function
@@ -26,13 +27,14 @@ let kind = function
   | Barrier_arrive _ -> "barrier-arrive"
   | Barrier_release _ -> "barrier-release"
   | Group_phase _ -> "group-phase"
+  | Policy _ -> "policy"
   | Idle -> "idle"
 
 let dur_ns = function
   | Irq { dur_ns } | Sched_pass { dur_ns } -> Some dur_ns
   | Dispatch _ | Preempt _ | Deadline_miss _ | Admission_accept _
   | Admission_reject _ | Steal_attempt _ | Barrier_arrive _ | Barrier_release _
-  | Group_phase _ | Idle ->
+  | Group_phase _ | Policy _ | Idle ->
     None
 
 let args = function
@@ -61,3 +63,4 @@ let args = function
     ]
   | Group_phase { tid; phase } ->
     [ ("tid", string_of_int tid); ("phase", phase) ]
+  | Policy { policy } -> [ ("policy", policy) ]

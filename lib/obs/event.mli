@@ -25,6 +25,9 @@ type t =
       (** [wait_ns] is first-arrival to release *)
   | Group_phase of { tid : int; phase : string }
       (** group-admission protocol phase marks (Algorithm 1) *)
+  | Policy of { policy : string }
+      (** the scheduling policy this CPU dispatches with ("edf", "rm");
+          emitted once at boot so traces are self-describing *)
   | Idle  (** the CPU went idle *)
 
 val kind : t -> string

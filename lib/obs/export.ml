@@ -27,7 +27,7 @@ let event_tid ev =
   | Event.Group_phase { tid; _ } ->
     tid
   | Event.Irq _ | Event.Sched_pass _ | Event.Steal_attempt _
-  | Event.Barrier_release _ | Event.Idle ->
+  | Event.Barrier_release _ | Event.Policy _ | Event.Idle ->
     0
 
 (* Chrome-trace timestamps are microseconds; keep nanosecond precision with

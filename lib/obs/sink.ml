@@ -56,6 +56,8 @@ let update_metrics t ~cpu ev =
     c "barrier.release";
     h "barrier.wait_us" (us wait_ns)
   | Event.Group_phase { phase; _ } -> c ("group.phase." ^ phase)
+  | Event.Policy { policy } ->
+    Metrics.set (Metrics.gauge m ~cpu ("sched.policy." ^ policy)) 1.
   | Event.Idle -> c "sched.idle_transition"
 
 let emit t ~time ~cpu ev =

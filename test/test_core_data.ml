@@ -64,7 +64,19 @@ let test_config_validate () =
   bad { Config.default with Config.util_limit = 1.5 };
   bad { Config.default with Config.sporadic_reservation = -0.1 };
   bad { Config.default with Config.sporadic_reservation = 0.5; aperiodic_reservation = 0.5 };
-  bad { Config.default with Config.max_threads = 0 }
+  bad { Config.default with Config.max_threads = 0 };
+  bad { Config.default with Config.min_period = 0L };
+  bad { Config.default with Config.min_period = -1L };
+  bad { Config.default with Config.min_slice = 0L };
+  bad { Config.default with Config.steal_interval = 0L };
+  bad { Config.default with Config.lazy_slack = -1L };
+  (* The hyperperiod simulation is an EDF demand test: it must not be
+     paired with rate-monotonic dispatch. *)
+  bad { Config.default with Config.policy = Config.Rm; admission = Config.Hyperperiod_sim };
+  Alcotest.(check bool) "edf + hyperperiod ok" true
+    (Result.is_ok
+       (Config.validate
+          { Config.default with Config.admission = Config.Hyperperiod_sim }))
 
 (* ---- Prio_queue ---- *)
 
@@ -264,7 +276,7 @@ let test_admission_hyperperiod_sim () =
        (Constraints.periodic ~period:(Time.us 1000) ~slice:(Time.us 350) ()))
 
 let test_admission_rate_monotonic () =
-  let a = mk_admission ~config:{ Config.default with Config.admission = Config.Rate_monotonic } () in
+  let a = mk_admission ~config:{ Config.default with Config.policy = Config.Rm } () in
   let old = Constraints.aperiodic () in
   let p u = Constraints.periodic ~period:(Time.us 100)
       ~slice:(Int64.of_float (Int64.to_float (Time.us 100) *. u)) () in

@@ -1,0 +1,64 @@
+(* Determinism golden tests: the scheduler is a deterministic discrete-event
+   simulation, so the same seed must give the same results — run to run, and
+   across refactors. The pinned numbers below were captured from the
+   pre-policy-refactor scheduler; the EDF policy must reproduce them
+   bit-for-bit (the policy-layer refactor's safety net). *)
+
+open Hrt_harness
+
+let small_sweep () =
+  Miss_sweep.sweep ~scale:Exp.Quick ~platform:Hrt_hw.Platform.phi
+    ~periods_us:[ 1000; 100; 10 ] ~slices_pct:[ 20; 50 ] ()
+
+let csv_bytes points =
+  let table = Miss_sweep.rate_table ~title:"golden" points in
+  let path = Filename.temp_file "hrt_golden" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Hrt_stats.Csv.write ~path
+        ~header:(Hrt_stats.Table.headers table)
+        (Hrt_stats.Table.to_rows table);
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic)))
+
+let test_same_seed_same_csv () =
+  let a = csv_bytes (small_sweep ()) in
+  let b = csv_bytes (small_sweep ()) in
+  Alcotest.(check string) "identical CSV bytes" a b
+
+(* (period us, slice %, arrivals, misses) captured at Quick scale (30 ms
+   horizon), seed 42, Phi platform, admission control off. *)
+let pinned =
+  [
+    (1000, 20, 30, 0);
+    (1000, 50, 30, 0);
+    (100, 20, 298, 0);
+    (100, 50, 298, 0);
+    (10, 20, 2741, 2366);
+    (10, 50, 1930, 1747);
+  ]
+
+let test_pinned_counts () =
+  let points = small_sweep () in
+  List.iter
+    (fun (period_us, slice_pct, arrivals, misses) ->
+      let p =
+        List.find
+          (fun (x : Miss_sweep.point) ->
+            Int64.equal x.Miss_sweep.period (Hrt_engine.Time.us period_us)
+            && x.Miss_sweep.slice_pct = slice_pct)
+          points
+      in
+      let label = Printf.sprintf "%dus/%d%%" period_us slice_pct in
+      Alcotest.(check int) (label ^ " arrivals") arrivals p.Miss_sweep.arrivals;
+      Alcotest.(check int) (label ^ " misses") misses p.Miss_sweep.misses)
+    pinned
+
+let suite =
+  [
+    Alcotest.test_case "same seed, same CSV bytes" `Quick test_same_seed_same_csv;
+    Alcotest.test_case "pinned pre-refactor miss counts" `Quick test_pinned_counts;
+  ]

@@ -5,10 +5,12 @@ open Hrt_harness
 
 let test_registry_well_formed () =
   let names = List.map (fun e -> e.Registry.name) Registry.all in
-  Alcotest.(check int) "19 experiments" 19 (List.length names);
+  Alcotest.(check int) "20 experiments" 20 (List.length names);
   Alcotest.(check (list string)) "unique names" (List.sort_uniq compare names)
     (List.sort compare names);
   Alcotest.(check bool) "find works" true (Registry.find "fig6" <> None);
+  Alcotest.(check bool) "policy ablation listed" true
+    (Registry.find "ablation-policy" <> None);
   Alcotest.(check bool) "find rejects junk" true (Registry.find "fig99" = None)
 
 let test_fig3_within_1000_cycles () =
@@ -96,6 +98,17 @@ let test_ablation_eager_beats_lazy () =
   let tables = Ablations.eager_vs_lazy ~scale:Exp.Quick () in
   Alcotest.(check int) "one table" 1 (List.length tables)
 
+let test_ablation_policy_table () =
+  (* Table-level shape; the numeric EDF/RM separation is asserted in
+     test_policy.ml against edf_vs_rm_points. *)
+  let tables = Ablations.edf_vs_rm ~scale:Exp.Quick () in
+  Alcotest.(check int) "one table" 1 (List.length tables);
+  let t = List.hd tables in
+  Alcotest.(check int) "six utilization points" 6 (Hrt_stats.Table.rows t)
+
+let test_exp_policy_default () =
+  Alcotest.(check bool) "default is EDF" true (Exp.policy () = Hrt_core.Config.Edf)
+
 let test_exp_spread_collector () =
   let sys = Hrt_core.Scheduler.create ~num_cpus:5 Hrt_hw.Platform.phi in
   let period = Hrt_engine.Time.us 100 in
@@ -161,6 +174,8 @@ let suite =
     Alcotest.test_case "fig8: miss times small" `Quick test_fig8_miss_times_small;
     Alcotest.test_case "fig12: bias grows, correction works" `Slow test_fig12_bias_grows_and_correction_works;
     Alcotest.test_case "ablation eager-vs-lazy runs" `Quick test_ablation_eager_beats_lazy;
+    Alcotest.test_case "ablation edf-vs-rm table" `Quick test_ablation_policy_table;
+    Alcotest.test_case "experiment policy defaults to EDF" `Quick test_exp_policy_default;
     Alcotest.test_case "spread collector" `Quick test_exp_spread_collector;
     Alcotest.test_case "experiments produce tables" `Slow test_light_experiments_produce_tables;
     Alcotest.test_case "bsp sweep grids" `Quick test_bsp_sweep_grids;

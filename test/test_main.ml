@@ -12,12 +12,14 @@ let () =
       ("kernel", Test_kernel.suite);
       ("buddy", Test_buddy.suite);
       ("core-data", Test_core_data.suite);
+      ("policy", Test_policy.suite);
       ("scheduler", Test_sched.suite);
       ("scheduler-edge", Test_sched_edge.suite);
       ("group", Test_group.suite);
       ("bsp", Test_bsp.suite);
       ("properties", Test_props.suite);
       ("harness", Test_harness.suite);
+      ("golden", Test_golden.suite);
       ("cyclic", Test_cyclic.suite);
       ("soak", Test_soak.suite);
       ("omp-runtime", Test_omp.suite);

@@ -40,6 +40,83 @@ let prop_pq_remove_keeps_order =
       in
       drain Int64.min_int)
 
+(* ---- Prio_queue vs a stable-sorted list model ----
+
+   The RT run queue's determinism rests on two properties at once: heap
+   order by key AND FIFO among equal keys, preserved across interleaved
+   adds, pops and middle removals (threads changing class or being
+   stolen). The model is a list kept sorted by (key, insertion seq);
+   removal by id mirrors [Prio_queue.remove]'s first-match contract. *)
+
+type pq_op = Pq_add of int | Pq_pop | Pq_remove of int
+
+let pq_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (* Keys from a tiny range so equal-key ties are common. *)
+        (5, map (fun k -> Pq_add k) (int_bound 7));
+        (3, return Pq_pop);
+        (2, map (fun i -> Pq_remove i) (int_bound 40));
+      ])
+
+let prop_pq_model =
+  QCheck.Test.make ~name:"prio_queue: heap order + FIFO ties vs model"
+    ~count:500
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 80) pq_op_gen))
+    (fun ops ->
+      let q = Prio_queue.create ~capacity:128 in
+      (* model: (key, seq, id) sorted by (key, seq); seq is insertion order,
+         id identifies elements for removal. *)
+      let model = ref [] in
+      let next = ref 0 in
+      let insert (k, s, id) =
+        let rec go = function
+          | [] -> [ (k, s, id) ]
+          | (k', s', _) :: _ as rest when (k, s) < (k', s') ->
+            (k, s, id) :: rest
+          | x :: rest -> x :: go rest
+        in
+        model := go !model
+      in
+      List.for_all
+        (fun op ->
+          match op with
+          | Pq_add k ->
+            let id = !next in
+            incr next;
+            let ok = Prio_queue.add q ~key:(Int64.of_int k) id in
+            if ok then insert (k, id, id);
+            ok
+          | Pq_pop -> (
+            let got = Prio_queue.pop q in
+            match !model with
+            | [] -> got = None
+            | (k, _, id) :: rest ->
+              model := rest;
+              got = Some (Int64.of_int k, id))
+          | Pq_remove target -> (
+            (* Prio_queue.remove scans in heap (array) order, which is not
+               the model's sorted order — so only compare against the model
+               when the predicate identifies a unique element. *)
+            let got = Prio_queue.remove q (fun id -> id = target) in
+            match List.partition (fun (_, _, id) -> id = target) !model with
+            | [], _ -> got = None
+            | [ (_, _, id) ], rest ->
+              model := rest;
+              got = Some id
+            | _ -> false))
+        ops
+      && Prio_queue.length q = List.length !model
+      &&
+      (* Drain: the full (key, FIFO) order must survive the interleaving. *)
+      let rec drain = function
+        | [] -> Prio_queue.pop q = None
+        | (k, _, id) :: rest ->
+          Prio_queue.pop q = Some (Int64.of_int k, id) && drain rest
+      in
+      drain !model)
+
 (* ---- Event_queue ---- *)
 
 let prop_eq_sorted_with_cancels =
@@ -252,6 +329,7 @@ let suite =
     [
       prop_pq_sorted;
       prop_pq_remove_keeps_order;
+      prop_pq_model;
       prop_eq_sorted_with_cancels;
       prop_summary_bounds;
       prop_summary_merge_commutes;
