@@ -5,7 +5,11 @@
      run <names...>           run experiments (figures/ablations) by name
      all                      run everything
      bsp [options]            run one BSP benchmark configuration
-     missrate [options]       run one period/slice miss-rate point *)
+     missrate [options]       run one period/slice miss-rate point
+     verify <trace.json>      replay a recorded trace through the verifier
+
+   Exit codes: 0 success, 2 verification failure (verify subcommand or
+   --selfcheck), anything else is a usage/IO error. *)
 
 open Cmdliner
 open Hrt_engine
@@ -47,15 +51,30 @@ let metrics_out_term =
     & info [ "metrics-out" ] ~docv:"FILE"
         ~doc:"Write the derived metrics registry as CSV to $(docv).")
 
+let selfcheck_term =
+  Arg.(
+    value & flag
+    & info [ "selfcheck" ]
+        ~doc:
+          "Run the trace invariant verifier online while the workload \
+           executes. Prints a one-line machine-readable verdict on stderr; \
+           any violation (including a deadline miss of an admitted \
+           real-time task) makes the process exit with status 2.")
+
 (* Install an enabled default sink before the workload runs (so systems
    created inside harnesses pick it up), run, then export whatever was
-   requested. *)
-let with_obs ~trace_out ~metrics_out f =
-  (match (trace_out, metrics_out) with
-  | None, None -> ()
+   requested. Under --selfcheck a verifying checker subscribes to the same
+   sink; its verdict decides the exit status. *)
+let with_obs ?(selfcheck = false) ~trace_out ~metrics_out f =
+  (match (selfcheck, trace_out, metrics_out) with
+  | false, None, None -> ()
   | _ ->
     Hrt_obs.Sink.set_default
       (Hrt_obs.Sink.create ~trace:(trace_out <> None) ()));
+  let live =
+    if selfcheck then Some (Hrt_verify.Live.attach (Hrt_obs.Sink.get_default ()))
+    else None
+  in
   f ();
   let sink = Hrt_obs.Sink.get_default () in
   (match trace_out with
@@ -66,11 +85,17 @@ let with_obs ~trace_out ~metrics_out f =
       Printf.printf "wrote %s (%d events)\n" path (Hrt_obs.Tracer.length tr)
     | None -> ())
   | None -> ());
-  match metrics_out with
+  (match metrics_out with
   | Some path ->
     Hrt_obs.Export.write_metrics_csv (Hrt_obs.Sink.metrics sink) ~path;
     Printf.printf "wrote %s\n" path
+  | None -> ());
+  match live with
   | None -> ()
+  | Some live ->
+    let report = Hrt_verify.Live.report live in
+    Printf.eprintf "%s\n%!" (Hrt_verify.Report.verdict_line report);
+    if not (Hrt_verify.Report.passed report) then exit 2
 
 (* ---- list ---- *)
 
@@ -97,9 +122,9 @@ let run_cmd =
       & opt (some string) None
       & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each table as CSV into $(docv).")
   in
-  let run scale csv_dir trace_out metrics_out policy names =
+  let run scale csv_dir trace_out metrics_out selfcheck policy names =
     Exp.set_policy policy;
-    with_obs ~trace_out ~metrics_out (fun () ->
+    with_obs ~selfcheck ~trace_out ~metrics_out (fun () ->
         List.iter
           (fun name ->
             match Registry.find name with
@@ -127,18 +152,20 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ scale_term $ csv_dir $ trace_out_term $ metrics_out_term
-      $ policy_term $ names)
+      $ selfcheck_term $ policy_term $ names)
 
 (* ---- all ---- *)
 
 let all_cmd =
   let doc = "Run every experiment (the full evaluation section)." in
-  let run scale trace_out metrics_out =
-    with_obs ~trace_out ~metrics_out (fun () ->
+  let run scale trace_out metrics_out selfcheck =
+    with_obs ~selfcheck ~trace_out ~metrics_out (fun () ->
         List.iter (Registry.run_and_print ~scale) Registry.all)
   in
   Cmd.v (Cmd.info "all" ~doc)
-    Term.(const run $ scale_term $ trace_out_term $ metrics_out_term)
+    Term.(
+      const run $ scale_term $ trace_out_term $ metrics_out_term
+      $ selfcheck_term)
 
 (* ---- bsp ---- *)
 
@@ -171,8 +198,8 @@ let bsp_cmd =
     Arg.(value & opt int 500 & info [ "iters" ] ~doc:"BSP iterations.")
   in
   let run cpus grain barrier aperiodic period_us slice_pct iters policy
-      trace_out metrics_out =
-    with_obs ~trace_out ~metrics_out (fun () ->
+      trace_out metrics_out selfcheck =
+    with_obs ~selfcheck ~trace_out ~metrics_out (fun () ->
         let params =
           match grain with
           | `Fine -> Hrt_bsp.Bsp.fine_grain ~cpus ~barrier:(barrier || aperiodic)
@@ -200,7 +227,8 @@ let bsp_cmd =
   Cmd.v (Cmd.info "bsp" ~doc)
     Term.(
       const run $ cpus $ grain $ barrier $ aperiodic $ period_us $ slice_pct
-      $ iters $ policy_term $ trace_out_term $ metrics_out_term)
+      $ iters $ policy_term $ trace_out_term $ metrics_out_term
+      $ selfcheck_term)
 
 (* ---- missrate ---- *)
 
@@ -222,8 +250,9 @@ let missrate_cmd =
   let ms =
     Arg.(value & opt int 100 & info [ "duration" ] ~doc:"Simulated ms to run.")
   in
-  let run platform period_us slice_pct ms policy trace_out metrics_out =
-    with_obs ~trace_out ~metrics_out (fun () ->
+  let run platform period_us slice_pct ms policy trace_out metrics_out
+      selfcheck =
+    with_obs ~selfcheck ~trace_out ~metrics_out (fun () ->
         let config =
           { Config.default with Config.admission_control = false; policy }
         in
@@ -246,9 +275,61 @@ let missrate_cmd =
   Cmd.v (Cmd.info "missrate" ~doc)
     Term.(
       const run $ platform $ period_us $ slice_pct $ ms $ policy_term
-      $ trace_out_term $ metrics_out_term)
+      $ trace_out_term $ metrics_out_term $ selfcheck_term)
+
+(* ---- verify ---- *)
+
+let verify_cmd =
+  let doc = "Replay a recorded trace through the invariant verifier." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Parses a Chrome-trace JSON file written by $(b,--trace-out) and \
+         checks every scheduler invariant in the catalog: time \
+         monotonicity, event causality, per-CPU mutual exclusion, hard \
+         real-time soundness, EDF/RM policy conformance, accounting \
+         conservation, and group barrier/election safety.";
+      `P
+        "The full report goes to stdout; a one-line machine-readable \
+         verdict goes to stderr. Exit status is 0 when the trace is clean, \
+         2 when any rule fired, and 1 when the file cannot be parsed.";
+    ]
+  in
+  let trace =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"Chrome-trace JSON file to verify.")
+  in
+  let report_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:"Also write the full verdict report to $(docv).")
+  in
+  let run trace report_out =
+    match Hrt_verify.Verify.file trace with
+    | Error msg ->
+      Printf.eprintf "hrt_sim verify: %s: %s\n" trace msg;
+      exit 1
+    | Ok report ->
+      print_string (Hrt_verify.Report.to_string report);
+      (match report_out with
+      | Some path ->
+        Hrt_verify.Report.write report ~path;
+        Printf.printf "wrote %s\n" path
+      | None -> ());
+      Printf.eprintf "%s\n%!" (Hrt_verify.Report.verdict_line report);
+      if not (Hrt_verify.Report.passed report) then exit 2
+  in
+  Cmd.v (Cmd.info "verify" ~doc ~man) Term.(const run $ trace $ report_out)
 
 let () =
   let doc = "Hard real-time scheduling for parallel run-time systems (HPDC'18 reproduction)." in
   let info = Cmd.info "hrt_sim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; bsp_cmd; missrate_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; all_cmd; bsp_cmd; missrate_cmd; verify_cmd ]))

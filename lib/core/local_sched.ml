@@ -73,6 +73,27 @@ let obs_on t = Obs.Sink.enabled t.shared.obs
 
 let obs_emit t ~time ev = Obs.Sink.emit t.shared.obs ~time ~cpu:(cpu_id t) ev
 
+let cls_of_constr = function
+  | Constraints.Aperiodic _ -> Obs.Event.Cls_aperiodic
+  | Constraints.Periodic _ -> Obs.Event.Cls_periodic
+  | Constraints.Sporadic _ -> Obs.Event.Cls_sporadic
+
+(* The retirement of a real-time arrival, wherever it happens (slice
+   consumed, sporadic degrade, abandoned by a re-anchor or re-admission,
+   exit mid-arrival). The verifier pairs these with [Arrival] events to
+   reconstruct the runnable RT set. *)
+let emit_complete t (th : Thread.t) now =
+  if obs_on t then
+    obs_emit t ~time:now (Obs.Event.Complete { tid = th.id; thread = th.name })
+
+let emit_block t (th : Thread.t) now =
+  if obs_on t then
+    obs_emit t ~time:now (Obs.Event.Block { tid = th.id; thread = th.name })
+
+let emit_wake t (th : Thread.t) now =
+  if obs_on t then
+    obs_emit t ~time:now (Obs.Event.Wake { tid = th.id; thread = th.name })
+
 let sample t cost = Machine.sample t.shared.machine t.cpu cost
 
 let rt_queue_length t = Prio_queue.length t.rt_run
@@ -143,7 +164,7 @@ let cancel_completion t =
    the RT run queue, keyed by the policy's run key, and flag deadline
    misses the policy detects. *)
 
-let process_arrival t (th : Thread.t) =
+let process_arrival t (th : Thread.t) now =
   th.arrivals <- th.arrivals + 1;
   Account.record_arrival t.account;
   (match th.constr with
@@ -162,6 +183,22 @@ let process_arrival t (th : Thread.t) =
     (* An aperiodic thread can never sit in the pending queue. *)
     assert false);
   th.state <- Thread.Ready;
+  (if obs_on t then
+     let period =
+       match th.constr with
+       | Constraints.Periodic { period; _ } -> period
+       | Constraints.Sporadic _ -> Time.max 1L Time.(th.deadline - th.arrival)
+       | Constraints.Aperiodic _ -> assert false
+     in
+     obs_emit t ~time:now
+       (Obs.Event.Arrival
+          {
+            tid = th.id;
+            thread = th.name;
+            arrival = th.arrival;
+            deadline = th.deadline;
+            period;
+          }));
   if not (Prio_queue.add t.rt_run ~key:(rt_key t th) th) then
     failwith "local_sched: real-time run queue overflow"
 
@@ -170,7 +207,7 @@ let rec pump t now =
   | Some (k, _) when Time.(k <= now) -> (
     match Prio_queue.pop t.pending with
     | Some (_, th) ->
-      process_arrival t th;
+      process_arrival t th now;
       pump t now
     | None -> ())
   | Some _ | None -> ()
@@ -222,11 +259,15 @@ let record_miss_completion t (th : Thread.t) now =
    leaves the runnable set. Side effects inside bodies are instantaneous. *)
 
 let do_set_constraints t (th : Thread.t) c cb now =
+  (* Whether the thread is abandoning an in-flight real-time arrival: it is
+     executing this op, so an RT constraint implies an active arrival. *)
+  let was_rt = rt_active th in
   let ok = Admission.request t.admission ~now ~old_constr:th.constr c in
   (if obs_on t then
+     let cls = cls_of_constr c in
      obs_emit t ~time:now
-       (if ok then Obs.Event.Admission_accept { tid = th.id }
-        else Obs.Event.Admission_reject { tid = th.id }));
+       (if ok then Obs.Event.Admission_accept { tid = th.id; cls }
+        else Obs.Event.Admission_reject { tid = th.id; cls }));
   let effective = if ok then c else th.constr in
   if ok then begin
     th.constr <- c;
@@ -234,10 +275,12 @@ let do_set_constraints t (th : Thread.t) c cb now =
   end;
   (match effective with
   | Constraints.Aperiodic _ ->
+    if was_rt then emit_complete t th now;
     th.quantum_left <- (config t).Config.aperiodic_quantum;
     th.state <- Thread.Ready;
     aper_push_back t th
   | Constraints.Periodic { phase; _ } when ok ->
+    if was_rt then emit_complete t th now;
     th.next_arrival <- Time.(now + phase);
     th.slice_left <- 0L;
     th.missed_current <- false;
@@ -248,6 +291,7 @@ let do_set_constraints t (th : Thread.t) c cb now =
        this can run after the invocation's own pumps (pick phase). *)
     pump t now
   | Constraints.Sporadic { phase; _ } when ok ->
+    if was_rt then emit_complete t th now;
     th.next_arrival <- Time.(now + phase);
     th.slice_left <- 0L;
     th.missed_current <- false;
@@ -264,6 +308,7 @@ let do_set_constraints t (th : Thread.t) c cb now =
       ignore (Prio_queue.add t.rt_run ~key:(rt_key t th) th)
     end
     else begin
+      emit_complete t th now;
       th.state <- Thread.Pending_arrival;
       ignore (Prio_queue.add t.pending ~key:th.next_arrival th)
     end);
@@ -311,12 +356,14 @@ let rec advance t (th : Thread.t) now =
          end);
         false
       | Thread.Block ->
+        emit_block t th now;
         th.state <- Thread.Blocked;
         th.block_start <- now;
         th.spin_block <- true;
         th.wake_token <- th.wake_token + 1;
         false
       | Thread.Sleep_until tm ->
+        emit_block t th now;
         th.state <- Thread.Blocked;
         th.block_start <- now;
         th.spin_block <- false;
@@ -332,6 +379,7 @@ let rec advance t (th : Thread.t) now =
         do_set_constraints t th c cb now;
         false
       | Thread.Exit ->
+        if rt_active th then emit_complete t th now;
         exit_thread t th;
         false
     end
@@ -355,23 +403,30 @@ and wake_enqueue t (th : Thread.t) =
      end);
     (match th.constr with
     | Constraints.Aperiodic _ ->
+      emit_wake t th now;
       th.state <- Thread.Ready;
       if Time.(th.quantum_left <= 0L) then
         th.quantum_left <- (config t).Config.aperiodic_quantum;
       aper_push_back t th
     | Constraints.Sporadic _ ->
+      emit_wake t th now;
       th.state <- Thread.Ready;
       ignore (Prio_queue.add t.rt_run ~key:(rt_key t th) th)
     | Constraints.Periodic { period; _ } ->
       if Time.(th.slice_left > 0L) && Time.(th.deadline > now) then begin
         (* Resume the current arrival. *)
+        emit_wake t th now;
         th.state <- Thread.Ready;
         ignore (Prio_queue.add t.rt_run ~key:(rt_key t th) th)
       end
       else begin
         (* Rejoin the arrival schedule at the latest arrival point <= now
            (or the already-pending future arrival). The pending pump turns
-           it into a proper arrival. *)
+           it into a proper arrival; the blocked-through arrival is over.
+           Like the wake itself, this can run at a remote waker's clock,
+           inside this CPU's busy window — stamp the completion at the
+           serialization point so the per-CPU trace stays monotone. *)
+        emit_complete t th (Time.max now t.busy_until);
         while Time.(th.next_arrival + period <= now) do
           th.next_arrival <- Time.(th.next_arrival + period)
         done;
@@ -406,6 +461,7 @@ and request_invoke t =
 
 and end_rt_arrival t (th : Thread.t) now =
   record_miss_completion t th now;
+  emit_complete t th now;
   match th.constr with
   | Constraints.Periodic { period; _ } ->
     (* Skip only arrivals whose whole period has already elapsed: a small
@@ -656,12 +712,16 @@ and arm_steal t =
       else Time.ms 1
     in
     t.steal_armed <- true;
+    (* Gated like every other scheduler entry: the idle thread cannot poll
+       while the CPU is serialized in a pass or handler, and gating keeps
+       steal-attempt events inside the CPU's monotone timeline. *)
     ignore
-      (Engine.schedule_after (engine t) ~after:interval (fun eng ->
-           t.steal_armed <- false;
-           if t.current = None then
-             if t.shared.total_aper_queued > 0 then attempt_steal t eng
-             else arm_steal t))
+      (Engine.schedule_after (engine t) ~after:interval
+         (run_gated t (fun eng ->
+              t.steal_armed <- false;
+              if t.current = None then
+                if t.shared.total_aper_queued > 0 then attempt_steal t eng
+                else arm_steal t)))
   end
 
 and attempt_steal t eng =
@@ -762,14 +822,17 @@ and invoke t eng ~irq_ns ~handler_ns =
      if Time.(irq_ns > 0L) then
        obs_emit t ~time:now
          (Obs.Event.Irq { dur_ns = Time.(irq_ns + handler_ns) });
-     obs_emit t
-       ~time:Time.(now + irq_ns + handler_ns)
-       (Obs.Event.Sched_pass { dur_ns = Time.(pass_ns + other_ns) });
+     (* Preempt (stamped at [now]) goes before the pass span (stamped at
+        [now + irq]) so per-CPU trace timestamps stay non-decreasing — an
+        invariant the verifier checks. *)
      (match (prev, next) with
      | Some p, Some n when (not (p == n)) && Thread.runnable p ->
        obs_emit t ~time:now
          (Obs.Event.Preempt { tid = p.Thread.id; thread = p.Thread.name })
      | _ -> ());
+     obs_emit t
+       ~time:Time.(now + irq_ns + handler_ns)
+       (Obs.Event.Sched_pass { dur_ns = Time.(pass_ns + other_ns) });
      match next with
      | Some th ->
        obs_emit t ~time:resume_at

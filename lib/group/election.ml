@@ -1,12 +1,25 @@
 open Hrt_core
+module Obs = Hrt_obs
 
 type t = {
   group : Group.t;
+  id : int;
+      (* process-unique, creation-ordered — distinguishes interleaved
+         elections in one trace *)
+  mutable round : int;
   mutable leader : Thread.t option;
   mutable contenders : int;
 }
 
-let create group = { group; leader = None; contenders = 0 }
+let next_id = ref 0
+
+let create group =
+  let id = !next_id in
+  incr next_id;
+  { group; id; round = 0; leader = None; contenders = 0 }
+
+let id t = t.id
+let round t = t.round
 
 let elect t ~on_result =
   let plat = Scheduler.platform (Group.scheduler t.group) in
@@ -25,7 +38,15 @@ let elect t ~on_result =
     | Some _ ->
       if not !decided then begin
         decided := true;
-        on_result (match t.leader with Some l -> l == self | None -> false)
+        let leader = match t.leader with Some l -> l == self | None -> false in
+        let sink = Scheduler.obs (Group.scheduler t.group) in
+        (if Obs.Sink.enabled sink then
+           Obs.Sink.emit sink
+             ~time:(svc.Thread.now ())
+             ~cpu:self.Thread.cpu
+             (Obs.Event.Elected
+                { election = t.id; round = t.round; tid = self.Thread.id; leader }));
+        on_result leader
       end;
       Thread.Exit
 
@@ -33,4 +54,5 @@ let leader t = t.leader
 
 let reset t =
   t.leader <- None;
-  t.contenders <- 0
+  t.contenders <- 0;
+  t.round <- t.round + 1

@@ -14,4 +14,13 @@ val elect : t -> on_result:(bool -> unit) -> Thread.body
 (** Fragment: participate; the callback says whether the caller won. *)
 
 val leader : t -> Thread.t option
+
 val reset : t -> unit
+(** Rearm for a new round (increments {!round}). *)
+
+val id : t -> int
+(** Process-unique creation-ordered identifier, stamped on [Elected]
+    trace events. *)
+
+val round : t -> int
+(** Current round, starting at 0; {!reset} advances it. *)

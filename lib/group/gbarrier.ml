@@ -4,6 +4,9 @@ module Obs = Hrt_obs
 
 type t = {
   sys : Scheduler.t;
+  id : int;
+      (* process-unique, creation-ordered: lets trace events from distinct
+         barriers be told apart by the verifier *)
   arrive_cost : Hrt_hw.Platform.cost;
   serialized : bool;
   mutable parties : int;
@@ -18,8 +21,12 @@ type t = {
   delta : Time.ns;
 }
 
+let next_id = ref 0
+
 let create ?arrive_cost ?(serialized_arrivals = false) sys ~parties =
   if parties <= 0 then invalid_arg "Gbarrier.create";
+  let id = !next_id in
+  incr next_id;
   let plat = Scheduler.platform sys in
   let arrive_cost =
     match arrive_cost with
@@ -32,6 +39,7 @@ let create ?arrive_cost ?(serialized_arrivals = false) sys ~parties =
   in
   {
     sys;
+    id;
     arrive_cost;
     serialized = serialized_arrivals;
     parties;
@@ -47,6 +55,8 @@ let create ?arrive_cost ?(serialized_arrivals = false) sys ~parties =
 let set_parties t n =
   if n <= 0 then invalid_arg "Gbarrier.set_parties";
   t.parties <- n
+
+let id t = t.id
 
 let parties t = t.parties
 let release_delta t = t.delta
@@ -88,7 +98,7 @@ let cross ?on_release ?record_order t =
       if Obs.Sink.enabled sink then begin
         if t.first_arrive = None then t.first_arrive <- Some now;
         Obs.Sink.emit sink ~time:now ~cpu:self.Thread.cpu
-          (Obs.Event.Barrier_arrive { tid = self.Thread.id; order = k })
+          (Obs.Event.Barrier_arrive { barrier = t.id; tid = self.Thread.id; order = k })
       end;
       phase := Waiting;
       if t.arrived < t.parties then begin
@@ -104,7 +114,7 @@ let cross ?on_release ?record_order t =
              | None -> 0L
            in
            Obs.Sink.emit sink ~time:now ~cpu:self.Thread.cpu
-             (Obs.Event.Barrier_release { parties = t.parties; wait_ns }));
+             (Obs.Event.Barrier_release { barrier = t.id; parties = t.parties; wait_ns }));
         t.first_arrive <- None;
         (match on_release with Some f -> f () | None -> ());
         let all = List.rev (self :: t.waiters) in

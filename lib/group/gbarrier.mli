@@ -28,6 +28,10 @@ val create :
 val set_parties : t -> int -> unit
 val parties : t -> int
 
+val id : t -> int
+(** Process-unique creation-ordered identifier, stamped on the barrier's
+    trace events so the verifier can separate interleaved barriers. *)
+
 val release_delta : t -> Time.ns
 (** The mean per-thread departure stagger (the delta of Section 4.4),
     derived from the platform's barrier-release cost. *)

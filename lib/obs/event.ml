@@ -1,19 +1,43 @@
 open Hrt_engine
 
+type cls = Cls_aperiodic | Cls_periodic | Cls_sporadic
+
 type t =
   | Dispatch of { tid : int; thread : string }
   | Preempt of { tid : int; thread : string }
   | Deadline_miss of { tid : int; thread : string; lateness_ns : Time.ns }
-  | Admission_accept of { tid : int }
-  | Admission_reject of { tid : int }
+  | Admission_accept of { tid : int; cls : cls }
+  | Admission_reject of { tid : int; cls : cls }
+  | Arrival of {
+      tid : int;
+      thread : string;
+      arrival : Time.ns;
+      deadline : Time.ns;
+      period : Time.ns;
+    }
+  | Complete of { tid : int; thread : string }
+  | Block of { tid : int; thread : string }
+  | Wake of { tid : int; thread : string }
   | Irq of { dur_ns : Time.ns }
   | Sched_pass of { dur_ns : Time.ns }
   | Steal_attempt of { victim : int option; success : bool }
-  | Barrier_arrive of { tid : int; order : int }
-  | Barrier_release of { parties : int; wait_ns : Time.ns }
+  | Barrier_arrive of { barrier : int; tid : int; order : int }
+  | Barrier_release of { barrier : int; parties : int; wait_ns : Time.ns }
   | Group_phase of { tid : int; phase : string }
+  | Elected of { election : int; round : int; tid : int; leader : bool }
   | Policy of { policy : string }
   | Idle
+
+let cls_name = function
+  | Cls_aperiodic -> "aperiodic"
+  | Cls_periodic -> "periodic"
+  | Cls_sporadic -> "sporadic"
+
+let cls_of_name = function
+  | "aperiodic" -> Some Cls_aperiodic
+  | "periodic" -> Some Cls_periodic
+  | "sporadic" -> Some Cls_sporadic
+  | _ -> None
 
 let kind = function
   | Dispatch _ -> "dispatch"
@@ -21,24 +45,34 @@ let kind = function
   | Deadline_miss _ -> "deadline-miss"
   | Admission_accept _ -> "admission-accept"
   | Admission_reject _ -> "admission-reject"
+  | Arrival _ -> "arrival"
+  | Complete _ -> "complete"
+  | Block _ -> "block"
+  | Wake _ -> "wake"
   | Irq _ -> "irq"
   | Sched_pass _ -> "sched-pass"
   | Steal_attempt _ -> "steal-attempt"
   | Barrier_arrive _ -> "barrier-arrive"
   | Barrier_release _ -> "barrier-release"
   | Group_phase _ -> "group-phase"
+  | Elected _ -> "elected"
   | Policy _ -> "policy"
   | Idle -> "idle"
 
 let dur_ns = function
   | Irq { dur_ns } | Sched_pass { dur_ns } -> Some dur_ns
   | Dispatch _ | Preempt _ | Deadline_miss _ | Admission_accept _
-  | Admission_reject _ | Steal_attempt _ | Barrier_arrive _ | Barrier_release _
-  | Group_phase _ | Policy _ | Idle ->
+  | Admission_reject _ | Arrival _ | Complete _ | Block _ | Wake _
+  | Steal_attempt _ | Barrier_arrive _ | Barrier_release _ | Group_phase _
+  | Elected _ | Policy _ | Idle ->
     None
 
 let args = function
-  | Dispatch { tid; thread } | Preempt { tid; thread } ->
+  | Dispatch { tid; thread }
+  | Preempt { tid; thread }
+  | Complete { tid; thread }
+  | Block { tid; thread }
+  | Wake { tid; thread } ->
     [ ("tid", string_of_int tid); ("thread", thread) ]
   | Deadline_miss { tid; thread; lateness_ns } ->
     [
@@ -46,8 +80,16 @@ let args = function
       ("thread", thread);
       ("lateness_ns", Int64.to_string lateness_ns);
     ]
-  | Admission_accept { tid } | Admission_reject { tid } ->
-    [ ("tid", string_of_int tid) ]
+  | Admission_accept { tid; cls } | Admission_reject { tid; cls } ->
+    [ ("tid", string_of_int tid); ("class", cls_name cls) ]
+  | Arrival { tid; thread; arrival; deadline; period } ->
+    [
+      ("tid", string_of_int tid);
+      ("thread", thread);
+      ("arrival_ns", Int64.to_string arrival);
+      ("deadline_ns", Int64.to_string deadline);
+      ("period_ns", Int64.to_string period);
+    ]
   | Irq _ | Sched_pass _ | Idle -> []
   | Steal_attempt { victim; success } ->
     [
@@ -55,12 +97,147 @@ let args = function
         match victim with None -> "none" | Some v -> string_of_int v );
       ("success", string_of_bool success);
     ]
-  | Barrier_arrive { tid; order } ->
-    [ ("tid", string_of_int tid); ("order", string_of_int order) ]
-  | Barrier_release { parties; wait_ns } ->
+  | Barrier_arrive { barrier; tid; order } ->
     [
-      ("parties", string_of_int parties); ("wait_ns", Int64.to_string wait_ns);
+      ("barrier", string_of_int barrier);
+      ("tid", string_of_int tid);
+      ("order", string_of_int order);
+    ]
+  | Barrier_release { barrier; parties; wait_ns } ->
+    [
+      ("barrier", string_of_int barrier);
+      ("parties", string_of_int parties);
+      ("wait_ns", Int64.to_string wait_ns);
     ]
   | Group_phase { tid; phase } ->
     [ ("tid", string_of_int tid); ("phase", phase) ]
+  | Elected { election; round; tid; leader } ->
+    [
+      ("election", string_of_int election);
+      ("round", string_of_int round);
+      ("tid", string_of_int tid);
+      ("leader", string_of_bool leader);
+    ]
   | Policy { policy } -> [ ("policy", policy) ]
+
+(* [of_parts] inverts [kind]/[args]/[dur_ns]: it is how the offline
+   verifier reconstructs typed events from an exported trace, and the
+   round-trip property every constructor must satisfy. *)
+let of_parts ~kind:k ~args:kvs ~dur_ns:dur =
+  let ( let* ) = Option.bind in
+  let str key = List.assoc_opt key kvs in
+  let int key =
+    let* v = str key in
+    int_of_string_opt v
+  in
+  let ns key =
+    let* v = str key in
+    Int64.of_string_opt v
+  in
+  let bool key =
+    let* v = str key in
+    bool_of_string_opt v
+  in
+  match k with
+  | "dispatch" ->
+    let* tid = int "tid" in
+    let* thread = str "thread" in
+    Some (Dispatch { tid; thread })
+  | "preempt" ->
+    let* tid = int "tid" in
+    let* thread = str "thread" in
+    Some (Preempt { tid; thread })
+  | "complete" ->
+    let* tid = int "tid" in
+    let* thread = str "thread" in
+    Some (Complete { tid; thread })
+  | "block" ->
+    let* tid = int "tid" in
+    let* thread = str "thread" in
+    Some (Block { tid; thread })
+  | "wake" ->
+    let* tid = int "tid" in
+    let* thread = str "thread" in
+    Some (Wake { tid; thread })
+  | "deadline-miss" ->
+    let* tid = int "tid" in
+    let* thread = str "thread" in
+    let* lateness_ns = ns "lateness_ns" in
+    Some (Deadline_miss { tid; thread; lateness_ns })
+  | "admission-accept" ->
+    let* tid = int "tid" in
+    let* cls = Option.bind (str "class") cls_of_name in
+    Some (Admission_accept { tid; cls })
+  | "admission-reject" ->
+    let* tid = int "tid" in
+    let* cls = Option.bind (str "class") cls_of_name in
+    Some (Admission_reject { tid; cls })
+  | "arrival" ->
+    let* tid = int "tid" in
+    let* thread = str "thread" in
+    let* arrival = ns "arrival_ns" in
+    let* deadline = ns "deadline_ns" in
+    let* period = ns "period_ns" in
+    Some (Arrival { tid; thread; arrival; deadline; period })
+  | "irq" ->
+    let* dur_ns = dur in
+    Some (Irq { dur_ns })
+  | "sched-pass" ->
+    let* dur_ns = dur in
+    Some (Sched_pass { dur_ns })
+  | "steal-attempt" ->
+    let* victim =
+      match str "victim" with
+      | Some "none" -> Some None
+      | Some v -> Option.map Option.some (int_of_string_opt v)
+      | None -> None
+    in
+    let* success = bool "success" in
+    Some (Steal_attempt { victim; success })
+  | "barrier-arrive" ->
+    let* barrier = int "barrier" in
+    let* tid = int "tid" in
+    let* order = int "order" in
+    Some (Barrier_arrive { barrier; tid; order })
+  | "barrier-release" ->
+    let* barrier = int "barrier" in
+    let* parties = int "parties" in
+    let* wait_ns = ns "wait_ns" in
+    Some (Barrier_release { barrier; parties; wait_ns })
+  | "group-phase" ->
+    let* tid = int "tid" in
+    let* phase = str "phase" in
+    Some (Group_phase { tid; phase })
+  | "elected" ->
+    let* election = int "election" in
+    let* round = int "round" in
+    let* tid = int "tid" in
+    let* leader = bool "leader" in
+    Some (Elected { election; round; tid; leader })
+  | "policy" ->
+    let* policy = str "policy" in
+    Some (Policy { policy })
+  | "idle" -> Some Idle
+  | _ -> None
+
+let all_kinds =
+  [
+    "dispatch";
+    "preempt";
+    "deadline-miss";
+    "admission-accept";
+    "admission-reject";
+    "arrival";
+    "complete";
+    "block";
+    "wake";
+    "irq";
+    "sched-pass";
+    "steal-attempt";
+    "barrier-arrive";
+    "barrier-release";
+    "group-phase";
+    "elected";
+    "policy";
+    "idle";
+  ]

@@ -21,10 +21,15 @@ let event_tid ev =
   | Event.Dispatch { tid; _ }
   | Event.Preempt { tid; _ }
   | Event.Deadline_miss { tid; _ }
-  | Event.Admission_accept { tid }
-  | Event.Admission_reject { tid }
+  | Event.Admission_accept { tid; _ }
+  | Event.Admission_reject { tid; _ }
+  | Event.Arrival { tid; _ }
+  | Event.Complete { tid; _ }
+  | Event.Block { tid; _ }
+  | Event.Wake { tid; _ }
   | Event.Barrier_arrive { tid; _ }
-  | Event.Group_phase { tid; _ } ->
+  | Event.Group_phase { tid; _ }
+  | Event.Elected { tid; _ } ->
     tid
   | Event.Irq _ | Event.Sched_pass _ | Event.Steal_attempt _
   | Event.Barrier_release _ | Event.Policy _ | Event.Idle ->

@@ -42,6 +42,10 @@ let update_metrics t ~cpu ev =
     h "sched.miss_lateness_us" (us lateness_ns)
   | Event.Admission_accept _ -> c "admission.accept"
   | Event.Admission_reject _ -> c "admission.reject"
+  | Event.Arrival _ -> c "sched.arrival"
+  | Event.Complete _ -> c "sched.complete"
+  | Event.Block _ -> c "sched.block"
+  | Event.Wake _ -> c "sched.wake"
   | Event.Irq { dur_ns } ->
     c "irq.count";
     h "irq.dur_us" (us dur_ns)
@@ -56,6 +60,9 @@ let update_metrics t ~cpu ev =
     c "barrier.release";
     h "barrier.wait_us" (us wait_ns)
   | Event.Group_phase { phase; _ } -> c ("group.phase." ^ phase)
+  | Event.Elected { leader; _ } ->
+    c "group.election.decided";
+    if leader then c "group.election.leader"
   | Event.Policy { policy } ->
     Metrics.set (Metrics.gauge m ~cpu ("sched.policy." ^ policy)) 1.
   | Event.Idle -> c "sched.idle_transition"

@@ -1,0 +1,393 @@
+open Hrt_engine
+module Obs = Hrt_obs
+module Event = Obs.Event
+
+type policy = Edf | Rm | Unknown
+
+let policy_of_name = function
+  | "edf" -> Edf
+  | "rm" -> Rm
+  | _ -> Unknown
+
+let policy_name = function Edf -> "edf" | Rm -> "rm" | Unknown -> "unknown"
+
+type violation = {
+  rule : Rules.t;
+  index : int;
+  time : Time.ns;
+  cpu : int;
+  segment : int;
+  detail : string;
+}
+
+(* One released real-time job: alive between its [Arrival] and the matching
+   [Complete]. [a_cpu] is the home CPU stamped on the arrival event —
+   real-time threads never migrate, so the conformance oracle compares only
+   jobs released on the same CPU. *)
+type arrival = { a_deadline : Time.ns; a_period : Time.ns; a_cpu : int }
+
+type cpu_state = {
+  mutable seen : bool;
+  mutable first_time : Time.ns;
+  mutable last_time : Time.ns;
+  mutable current : int option;  (* tid of the thread dispatched here *)
+  mutable span_end : Time.ns;  (* end of the latest overhead span *)
+  mutable overhead : Time.ns;  (* cumulative Irq + Sched_pass durations *)
+}
+
+type round_state = {
+  mutable r_arrived : (int * int) list;  (* (tid, order), newest first *)
+  mutable r_first : Time.ns option;
+  mutable r_last : Time.ns;
+}
+
+type election_round = { mutable e_leaders : int; mutable e_decided : int list }
+
+type t = {
+  mutable index : int;  (* events fed so far *)
+  mutable in_segment : int;  (* events fed since the last segment reset *)
+  mutable segment : int;
+  mutable policy : policy;
+  cpus : (int, cpu_state) Hashtbl.t;
+  admitted : (int, Event.cls) Hashtbl.t;  (* tid -> admitted RT class *)
+  active : (int, arrival) Hashtbl.t;  (* tid -> in-flight arrival *)
+  blocked : (int, unit) Hashtbl.t;
+  where : (int, int) Hashtbl.t;  (* tid -> cpu currently dispatched on *)
+  barriers : (int, round_state) Hashtbl.t;
+  elections : (int * int, election_round) Hashtbl.t;
+  counts : (Rules.t, int) Hashtbl.t;
+  mutable violations : violation list;  (* newest first, capped per rule *)
+}
+
+(* Full violation counts are always kept; only the stored counterexamples
+   are capped, so a pathological trace cannot make the report unbounded. *)
+let max_kept_per_rule = 64
+
+let create () =
+  {
+    index = 0;
+    in_segment = 0;
+    segment = 0;
+    policy = Unknown;
+    cpus = Hashtbl.create 16;
+    admitted = Hashtbl.create 64;
+    active = Hashtbl.create 64;
+    blocked = Hashtbl.create 64;
+    where = Hashtbl.create 64;
+    barriers = Hashtbl.create 8;
+    elections = Hashtbl.create 8;
+    counts = Hashtbl.create 8;
+    violations = [];
+  }
+
+(* A [Policy] event on CPU 0 is the boot stamp of a fresh scheduler: traces
+   holding several sequential runs (sweeps, ablations) restart the whole
+   world there, so all cross-event state is dropped. Violations and counts
+   survive — they describe the trace, not the segment. *)
+let reset_segment t =
+  Hashtbl.reset t.cpus;
+  Hashtbl.reset t.admitted;
+  Hashtbl.reset t.active;
+  Hashtbl.reset t.blocked;
+  Hashtbl.reset t.where;
+  Hashtbl.reset t.barriers;
+  Hashtbl.reset t.elections
+
+let count t rule = match Hashtbl.find_opt t.counts rule with Some n -> n | None -> 0
+
+let violate t rule ~index ~time ~cpu detail =
+  let n = count t rule + 1 in
+  Hashtbl.replace t.counts rule n;
+  if n <= max_kept_per_rule then
+    t.violations <-
+      { rule; index; time; cpu; segment = t.segment; detail } :: t.violations
+
+let cpu_state t cpu =
+  match Hashtbl.find_opt t.cpus cpu with
+  | Some st -> st
+  | None ->
+    let st =
+      {
+        seen = false;
+        first_time = 0L;
+        last_time = 0L;
+        current = None;
+        span_end = 0L;
+        overhead = 0L;
+      }
+    in
+    Hashtbl.replace t.cpus cpu st;
+    st
+
+let round_state t barrier =
+  match Hashtbl.find_opt t.barriers barrier with
+  | Some b -> b
+  | None ->
+    let b = { r_arrived = []; r_first = None; r_last = 0L } in
+    Hashtbl.replace t.barriers barrier b;
+    b
+
+let election_round t key =
+  match Hashtbl.find_opt t.elections key with
+  | Some e -> e
+  | None ->
+    let e = { e_leaders = 0; e_decided = [] } in
+    Hashtbl.replace t.elections key e;
+    e
+
+(* Drop [tid] from the running set (it blocked, or its CPU moved on). *)
+let clear_running t tid =
+  match Hashtbl.find_opt t.where tid with
+  | None -> ()
+  | Some c ->
+    Hashtbl.remove t.where tid;
+    (match Hashtbl.find_opt t.cpus c with
+    | Some sc when sc.current = Some tid -> sc.current <- None
+    | Some _ | None -> ())
+
+let conformance_key t (a : arrival) =
+  match t.policy with
+  | Edf -> a.a_deadline
+  | Rm -> a.a_period
+  | Unknown -> 0L
+
+let check_dispatch t ~index ~time ~cpu st tid thread =
+  if Hashtbl.mem t.blocked tid then
+    violate t Rules.Causality ~index ~time ~cpu
+      (Printf.sprintf "thread %d (%s) dispatched while blocked" tid thread);
+  (match Hashtbl.find_opt t.where tid with
+  | Some c when c <> cpu ->
+    violate t Rules.Cpu_mutex ~index ~time ~cpu
+      (Printf.sprintf
+         "thread %d (%s) dispatched on cpu %d while still dispatched on cpu %d"
+         tid thread cpu c);
+    (match Hashtbl.find_opt t.cpus c with
+    | Some sc when sc.current = Some tid -> sc.current <- None
+    | Some _ | None -> ())
+  | Some _ | None -> ());
+  (match st.current with
+  | Some old when old <> tid -> Hashtbl.remove t.where old
+  | Some _ | None -> ());
+  st.current <- Some tid;
+  Hashtbl.replace t.where tid cpu;
+  (* Policy conformance: a real-time dispatch must pick a minimal-key job
+     among this CPU's released, unblocked arrivals. Aperiodic dispatches
+     (no arrival in flight) are exempt — under lazy dispatch they may
+     legally run ahead of a waiting RT head. *)
+  match (t.policy, Hashtbl.find_opt t.active tid) with
+  | Unknown, _ | _, None -> ()
+  | (Edf | Rm), Some arr ->
+    let k = conformance_key t arr in
+    let offender = ref None in
+    Hashtbl.iter
+      (fun tid' arr' ->
+        if
+          tid' <> tid && arr'.a_cpu = cpu
+          && (not (Hashtbl.mem t.blocked tid'))
+          && (match Hashtbl.find_opt t.where tid' with
+             | Some c -> c = cpu
+             | None -> true)
+          && Int64.compare (conformance_key t arr') k < 0
+        then
+          let k' = conformance_key t arr' in
+          match !offender with
+          | Some (_, kb) when Int64.compare kb k' <= 0 -> ()
+          | Some _ | None -> offender := Some (tid', k'))
+      t.active;
+    (match !offender with
+    | Some (tid', k') ->
+      violate t Rules.Policy_conformance ~index ~time ~cpu
+        (Printf.sprintf
+           "thread %d (key %Ld) dispatched on cpu %d while thread %d (key \
+            %Ld) was runnable under %s"
+           tid k cpu tid' k' (policy_name t.policy))
+    | None -> ())
+
+let check_span t ~index ~time ~cpu st ~kind ~dur =
+  if Int64.compare dur 0L < 0 then
+    violate t Rules.Accounting ~index ~time ~cpu
+      (Printf.sprintf "%s span has negative duration %Ldns" kind dur);
+  if Int64.compare time st.span_end < 0 then
+    violate t Rules.Accounting ~index ~time ~cpu
+      (Printf.sprintf
+         "%s span starting at %Ldns overlaps the previous overhead span \
+          ending at %Ldns"
+         kind time st.span_end);
+  st.span_end <- Time.max st.span_end (Int64.add time dur);
+  st.overhead <- Int64.add st.overhead dur;
+  let elapsed = Int64.sub st.span_end st.first_time in
+  if Int64.compare st.overhead elapsed > 0 then
+    violate t Rules.Accounting ~index ~time ~cpu
+      (Printf.sprintf
+         "cumulative overhead %Ldns exceeds elapsed %Ldns on cpu %d"
+         st.overhead elapsed cpu)
+
+let feed t ~time ~cpu event =
+  let index = t.index in
+  t.index <- index + 1;
+  (match event with
+  | Event.Policy { policy } when cpu = 0 ->
+    if t.in_segment > 0 then begin
+      reset_segment t;
+      t.segment <- t.segment + 1;
+      t.in_segment <- 0
+    end;
+    t.policy <- policy_of_name policy
+  | _ -> ());
+  t.in_segment <- t.in_segment + 1;
+  let st = cpu_state t cpu in
+  (* Wake events are stamped at the *waker's* clock and may land inside the
+     target CPU's busy window, so they are exempt from the per-CPU
+     monotonicity rule (and do not advance its clock). *)
+  (match event with
+  | Event.Wake _ -> ()
+  | _ ->
+    if st.seen && Int64.compare time st.last_time < 0 then
+      violate t Rules.Monotonic_time ~index ~time ~cpu
+        (Printf.sprintf
+           "timestamp %Ldns precedes cpu %d's previous event at %Ldns" time
+           cpu st.last_time);
+    if not st.seen then begin
+      st.seen <- true;
+      st.first_time <- time;
+      st.last_time <- time
+    end
+    else if Int64.compare time st.last_time > 0 then st.last_time <- time);
+  match event with
+  | Event.Policy _ | Event.Steal_attempt _ | Event.Group_phase _ -> ()
+  | Event.Idle -> (
+    match st.current with
+    | Some tid ->
+      Hashtbl.remove t.where tid;
+      st.current <- None
+    | None -> ())
+  | Event.Dispatch { tid; thread } ->
+    check_dispatch t ~index ~time ~cpu st tid thread
+  | Event.Preempt { tid; thread } -> (
+    match st.current with
+    | Some c when c = tid -> ()
+    | Some c ->
+      violate t Rules.Causality ~index ~time ~cpu
+        (Printf.sprintf
+           "preempt of thread %d (%s) but cpu %d is running thread %d" tid
+           thread cpu c)
+    | None ->
+      violate t Rules.Causality ~index ~time ~cpu
+        (Printf.sprintf "preempt of thread %d (%s) on idle cpu %d" tid thread
+           cpu))
+  | Event.Admission_accept { tid; cls } ->
+    if cls = Event.Cls_aperiodic then Hashtbl.remove t.admitted tid
+    else Hashtbl.replace t.admitted tid cls
+  | Event.Admission_reject _ -> ()
+  | Event.Arrival { tid; thread; arrival = _; deadline; period } ->
+    if Hashtbl.mem t.active tid then
+      violate t Rules.Causality ~index ~time ~cpu
+        (Printf.sprintf
+           "second arrival for thread %d (%s) while one is in flight" tid
+           thread);
+    if not (Hashtbl.mem t.admitted tid) then
+      violate t Rules.Causality ~index ~time ~cpu
+        (Printf.sprintf "arrival for thread %d (%s) without real-time \
+                         admission" tid thread);
+    Hashtbl.replace t.active tid
+      { a_deadline = deadline; a_period = period; a_cpu = cpu };
+    (* A periodic thread blocked through the end of its arrival re-enters
+       the schedule via pump without a Wake event. *)
+    Hashtbl.remove t.blocked tid
+  | Event.Complete { tid; thread } ->
+    if not (Hashtbl.mem t.active tid) then
+      violate t Rules.Causality ~index ~time ~cpu
+        (Printf.sprintf "completion for thread %d (%s) with no arrival in \
+                         flight" tid thread);
+    Hashtbl.remove t.active tid
+  | Event.Deadline_miss { tid; thread; lateness_ns } -> (
+    match Hashtbl.find_opt t.active tid with
+    | Some _ ->
+      let cls =
+        match Hashtbl.find_opt t.admitted tid with
+        | Some c -> Event.cls_name c
+        | None -> "unadmitted"
+      in
+      violate t Rules.Hard_rt ~index ~time ~cpu
+        (Printf.sprintf "%s thread %d (%s) missed its deadline by %Ldns" cls
+           tid thread lateness_ns)
+    | None ->
+      violate t Rules.Causality ~index ~time ~cpu
+        (Printf.sprintf "deadline-miss for thread %d (%s) with no arrival \
+                         in flight" tid thread))
+  | Event.Block { tid; thread } ->
+    if Hashtbl.mem t.blocked tid then
+      violate t Rules.Causality ~index ~time ~cpu
+        (Printf.sprintf "thread %d (%s) blocked while already blocked" tid
+           thread);
+    Hashtbl.replace t.blocked tid ();
+    clear_running t tid
+  | Event.Wake { tid; thread } ->
+    if not (Hashtbl.mem t.blocked tid) then
+      violate t Rules.Causality ~index ~time ~cpu
+        (Printf.sprintf "wake of thread %d (%s) that is not blocked" tid
+           thread);
+    Hashtbl.remove t.blocked tid
+  | Event.Irq { dur_ns } ->
+    check_span t ~index ~time ~cpu st ~kind:"irq" ~dur:dur_ns
+  | Event.Sched_pass { dur_ns } ->
+    check_span t ~index ~time ~cpu st ~kind:"sched-pass" ~dur:dur_ns
+  | Event.Barrier_arrive { barrier; tid; order } ->
+    let b = round_state t barrier in
+    if List.exists (fun (_, o) -> o = order) b.r_arrived then
+      violate t Rules.Barrier_safety ~index ~time ~cpu
+        (Printf.sprintf
+           "duplicate arrival order %d at barrier %d (thread %d)" order
+           barrier tid);
+    if List.exists (fun (tid', _) -> tid' = tid) b.r_arrived then
+      violate t Rules.Barrier_safety ~index ~time ~cpu
+        (Printf.sprintf
+           "thread %d crossed barrier %d twice before its release" tid
+           barrier);
+    if b.r_first = None then b.r_first <- Some time;
+    b.r_arrived <- (tid, order) :: b.r_arrived;
+    b.r_last <- Time.max b.r_last time
+  | Event.Barrier_release { barrier; parties; wait_ns } ->
+    let b = round_state t barrier in
+    let n = List.length b.r_arrived in
+    if n <> parties then
+      violate t Rules.Barrier_safety ~index ~time ~cpu
+        (Printf.sprintf "barrier %d released with %d of %d arrivals" barrier
+           n parties);
+    if Int64.compare time b.r_last < 0 then
+      violate t Rules.Barrier_safety ~index ~time ~cpu
+        (Printf.sprintf
+           "barrier %d released at %Ldns, before its last arrival at %Ldns"
+           barrier time b.r_last);
+    (match b.r_first with
+    | Some first when Int64.compare wait_ns (Int64.sub time first) <> 0 ->
+      violate t Rules.Barrier_safety ~index ~time ~cpu
+        (Printf.sprintf
+           "barrier %d release reports a %Ldns wait span but its arrivals \
+            spanned %Ldns"
+           barrier wait_ns (Int64.sub time first))
+    | Some _ | None -> ());
+    b.r_arrived <- [];
+    b.r_first <- None;
+    b.r_last <- 0L
+  | Event.Elected { election; round; tid; leader } ->
+    let e = election_round t (election, round) in
+    if List.mem tid e.e_decided then
+      violate t Rules.Election_safety ~index ~time ~cpu
+        (Printf.sprintf "thread %d decided twice in election %d round %d"
+           tid election round);
+    e.e_decided <- tid :: e.e_decided;
+    if leader then begin
+      e.e_leaders <- e.e_leaders + 1;
+      if e.e_leaders > 1 then
+        violate t Rules.Election_safety ~index ~time ~cpu
+          (Printf.sprintf "election %d round %d produced %d leaders" election
+             round e.e_leaders)
+    end
+
+let events_seen t = t.index
+let segments t = t.segment + 1
+let violations t = List.rev t.violations
+let total_violations t = Hashtbl.fold (fun _ n acc -> acc + n) t.counts 0
+let rule_counts t = List.map (fun r -> (r, count t r)) Rules.all
+let clean t = total_violations t = 0

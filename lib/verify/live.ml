@@ -1,0 +1,11 @@
+module Obs = Hrt_obs
+
+type t = { checker : Checker.t }
+
+let attach sink =
+  let checker = Checker.create () in
+  Obs.Sink.subscribe sink (fun ~time ~cpu ev -> Checker.feed checker ~time ~cpu ev);
+  { checker }
+
+let checker t = t.checker
+let report t = Report.of_checker t.checker

@@ -1,0 +1,17 @@
+(** The verifying sink: run the invariant checker online, as events are
+    emitted, instead of replaying a trace file afterwards. Backs the CLI's
+    [--selfcheck] flag.
+
+    Attach to an enabled sink *before* the scheduler is created so the
+    checker sees the boot [Policy] events and every admission. *)
+
+type t
+
+val attach : Hrt_obs.Sink.t -> t
+(** Subscribe a fresh checker to [sink]; every event emitted from then on
+    is fed to it in emission order. *)
+
+val checker : t -> Checker.t
+
+val report : t -> Report.t
+(** Snapshot the verdict so far. *)

@@ -1,0 +1,66 @@
+type t = {
+  events : int;
+  segments : int;
+  counts : (Rules.t * int) list;
+  violations : Checker.violation list;
+}
+
+let of_checker c =
+  {
+    events = Checker.events_seen c;
+    segments = Checker.segments c;
+    counts = Checker.rule_counts c;
+    violations = Checker.violations c;
+  }
+
+let total r = List.fold_left (fun acc (_, n) -> acc + n) 0 r.counts
+let passed r = total r = 0
+
+(* One line, machine-readable, stable field order: what --selfcheck prints
+   on stderr and what the CI verify job greps. *)
+let verdict_line r =
+  let base =
+    Printf.sprintf "verdict=%s events=%d segments=%d violations=%d"
+      (if passed r then "pass" else "fail")
+      r.events r.segments (total r)
+  in
+  let firing = List.filter (fun (_, n) -> n > 0) r.counts in
+  if firing = [] then base
+  else
+    base ^ " rules="
+    ^ String.concat ","
+        (List.map (fun (rule, n) -> Printf.sprintf "%s:%d" (Rules.name rule) n) firing)
+
+let max_printed_counterexamples = 32
+
+let pp ppf r =
+  Format.fprintf ppf "%s@." (verdict_line r);
+  Format.fprintf ppf "@.rule                 violations@.";
+  List.iter
+    (fun (rule, n) ->
+      Format.fprintf ppf "%-20s %d@." (Rules.name rule) n)
+    r.counts;
+  match r.violations with
+  | [] -> ()
+  | vs ->
+    let shown = ref 0 in
+    Format.fprintf ppf "@.counterexamples:@.";
+    List.iter
+      (fun (v : Checker.violation) ->
+        if !shown < max_printed_counterexamples then begin
+          incr shown;
+          Format.fprintf ppf "  event %d  t=%Ldns  cpu=%d  seg=%d  [%s] %s@."
+            v.index v.time v.cpu v.segment (Rules.name v.rule) v.detail
+        end)
+      vs;
+    let dropped = total r - !shown in
+    if dropped > 0 then
+      Format.fprintf ppf "  ... and %d more violation(s)@." dropped
+
+let to_string r = Format.asprintf "%a" pp r
+
+let write r ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string r))

@@ -1,0 +1,27 @@
+(** The verdict report: a checker's findings, rendered for people (a
+    per-rule table plus counterexamples) and for machines (a one-line
+    verdict with stable [key=value] fields). *)
+
+type t = {
+  events : int;
+  segments : int;
+  counts : (Rules.t * int) list;
+  violations : Checker.violation list;
+}
+
+val of_checker : Checker.t -> t
+
+val passed : t -> bool
+val total : t -> int
+
+val verdict_line : t -> string
+(** One line, e.g.
+    ["verdict=fail events=812 segments=1 violations=3 rules=hard-rt-soundness:3"].
+    The [rules=] field lists only rules that fired and is omitted on a
+    passing verdict. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val write : t -> path:string -> unit
+(** Write the full human-readable report to [path]. *)

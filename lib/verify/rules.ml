@@ -1,0 +1,66 @@
+type t =
+  | Monotonic_time
+  | Causality
+  | Cpu_mutex
+  | Hard_rt
+  | Policy_conformance
+  | Accounting
+  | Barrier_safety
+  | Election_safety
+
+let all =
+  [
+    Monotonic_time;
+    Causality;
+    Cpu_mutex;
+    Hard_rt;
+    Policy_conformance;
+    Accounting;
+    Barrier_safety;
+    Election_safety;
+  ]
+
+let name = function
+  | Monotonic_time -> "monotonic-time"
+  | Causality -> "causality"
+  | Cpu_mutex -> "cpu-mutex"
+  | Hard_rt -> "hard-rt-soundness"
+  | Policy_conformance -> "policy-conformance"
+  | Accounting -> "accounting"
+  | Barrier_safety -> "barrier-safety"
+  | Election_safety -> "election-safety"
+
+let of_name = function
+  | "monotonic-time" -> Some Monotonic_time
+  | "causality" -> Some Causality
+  | "cpu-mutex" -> Some Cpu_mutex
+  | "hard-rt-soundness" -> Some Hard_rt
+  | "policy-conformance" -> Some Policy_conformance
+  | "accounting" -> Some Accounting
+  | "barrier-safety" -> Some Barrier_safety
+  | "election-safety" -> Some Election_safety
+  | _ -> None
+
+let describe = function
+  | Monotonic_time ->
+    "per-CPU event timestamps never go backwards (cross-CPU wakes, stamped \
+     at the waker's clock, are exempt)"
+  | Causality ->
+    "lifecycle order holds: admit before arrival, arrival before \
+     completion/miss, block before wake, and no dispatch of a blocked thread"
+  | Cpu_mutex -> "a thread is dispatched on at most one CPU at a time"
+  | Hard_rt ->
+    "no admitted periodic/sporadic arrival misses its deadline (every \
+     deadline-miss event is a verdict failure)"
+  | Policy_conformance ->
+    "every real-time dispatch picks a thread with minimal policy key (EDF \
+     deadline / RM period) among that CPU's released, unblocked arrivals"
+  | Accounting ->
+    "interrupt and scheduler-pass spans never overlap, and cumulative \
+     charged overhead never exceeds elapsed time on any CPU"
+  | Barrier_safety ->
+    "a barrier round releases exactly its parties, after the last arrival, \
+     with distinct arrival orders and no thread crossing twice"
+  | Election_safety ->
+    "an election round decides each contender at most once and produces at \
+     most one leader"

@@ -1,0 +1,25 @@
+(** The invariant catalog: every property the trace verifier checks, as a
+    named rule. A rule is the unit of reporting — violations carry the rule
+    that fired plus a counterexample locating the offending event. *)
+
+type t =
+  | Monotonic_time  (** per-CPU timestamps are non-decreasing *)
+  | Causality  (** lifecycle events appear in a legal order *)
+  | Cpu_mutex  (** a thread runs on at most one CPU at a time *)
+  | Hard_rt  (** admitted real-time arrivals never miss deadlines *)
+  | Policy_conformance  (** dispatches agree with the EDF/RM oracle *)
+  | Accounting  (** charged overhead is consistent with elapsed time *)
+  | Barrier_safety  (** barrier rounds release completely, in order *)
+  | Election_safety  (** elections produce at most one leader per round *)
+
+val all : t list
+(** Every rule, in reporting order. *)
+
+val name : t -> string
+(** Stable kebab-case identifier used in verdict lines and reports. *)
+
+val of_name : string -> t option
+(** Inverse of {!name}. *)
+
+val describe : t -> string
+(** One-sentence statement of the invariant. *)

@@ -1,0 +1,247 @@
+(* Replay side of the export pipeline: parse a chrome-trace JSON file (as
+   written by [Obs.Export.write_chrome_trace]) back into typed events via
+   [Event.of_parts]. The repo deliberately has no JSON dependency, so this
+   carries a minimal recursive-descent parser — general enough for any
+   JSON, sized for the exporter's flat records. *)
+
+open Hrt_engine
+module Obs = Hrt_obs
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+type cursor = { src : string; mutable pos : int }
+
+let fail c msg =
+  (* Report a line number: traces are line-oriented, so this locates the
+     offending record directly. *)
+  let line = ref 1 in
+  for i = 0 to min c.pos (String.length c.src) - 1 do
+    if c.src.[i] = '\n' then incr line
+  done;
+  raise (Parse_error (Printf.sprintf "line %d: %s" !line msg))
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let skip_ws c =
+  let n = String.length c.src in
+  while
+    c.pos < n
+    && match c.src.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect c ch =
+  skip_ws c;
+  match peek c with
+  | Some x when x = ch -> c.pos <- c.pos + 1
+  | Some x -> fail c (Printf.sprintf "expected '%c', found '%c'" ch x)
+  | None -> fail c (Printf.sprintf "expected '%c', found end of input" ch)
+
+let parse_literal c lit value =
+  let n = String.length lit in
+  if
+    c.pos + n <= String.length c.src
+    && String.sub c.src c.pos n = lit
+  then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail c (Printf.sprintf "invalid literal (expected %s)" lit)
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> c.pos <- c.pos + 1
+    | Some '\\' ->
+      c.pos <- c.pos + 1;
+      (match peek c with
+      | None -> fail c "unterminated escape"
+      | Some ch ->
+        c.pos <- c.pos + 1;
+        (match ch with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+          if c.pos + 4 > String.length c.src then fail c "truncated \\u escape";
+          let hex = String.sub c.src c.pos 4 in
+          c.pos <- c.pos + 4;
+          (match int_of_string_opt ("0x" ^ hex) with
+          | None -> fail c "invalid \\u escape"
+          | Some code ->
+            (* The exporter only \u-escapes control characters; anything
+               outside latin-1 is preserved as a literal '?'. *)
+            if code < 0x100 then Buffer.add_char buf (Char.chr code)
+            else Buffer.add_char buf '?')
+        | _ -> fail c "invalid escape"));
+      go ()
+    | Some ch ->
+      Buffer.add_char buf ch;
+      c.pos <- c.pos + 1;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let n = String.length c.src in
+  let adv () = c.pos <- c.pos + 1 in
+  if peek c = Some '-' then adv ();
+  while
+    c.pos < n
+    &&
+    match c.src.[c.pos] with
+    | '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true
+    | _ -> false
+  do
+    adv ()
+  done;
+  match float_of_string_opt (String.sub c.src start (c.pos - start)) with
+  | Some f -> Num f
+  | None -> fail c "invalid number"
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some '"' -> Str (parse_string c)
+  | Some '{' -> parse_obj c
+  | Some '[' -> parse_arr c
+  | Some 't' -> parse_literal c "true" (Bool true)
+  | Some 'f' -> parse_literal c "false" (Bool false)
+  | Some 'n' -> parse_literal c "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> fail c (Printf.sprintf "unexpected character '%c'" ch)
+
+and parse_obj c =
+  expect c '{';
+  skip_ws c;
+  if peek c = Some '}' then begin
+    c.pos <- c.pos + 1;
+    Obj []
+  end
+  else begin
+    let fields = ref [] in
+    let rec go () =
+      skip_ws c;
+      let key = parse_string c in
+      expect c ':';
+      let v = parse_value c in
+      fields := (key, v) :: !fields;
+      skip_ws c;
+      match peek c with
+      | Some ',' ->
+        c.pos <- c.pos + 1;
+        go ()
+      | _ -> expect c '}'
+    in
+    go ();
+    Obj (List.rev !fields)
+  end
+
+and parse_arr c =
+  expect c '[';
+  skip_ws c;
+  if peek c = Some ']' then begin
+    c.pos <- c.pos + 1;
+    Arr []
+  end
+  else begin
+    let items = ref [] in
+    let rec go () =
+      let v = parse_value c in
+      items := v :: !items;
+      skip_ws c;
+      match peek c with
+      | Some ',' ->
+        c.pos <- c.pos + 1;
+        go ()
+      | _ -> expect c ']'
+    in
+    go ();
+    Arr (List.rev !items)
+  end
+
+let parse_json src =
+  let c = { src; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length src then fail c "trailing garbage after JSON value";
+  v
+
+(* ------------------------------------------------------------------ *)
+
+type record = { time : Time.ns; cpu : int; event : Obs.Event.t }
+
+let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+(* Chrome-trace timestamps are microseconds with three decimals; recover
+   integer nanoseconds by rounding. *)
+let ns_of_us f = Int64.of_float (Float.round (f *. 1_000.))
+
+let record_of_json ~index v =
+  let ctx msg = Error (Printf.sprintf "record %d: %s" index msg) in
+  match member "ph" v with
+  | Some (Str "M") -> Ok None (* metadata: process names etc. *)
+  | _ -> (
+    match (member "name" v, member "ts" v, member "pid" v) with
+    | Some (Str name), Some (Num ts), Some (Num pid) ->
+      let dur_ns =
+        match member "dur" v with Some (Num d) -> Some (ns_of_us d) | _ -> None
+      in
+      let args =
+        match member "args" v with
+        | Some (Obj kvs) ->
+          List.filter_map
+            (fun (k, v) -> match v with Str s -> Some (k, s) | _ -> None)
+            kvs
+        | _ -> []
+      in
+      (match Obs.Event.of_parts ~kind:name ~args ~dur_ns with
+      | Some event ->
+        Ok (Some { time = ns_of_us ts; cpu = int_of_float pid; event })
+      | None -> ctx (Printf.sprintf "unknown or malformed event %S" name))
+    | _ -> ctx "missing name/ts/pid field")
+
+let parse src =
+  match parse_json src with
+  | exception Parse_error msg -> Error msg
+  | Arr items ->
+    let rec go i acc = function
+      | [] -> Ok (List.rev acc)
+      | v :: rest -> (
+        match record_of_json ~index:i v with
+        | Ok (Some r) -> go (i + 1) (r :: acc) rest
+        | Ok None -> go (i + 1) acc rest
+        | Error _ as e -> e)
+    in
+    go 0 [] items
+  | _ -> Error "trace is not a JSON array"
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | src -> parse src

@@ -1,0 +1,19 @@
+(** Trace replay: parse a chrome-trace JSON file written by
+    [Obs.Export.write_chrome_trace] back into typed events, preserving the
+    emission order the checker depends on.
+
+    Carries its own minimal JSON parser (the repo has no JSON dependency);
+    timestamps are recovered from the exporter's microsecond floats by
+    rounding to integer nanoseconds, which is exact for the three-decimal
+    precision the exporter writes. *)
+
+open Hrt_engine
+
+type record = { time : Time.ns; cpu : int; event : Hrt_obs.Event.t }
+
+val parse : string -> (record list, string) result
+(** Parse trace-file contents. Metadata records ([ph = "M"]) are skipped;
+    an unknown or malformed event record is an error (the verifier must
+    understand every event it is asked to check). *)
+
+val read_file : string -> (record list, string) result

@@ -1,0 +1,9 @@
+let records rs =
+  let checker = Checker.create () in
+  List.iter
+    (fun { Trace_reader.time; cpu; event } ->
+      Checker.feed checker ~time ~cpu event)
+    rs;
+  Report.of_checker checker
+
+let file path = Result.map records (Trace_reader.read_file path)

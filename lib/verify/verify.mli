@@ -1,0 +1,9 @@
+(** Facade: one-call offline verification. *)
+
+val records : Trace_reader.record list -> Report.t
+(** Check an already-parsed event stream. *)
+
+val file : string -> (Report.t, string) result
+(** Replay a chrome-trace JSON file through the checker.
+    [Error] means the file could not be parsed (the verdict inside [Ok]
+    says whether the trace satisfied the invariants). *)

@@ -24,4 +24,5 @@ let () =
       ("soak", Test_soak.suite);
       ("omp-runtime", Test_omp.suite);
       ("nesl", Test_nesl.suite);
+      ("verify", Test_verify.suite);
     ]

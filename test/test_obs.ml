@@ -207,6 +207,70 @@ let test_disabled_run_records_nothing () =
   Scheduler.run ~until:(Time.ms 5) sys;
   Alcotest.(check int) "no metrics" 0 (Metrics.size (Sink.metrics Sink.null))
 
+(* ---- event part round trips ---- *)
+
+(* One sample per constructor; coverage is checked against
+   [Event.all_kinds] so adding a constructor without extending this list
+   fails the test. *)
+let event_samples =
+  [
+    Event.Dispatch { tid = 3; thread = "t3" };
+    Event.Preempt { tid = 3; thread = "t3" };
+    Event.Deadline_miss { tid = 3; thread = "t3"; lateness_ns = 17L };
+    Event.Admission_accept { tid = 4; cls = Event.Cls_periodic };
+    Event.Admission_reject { tid = 5; cls = Event.Cls_sporadic };
+    Event.Arrival
+      { tid = 3; thread = "t3"; arrival = 10L; deadline = 1_010L; period = 1_000L };
+    Event.Complete { tid = 3; thread = "t3" };
+    Event.Block { tid = 3; thread = "t3" };
+    Event.Wake { tid = 3; thread = "t3" };
+    Event.Irq { dur_ns = 250L };
+    Event.Sched_pass { dur_ns = 420L };
+    Event.Steal_attempt { victim = Some 2; success = true };
+    Event.Steal_attempt { victim = None; success = false };
+    Event.Barrier_arrive { barrier = 1; tid = 7; order = 0 };
+    Event.Barrier_release { barrier = 1; parties = 4; wait_ns = 900L };
+    Event.Group_phase { tid = 7; phase = "join" };
+    Event.Elected { election = 0; round = 2; tid = 7; leader = true };
+    Event.Policy { policy = "edf" };
+    Event.Idle;
+  ]
+
+let test_event_round_trip () =
+  List.iter
+    (fun e ->
+      let rebuilt =
+        Event.of_parts ~kind:(Event.kind e) ~args:(Event.args e)
+          ~dur_ns:(Event.dur_ns e)
+      in
+      match rebuilt with
+      | Some e' when e' = e -> ()
+      | Some _ -> Alcotest.failf "%s: round trip changed the event" (Event.kind e)
+      | None -> Alcotest.failf "%s: of_parts rejected its own parts" (Event.kind e))
+    event_samples
+
+let test_event_samples_cover_all_kinds () =
+  let sampled =
+    List.sort_uniq compare (List.map Event.kind event_samples)
+  in
+  let all = List.sort_uniq compare Event.all_kinds in
+  Alcotest.(check (list string)) "every constructor sampled" all sampled
+
+let test_of_parts_rejects_malformed () =
+  Alcotest.(check bool)
+    "unknown kind" true
+    (Event.of_parts ~kind:"no-such-event" ~args:[] ~dur_ns:None = None);
+  Alcotest.(check bool)
+    "missing field" true
+    (Event.of_parts ~kind:"dispatch" ~args:[ ("thread", "t3") ] ~dur_ns:None
+    = None);
+  Alcotest.(check bool)
+    "malformed number" true
+    (Event.of_parts ~kind:"dispatch"
+       ~args:[ ("tid", "xyz"); ("thread", "t3") ]
+       ~dur_ns:None
+    = None)
+
 let suite =
   [
     Alcotest.test_case "counter identity by (name, cpu)" `Quick
@@ -231,4 +295,9 @@ let suite =
       test_end_to_end_events;
     Alcotest.test_case "disabled sink records nothing" `Quick
       test_disabled_run_records_nothing;
+    Alcotest.test_case "event parts round trip" `Quick test_event_round_trip;
+    Alcotest.test_case "round-trip samples cover all kinds" `Quick
+      test_event_samples_cover_all_kinds;
+    Alcotest.test_case "of_parts rejects malformed input" `Quick
+      test_of_parts_rejects_malformed;
   ]

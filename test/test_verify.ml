@@ -1,0 +1,627 @@
+(* The trace invariant verifier: hand-built good/bad traces per rule, a
+   mutated-trace corpus proving every rule fires on real scheduler output,
+   replay round-trips through the exporter, and the EDF-clean / RM-flagged
+   ablation acceptance case. *)
+
+open Hrt_engine
+open Hrt_core
+open Hrt_group
+open Hrt_harness
+module Obs = Hrt_obs
+module Event = Hrt_obs.Event
+module V = Hrt_verify
+
+let phi = Hrt_hw.Platform.phi
+
+(* ---- helpers ---- *)
+
+let check records =
+  let c = V.Checker.create () in
+  List.iter (fun (time, cpu, event) -> V.Checker.feed c ~time ~cpu event) records;
+  V.Report.of_checker c
+
+let count rule (r : V.Report.t) =
+  match List.assoc_opt rule r.V.Report.counts with Some n -> n | None -> 0
+
+let assert_clean name (r : V.Report.t) =
+  if not (V.Report.passed r) then
+    Alcotest.failf "%s: expected clean verdict, got: %s" name
+      (V.Report.verdict_line r)
+
+let assert_fires name rule (r : V.Report.t) =
+  if count rule r = 0 then
+    Alcotest.failf "%s: expected %s to fire, got: %s" name (V.Rules.name rule)
+      (V.Report.verdict_line r)
+
+let assert_only name rule (r : V.Report.t) =
+  assert_fires name rule r;
+  List.iter
+    (fun (other, n) ->
+      if other <> rule && n > 0 then
+        Alcotest.failf "%s: unexpected %s violations (%d): %s" name
+          (V.Rules.name other) n (V.Report.verdict_line r))
+    r.V.Report.counts
+
+let name_of tid = "t" ^ string_of_int tid
+let pol p = Event.Policy { policy = p }
+let accept tid = Event.Admission_accept { tid; cls = Event.Cls_periodic }
+let disp tid = Event.Dispatch { tid; thread = name_of tid }
+let comp tid = Event.Complete { tid; thread = name_of tid }
+let blk tid = Event.Block { tid; thread = name_of tid }
+let wk tid = Event.Wake { tid; thread = name_of tid }
+
+let arr tid ~a ~d ~p =
+  Event.Arrival { tid; thread = name_of tid; arrival = a; deadline = d; period = p }
+
+let miss tid ~late =
+  Event.Deadline_miss { tid; thread = name_of tid; lateness_ns = late }
+
+(* ---- hand-built good trace ---- *)
+
+let test_good_trace () =
+  let records =
+    [
+      (0L, 0, pol "edf");
+      (0L, 1, pol "edf");
+      (0L, 1, accept 1);
+      (100L, 1, Event.Irq { dur_ns = 50L });
+      (150L, 1, Event.Sched_pass { dur_ns = 100L });
+      (1000L, 1, arr 1 ~a:1000L ~d:5000L ~p:4000L);
+      (1050L, 1, Event.Sched_pass { dur_ns = 100L });
+      (1200L, 1, disp 1);
+      (2000L, 1, blk 1);
+      (2050L, 1, Event.Sched_pass { dur_ns = 40L });
+      (2100L, 1, Event.Idle);
+      (2500L, 1, wk 1);
+      (2600L, 1, disp 1);
+      (3000L, 1, comp 1);
+      (3000L, 1, Event.Idle);
+      (3100L, 1, Event.Steal_attempt { victim = Some 2; success = false });
+      (* group activity on cpus 2 and 3 *)
+      (100L, 2, Event.Group_phase { tid = 7; phase = "join" });
+      (120L, 2, Event.Barrier_arrive { barrier = 0; tid = 7; order = 0 });
+      (150L, 3, Event.Barrier_arrive { barrier = 0; tid = 8; order = 1 });
+      (150L, 3, Event.Barrier_release { barrier = 0; parties = 2; wait_ns = 30L });
+      (200L, 2, Event.Elected { election = 0; round = 0; tid = 7; leader = true });
+      (210L, 3, Event.Elected { election = 0; round = 0; tid = 8; leader = false });
+      (* a new round reuses the same barrier and election ids *)
+      (300L, 2, Event.Barrier_arrive { barrier = 0; tid = 7; order = 0 });
+      (320L, 3, Event.Barrier_arrive { barrier = 0; tid = 8; order = 1 });
+      (320L, 3, Event.Barrier_release { barrier = 0; parties = 2; wait_ns = 20L });
+      (400L, 2, Event.Elected { election = 0; round = 1; tid = 7; leader = false });
+      (410L, 3, Event.Elected { election = 0; round = 1; tid = 8; leader = true });
+      (* a second run segment resets all state: fresh clocks are legal *)
+      (0L, 0, pol "rm");
+      (0L, 1, pol "rm");
+      (0L, 1, accept 1);
+      (500L, 1, arr 1 ~a:500L ~d:1500L ~p:1000L);
+      (600L, 1, disp 1);
+      (900L, 1, comp 1);
+    ]
+  in
+  let r = check records in
+  assert_clean "good trace" r;
+  Alcotest.(check int) "segments" 2 r.V.Report.segments;
+  Alcotest.(check int) "events" (List.length records) r.V.Report.events
+
+(* ---- per-rule bad traces ---- *)
+
+let test_bad_monotonic () =
+  assert_only "backwards clock" V.Rules.Monotonic_time
+    (check [ (1000L, 1, Event.Idle); (500L, 1, Event.Idle) ])
+
+let test_wake_exempt_from_monotonicity () =
+  (* Cross-CPU wakes are stamped at the waker's clock and may precede the
+     target CPU's latest event. *)
+  assert_clean "early wake"
+    (check
+       [
+         (0L, 1, accept 1);
+         (10L, 1, arr 1 ~a:10L ~d:1000L ~p:1000L);
+         (20L, 1, disp 1);
+         (500L, 1, blk 1);
+         (600L, 1, Event.Idle);
+         (550L, 1, wk 1);
+         (700L, 1, disp 1);
+         (800L, 1, comp 1);
+       ])
+
+let test_bad_causality_dispatch_blocked () =
+  let r =
+    check
+      [
+        (0L, 1, accept 1);
+        (10L, 1, arr 1 ~a:10L ~d:1000L ~p:1000L);
+        (20L, 1, disp 1);
+        (30L, 1, blk 1);
+        (40L, 1, disp 1);
+      ]
+  in
+  assert_only "dispatch while blocked" V.Rules.Causality r
+
+let test_bad_causality_lifecycle () =
+  assert_fires "wake of unblocked" V.Rules.Causality (check [ (0L, 1, wk 1) ]);
+  assert_fires "complete without arrival" V.Rules.Causality
+    (check [ (0L, 1, comp 1) ]);
+  assert_fires "miss without arrival" V.Rules.Causality
+    (check [ (0L, 1, miss 1 ~late:5L) ]);
+  assert_fires "arrival without admission" V.Rules.Causality
+    (check [ (0L, 1, arr 1 ~a:0L ~d:100L ~p:100L) ]);
+  assert_fires "double arrival" V.Rules.Causality
+    (check
+       [
+         (0L, 1, accept 1);
+         (10L, 1, arr 1 ~a:10L ~d:100L ~p:100L);
+         (20L, 1, arr 1 ~a:20L ~d:110L ~p:100L);
+       ]);
+  assert_fires "preempt of idle cpu" V.Rules.Causality
+    (check [ (0L, 1, Event.Preempt { tid = 3; thread = "t3" }) ])
+
+let test_bad_cpu_mutex () =
+  assert_only "one thread on two cpus" V.Rules.Cpu_mutex
+    (check [ (0L, 0, disp 5); (10L, 1, disp 5) ])
+
+let test_bad_hard_rt () =
+  let r =
+    check
+      [
+        (0L, 0, pol "edf");
+        (0L, 1, accept 1);
+        (10L, 1, arr 1 ~a:10L ~d:1000L ~p:1000L);
+        (1500L, 1, miss 1 ~late:500L);
+      ]
+  in
+  assert_only "admitted miss" V.Rules.Hard_rt r
+
+let test_bad_conformance_edf () =
+  let r =
+    check
+      [
+        (0L, 0, pol "edf");
+        (0L, 1, accept 1);
+        (0L, 1, accept 2);
+        (10L, 1, arr 1 ~a:10L ~d:10_000L ~p:10_000L);
+        (10L, 1, arr 2 ~a:10L ~d:5_000L ~p:5_000L);
+        (20L, 1, disp 1);
+      ]
+  in
+  assert_only "edf picks later deadline" V.Rules.Policy_conformance r;
+  (* control: dispatching the earliest deadline is conformant *)
+  assert_clean "edf picks earliest deadline"
+    (check
+       [
+         (0L, 0, pol "edf");
+         (0L, 1, accept 1);
+         (0L, 1, accept 2);
+         (10L, 1, arr 1 ~a:10L ~d:10_000L ~p:10_000L);
+         (10L, 1, arr 2 ~a:10L ~d:5_000L ~p:5_000L);
+         (20L, 1, disp 2);
+       ])
+
+let test_bad_conformance_rm () =
+  (* Under RM the fixed-priority key is the period: the long-period thread
+     must not run while the short one is released, even when its absolute
+     deadline is earlier. *)
+  let r =
+    check
+      [
+        (0L, 0, pol "rm");
+        (0L, 1, accept 1);
+        (0L, 1, accept 2);
+        (10L, 1, arr 1 ~a:10L ~d:4_000L ~p:4_000L);
+        (10L, 1, arr 2 ~a:10L ~d:5_000L ~p:1_000L);
+        (20L, 1, disp 1);
+      ]
+  in
+  assert_only "rm picks longer period" V.Rules.Policy_conformance r
+
+let test_bad_accounting () =
+  assert_only "overlapping spans" V.Rules.Accounting
+    (check
+       [
+         (1000L, 1, Event.Sched_pass { dur_ns = 500L });
+         (1200L, 1, Event.Sched_pass { dur_ns = 100L });
+       ]);
+  assert_fires "negative duration" V.Rules.Accounting
+    (check [ (0L, 1, Event.Irq { dur_ns = -5L }) ])
+
+let test_bad_barrier () =
+  let arrive o tid = Event.Barrier_arrive { barrier = 0; tid; order = o } in
+  assert_only "duplicate order" V.Rules.Barrier_safety
+    (check [ (0L, 1, arrive 0 7); (10L, 2, arrive 0 8) ]);
+  assert_only "double crossing" V.Rules.Barrier_safety
+    (check [ (0L, 1, arrive 0 7); (10L, 1, arrive 1 7) ]);
+  assert_only "short release" V.Rules.Barrier_safety
+    (check
+       [
+         (0L, 1, arrive 0 7);
+         (10L, 1, Event.Barrier_release { barrier = 0; parties = 2; wait_ns = 10L });
+       ]);
+  assert_only "wait span mismatch" V.Rules.Barrier_safety
+    (check
+       [
+         (0L, 1, arrive 0 7);
+         (10L, 2, arrive 1 8);
+         (10L, 2, Event.Barrier_release { barrier = 0; parties = 2; wait_ns = 99L });
+       ])
+
+let test_bad_election () =
+  let elected tid leader =
+    Event.Elected { election = 0; round = 0; tid; leader }
+  in
+  assert_only "two leaders" V.Rules.Election_safety
+    (check [ (0L, 1, elected 7 true); (10L, 2, elected 8 true) ]);
+  assert_only "double decision" V.Rules.Election_safety
+    (check [ (0L, 1, elected 7 false); (10L, 1, elected 7 false) ])
+
+(* ---- mutated-trace corpus over real scheduler output ----
+
+   Record a real run, assert it is verifier-clean, then prove every rule
+   fires on a targeted corruption of that same trace. *)
+
+let record_run ?(config = Config.default) ~until f =
+  let sink = Obs.Sink.create ~trace:true () in
+  let sys = Scheduler.create ~num_cpus:4 ~config ~obs:sink phi in
+  f sys;
+  Scheduler.run ~until sys;
+  match Obs.Sink.tracer sink with
+  | Some tr ->
+    List.map
+      (fun { Obs.Tracer.time; cpu; event } -> (time, cpu, event))
+      (Array.to_list (Obs.Tracer.to_array tr))
+  | None -> assert false
+
+let rt_base =
+  lazy
+    (record_run ~until:(Time.ms 20) (fun sys ->
+         ignore
+           (Exp.periodic_thread sys ~cpu:1 ~period:(Time.us 1000)
+              ~slice:(Time.us 150) ());
+         ignore
+           (Exp.periodic_thread sys ~cpu:1 ~period:(Time.us 1500)
+              ~slice:(Time.us 225) ())))
+
+let group_base =
+  lazy
+    (record_run ~until:(Time.ms 5) (fun sys ->
+         let group = Group.create sys ~name:"g" in
+         let election = Election.create group in
+         let barrier = Gbarrier.create sys ~parties:3 in
+         for i = 1 to 3 do
+           ignore
+             (Scheduler.spawn sys ~cpu:i ~bound:true
+                (Program.seq
+                   [
+                     Program.of_steps [ Thread.Compute (Time.us (7 * i)) ];
+                     Gbarrier.cross barrier;
+                   ]))
+         done;
+         for i = 1 to 3 do
+           ignore
+             (Scheduler.spawn sys ~cpu:i ~bound:true
+                (Program.seq
+                   [
+                     Group.join group;
+                     Election.elect election ~on_result:(fun _ -> ());
+                   ]))
+         done))
+
+let test_base_traces_clean () =
+  assert_clean "rt base" (check (Lazy.force rt_base));
+  assert_clean "group base" (check (Lazy.force group_base))
+
+(* Apply [f] at the first record satisfying [pick]; fail if none does. *)
+let mutate_at ~pick ~f records =
+  let hit = ref false in
+  let out =
+    List.concat_map
+      (fun r -> if (not !hit) && pick r then (hit := true; f r) else [ r ])
+      records
+  in
+  if not !hit then Alcotest.fail "mutation found no anchor record";
+  out
+
+let test_mutation_monotonic () =
+  (* Append an event dated before the CPU's final timestamp. *)
+  let records = Lazy.force rt_base in
+  let last_on_1 =
+    List.fold_left
+      (fun acc (t, cpu, _) -> if cpu = 1 then t else acc)
+      0L records
+  in
+  let r = check (records @ [ (Int64.sub last_on_1 1L, 1, Event.Idle) ]) in
+  assert_fires "stale appended event" V.Rules.Monotonic_time r
+
+let test_mutation_cpu_mutex () =
+  let records =
+    mutate_at
+      ~pick:(fun (_, cpu, ev) ->
+        cpu = 1 && match ev with Event.Dispatch _ -> true | _ -> false)
+      ~f:(fun (t, _, ev) -> [ (t, 1, ev); (t, 0, ev) ])
+      (Lazy.force rt_base)
+  in
+  assert_fires "dispatch duplicated on cpu 0" V.Rules.Cpu_mutex (check records)
+
+let test_mutation_hard_rt () =
+  let records =
+    mutate_at
+      ~pick:(fun (_, _, ev) ->
+        match ev with Event.Arrival _ -> true | _ -> false)
+      ~f:(fun (t, cpu, ev) ->
+        match ev with
+        | Event.Arrival { tid; thread; _ } ->
+          [
+            (t, cpu, ev);
+            (t, cpu, Event.Deadline_miss { tid; thread; lateness_ns = 1L });
+          ]
+        | _ -> assert false)
+      (Lazy.force rt_base)
+  in
+  assert_fires "injected miss" V.Rules.Hard_rt (check records)
+
+let test_mutation_causality () =
+  (* Deleting a completion makes the thread's next arrival a double one. *)
+  let records =
+    mutate_at
+      ~pick:(fun (_, _, ev) ->
+        match ev with Event.Complete _ -> true | _ -> false)
+      ~f:(fun _ -> [])
+      (Lazy.force rt_base)
+  in
+  assert_fires "deleted completion" V.Rules.Causality (check records)
+
+let test_mutation_conformance () =
+  (* Retarget a real-time dispatch at the other released thread when it has
+     the larger EDF key: the verifier's oracle must notice. *)
+  let active : (int, int64) Hashtbl.t = Hashtbl.create 4 in
+  let records =
+    mutate_at
+      ~pick:(fun (_, _, ev) ->
+        match ev with
+        | Event.Arrival { tid; deadline; _ } ->
+          Hashtbl.replace active tid deadline;
+          false
+        | Event.Complete { tid; _ } ->
+          Hashtbl.remove active tid;
+          false
+        | Event.Dispatch { tid; _ } ->
+          Hashtbl.mem active tid
+          && Hashtbl.fold
+               (fun tid' d' best ->
+                 best
+                 || tid' <> tid
+                    && Int64.compare d' (Hashtbl.find active tid) > 0)
+               active false
+        | _ -> false)
+      ~f:(fun (t, cpu, ev) ->
+        match ev with
+        | Event.Dispatch { tid; _ } ->
+          let worse =
+            Hashtbl.fold
+              (fun tid' d' best ->
+                if tid' <> tid && Int64.compare d' (Hashtbl.find active tid) > 0
+                then Some tid'
+                else best)
+              active None
+          in
+          (match worse with
+          | Some tid' -> [ (t, cpu, disp tid') ]
+          | None -> assert false)
+        | _ -> assert false)
+      (Lazy.force rt_base)
+  in
+  assert_fires "retargeted dispatch" V.Rules.Policy_conformance (check records)
+
+let test_mutation_accounting () =
+  (* Pick a pass on the busy CPU so later spans land inside the inflated
+     window (the boot pass on cpu 0 has no successors to collide with). *)
+  let records =
+    mutate_at
+      ~pick:(fun (_, cpu, ev) ->
+        cpu = 1 && match ev with Event.Sched_pass _ -> true | _ -> false)
+      ~f:(fun (t, cpu, _) ->
+        [ (t, cpu, Event.Sched_pass { dur_ns = Time.ms 50 }) ])
+      (Lazy.force rt_base)
+  in
+  assert_fires "inflated pass duration" V.Rules.Accounting (check records)
+
+let test_mutation_barrier () =
+  let records =
+    mutate_at
+      ~pick:(fun (_, _, ev) ->
+        match ev with Event.Barrier_arrive _ -> true | _ -> false)
+      ~f:(fun (t, cpu, ev) -> [ (t, cpu, ev); (t, cpu, ev) ])
+      (Lazy.force group_base)
+  in
+  assert_fires "duplicated barrier arrival" V.Rules.Barrier_safety
+    (check records)
+
+let test_mutation_election () =
+  let records =
+    mutate_at
+      ~pick:(fun (_, _, ev) ->
+        match ev with
+        | Event.Elected { leader; _ } -> not leader
+        | _ -> false)
+      ~f:(fun (t, cpu, ev) ->
+        match ev with
+        | Event.Elected e -> [ (t, cpu, Event.Elected { e with leader = true }) ]
+        | _ -> assert false)
+      (Lazy.force group_base)
+  in
+  assert_fires "loser promoted to leader" V.Rules.Election_safety
+    (check records)
+
+(* ---- exporter -> reader round trip ---- *)
+
+let test_export_replay_round_trip () =
+  let tracer = Obs.Tracer.create () in
+  let samples =
+    [
+      (0L, 0, pol "edf");
+      (123_456_789L, 1, accept 3);
+      (123_457_000L, 1, arr 3 ~a:123_457_000L ~d:123_999_999L ~p:542_999L);
+      (123_458_001L, 1, Event.Irq { dur_ns = 1_234L });
+      (123_459_002L, 1, Event.Sched_pass { dur_ns = 567L });
+      (123_460_003L, 1, disp 3);
+      (123_470_004L, 1, Event.Preempt { tid = 3; thread = "t3" });
+      (123_480_005L, 1, miss 3 ~late:42L);
+      (123_490_006L, 1, comp 3);
+      (123_500_007L, 1, Event.Steal_attempt { victim = None; success = false });
+      (123_510_008L, 1, Event.Idle);
+    ]
+  in
+  List.iter (fun (time, cpu, event) -> Obs.Tracer.record tracer ~time ~cpu event) samples;
+  let contents =
+    String.concat "\n" (Obs.Export.chrome_lines tracer) ^ "\n"
+  in
+  match V.Trace_reader.parse contents with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok records ->
+    let got =
+      List.map (fun { V.Trace_reader.time; cpu; event } -> (time, cpu, event)) records
+    in
+    Alcotest.(check int) "record count" (List.length samples) (List.length got);
+    List.iter2
+      (fun (et, ec, ee) (gt, gc, ge) ->
+        Alcotest.(check int64) "time" et gt;
+        Alcotest.(check int) "cpu" ec gc;
+        Alcotest.(check bool)
+          (Printf.sprintf "event %s" (Event.kind ee))
+          true (ee = ge))
+      samples got
+
+let test_reader_rejects_garbage () =
+  (match V.Trace_reader.parse "{\"name\":1}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-array accepted");
+  match V.Trace_reader.parse "[\n{\"name\":\"nope\",\"ph\":\"i\",\"ts\":1,\"pid\":0,\"tid\":0,\"args\":{}}\n]" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown event kind accepted"
+
+(* ---- live checker on a seeded random run (property) ---- *)
+
+let prop_random_run_is_clean =
+  QCheck.Test.make ~name:"seeded random schedulable run is verifier-clean"
+    ~count:12
+    QCheck.(
+      triple (int_bound 1000) (1 -- 3)
+        (pair bool (int_bound 1)))
+    (fun (seed, nthreads, (rm, extra_cpu)) ->
+      let sink = Obs.Sink.create ~trace:false () in
+      let live = V.Live.attach sink in
+      let config =
+        {
+          Config.default with
+          Config.policy = (if rm then Config.Rm else Config.Edf);
+        }
+      in
+      let sys =
+        Scheduler.create ~seed:(Int64.of_int (seed + 1)) ~num_cpus:3 ~config
+          ~obs:sink phi
+      in
+      for i = 0 to nthreads - 1 do
+        let period = Time.us (500 * (i + 2)) in
+        let slice = Int64.div period 8L in
+        ignore
+          (Exp.periodic_thread sys ~cpu:(1 + (i mod 2)) ~period ~slice ())
+      done;
+      (* Aperiodic background load, stealable across CPUs. *)
+      ignore
+        (Scheduler.spawn sys ~cpu:(1 + extra_cpu)
+           (Program.of_steps
+              [ Thread.Compute (Time.us 300); Thread.Compute (Time.us 200) ]));
+      Scheduler.run ~until:(Time.ms 15) sys;
+      let report = V.Live.report live in
+      if not (V.Report.passed report) then
+        QCheck.Test.fail_reportf "random run not clean: %s"
+          (V.Report.verdict_line report);
+      true)
+
+(* ---- the ablation acceptance case: EDF clean, RM flagged ---- *)
+
+let test_edf_clean_rm_flagged () =
+  let run policy =
+    let sink = Obs.Sink.create ~trace:false () in
+    let live = V.Live.attach sink in
+    let config =
+      { Config.default with Config.admission_control = false; policy }
+    in
+    let sys = Scheduler.create ~num_cpus:2 ~config ~obs:sink phi in
+    let p1 = Time.us 1000 and p2 = Time.us 1500 in
+    (* total utilization 0.95, past RM's 2-task Liu-Layland bound *)
+    let slice p = Int64.of_float (Int64.to_float p *. 0.475) in
+    let phase = Time.ms 5 in
+    let t1 = Exp.periodic_thread sys ~cpu:1 ~phase ~period:p1 ~slice:(slice p1) () in
+    let t2 = Exp.periodic_thread sys ~cpu:1 ~phase ~period:p2 ~slice:(slice p2) () in
+    ignore
+      (Engine.schedule (Scheduler.engine sys) ~at:(Time.ms 2) (fun _ ->
+           Scheduler.reanchor sys t1 ~first_arrival:(Time.ms 3);
+           Scheduler.reanchor sys t2 ~first_arrival:(Time.ms 3)));
+    Scheduler.run ~until:(Time.ms 100) sys;
+    V.Live.report live
+  in
+  let edf = run Config.Edf in
+  assert_clean "EDF past the RM bound" edf;
+  let rm = run Config.Rm in
+  assert_only "RM past its bound" V.Rules.Hard_rt rm
+
+(* ---- report formatting ---- *)
+
+let test_verdict_line () =
+  let clean = check [ (0L, 0, pol "edf") ] in
+  Alcotest.(check string)
+    "pass line" "verdict=pass events=1 segments=1 violations=0"
+    (V.Report.verdict_line clean);
+  let bad = check [ (0L, 1, comp 1); (10L, 1, comp 1) ] in
+  Alcotest.(check string)
+    "fail line" "verdict=fail events=2 segments=1 violations=2 rules=causality:2"
+    (V.Report.verdict_line bad);
+  (* counterexamples carry index, time and cpu *)
+  match bad.V.Report.violations with
+  | { V.Checker.rule = V.Rules.Causality; index = 0; time = 0L; cpu = 1; _ }
+    :: _ ->
+    ()
+  | _ -> Alcotest.fail "counterexample coordinates wrong"
+
+let suite =
+  [
+    Alcotest.test_case "good trace is clean" `Quick test_good_trace;
+    Alcotest.test_case "monotonic-time fires" `Quick test_bad_monotonic;
+    Alcotest.test_case "wake exempt from monotonicity" `Quick
+      test_wake_exempt_from_monotonicity;
+    Alcotest.test_case "causality: dispatch while blocked" `Quick
+      test_bad_causality_dispatch_blocked;
+    Alcotest.test_case "causality: lifecycle orders" `Quick
+      test_bad_causality_lifecycle;
+    Alcotest.test_case "cpu-mutex fires" `Quick test_bad_cpu_mutex;
+    Alcotest.test_case "hard-rt-soundness fires" `Quick test_bad_hard_rt;
+    Alcotest.test_case "policy-conformance fires (EDF)" `Quick
+      test_bad_conformance_edf;
+    Alcotest.test_case "policy-conformance fires (RM)" `Quick
+      test_bad_conformance_rm;
+    Alcotest.test_case "accounting fires" `Quick test_bad_accounting;
+    Alcotest.test_case "barrier-safety fires" `Quick test_bad_barrier;
+    Alcotest.test_case "election-safety fires" `Quick test_bad_election;
+    Alcotest.test_case "real traces are clean" `Quick test_base_traces_clean;
+    Alcotest.test_case "mutation: monotonic-time" `Quick
+      test_mutation_monotonic;
+    Alcotest.test_case "mutation: cpu-mutex" `Quick test_mutation_cpu_mutex;
+    Alcotest.test_case "mutation: hard-rt-soundness" `Quick
+      test_mutation_hard_rt;
+    Alcotest.test_case "mutation: causality" `Quick test_mutation_causality;
+    Alcotest.test_case "mutation: policy-conformance" `Quick
+      test_mutation_conformance;
+    Alcotest.test_case "mutation: accounting" `Quick test_mutation_accounting;
+    Alcotest.test_case "mutation: barrier-safety" `Quick test_mutation_barrier;
+    Alcotest.test_case "mutation: election-safety" `Quick
+      test_mutation_election;
+    Alcotest.test_case "export/replay round trip" `Quick
+      test_export_replay_round_trip;
+    Alcotest.test_case "reader rejects garbage" `Quick
+      test_reader_rejects_garbage;
+    QCheck_alcotest.to_alcotest prop_random_run_is_clean;
+    Alcotest.test_case "EDF clean, RM flagged past bound" `Quick
+      test_edf_clean_rm_flagged;
+    Alcotest.test_case "verdict line format" `Quick test_verdict_line;
+  ]
