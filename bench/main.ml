@@ -11,7 +11,9 @@
       micro-benchmarks of the scheduler's hot paths — the performance of
       the reproduction itself rather than the simulated metrics.
 
-   `dune exec bench/main.exe -- tables` or `-- micro` runs one half. *)
+   `dune exec bench/main.exe -- tables` or `-- micro` runs one half.
+   `--jobs N` (or HRT_JOBS=N) fans every sweep across N domains; the
+   tables are bit-identical for any N. *)
 
 open Bechamel
 open Bechamel.Toolkit
@@ -21,7 +23,7 @@ open Hrt_core
 (* ------------------------------------------------------------------ *)
 (* Part 1: figure regeneration. *)
 
-let run_tables () =
+let run_tables ~jobs () =
   print_endline "======================================================";
   print_endline " Reproduction of every figure (see EXPERIMENTS.md)";
   print_endline
@@ -29,8 +31,12 @@ let run_tables () =
     | Hrt_harness.Exp.Quick ->
       " scale: QUICK (scaled-down; set HRT_FULL=1 for paper scale)"
     | Hrt_harness.Exp.Full -> " scale: FULL (paper-scale parameters)");
+  Printf.printf " jobs: %d (set with --jobs N or HRT_JOBS=N)\n" jobs;
   print_endline "======================================================\n";
-  List.iter Hrt_harness.Registry.run_and_print Hrt_harness.Registry.all
+  let ctx = Hrt_harness.Exp.Ctx.make ~jobs () in
+  List.iter
+    (Hrt_harness.Registry.run_and_print ~ctx)
+    Hrt_harness.Registry.all
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks. *)
@@ -161,11 +167,31 @@ let run_micro () =
   Hrt_stats.Table.print table
 
 let () =
-  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  (match mode with
-  | "tables" -> run_tables ()
+  (* Tiny hand-rolled argv scan: a mode word plus an optional --jobs N. *)
+  let argv = Array.to_list Sys.argv in
+  let jobs = ref (Hrt_harness.Exp.jobs_of_env ()) in
+  let mode = ref "all" in
+  let rec scan = function
+    | [] -> ()
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some j when j >= 1 -> jobs := j
+      | _ ->
+        prerr_endline "bench: --jobs expects a positive integer";
+        exit 1);
+      scan rest
+    | ("tables" | "micro" | "all") :: rest as l ->
+      mode := List.hd l;
+      scan rest
+    | a :: rest ->
+      Printf.eprintf "bench: ignoring unknown argument %S\n" a;
+      scan rest
+  in
+  scan (List.tl argv);
+  (match !mode with
+  | "tables" -> run_tables ~jobs:!jobs ()
   | "micro" -> run_micro ()
   | _ ->
-    run_tables ();
+    run_tables ~jobs:!jobs ();
     run_micro ());
   print_endline "bench: done."

@@ -6,10 +6,16 @@
      all                      run everything
      bsp [options]            run one BSP benchmark configuration
      missrate [options]       run one period/slice miss-rate point
+     sweepbench [names...]    time sweeps at jobs=1 vs --jobs, emit JSON
      verify <trace.json>      replay a recorded trace through the verifier
 
+   Every workload runs inside an explicit Exp.Ctx.t built from the common
+   flags (--full, --policy, --jobs) plus the observability sink; there is
+   no ambient mutable configuration.
+
    Exit codes: 0 success, 2 verification failure (verify subcommand or
-   --selfcheck), anything else is a usage/IO error. *)
+   --selfcheck) or sweepbench divergence, anything else is a usage/IO
+   error. *)
 
 open Cmdliner
 open Hrt_engine
@@ -32,6 +38,22 @@ let policy_term =
           "Scheduling policy: $(b,edf) (earliest deadline first, the \
            paper's) or $(b,rm) (rate monotonic with the Liu-Layland \
            admission bound). Drives both admission and dispatch.")
+
+let jobs_term =
+  let arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Fan sweep points across $(docv) OCaml domains. Results are \
+             merged in submission order, so the output is bit-identical \
+             for any $(docv). Defaults to $(b,HRT_JOBS), else 1 \
+             (sequential).")
+  in
+  Term.(
+    const (fun j -> match j with Some n -> n | None -> Exp.jobs_of_env ())
+    $ arg)
 
 (* ---- observability ---- *)
 
@@ -61,22 +83,20 @@ let selfcheck_term =
            any violation (including a deadline miss of an admitted \
            real-time task) makes the process exit with status 2.")
 
-(* Install an enabled default sink before the workload runs (so systems
-   created inside harnesses pick it up), run, then export whatever was
+(* Build a sink for the requested outputs, hand it to the workload (which
+   threads it through its run context), then export whatever was
    requested. Under --selfcheck a verifying checker subscribes to the same
    sink; its verdict decides the exit status. *)
 let with_obs ?(selfcheck = false) ~trace_out ~metrics_out f =
-  (match (selfcheck, trace_out, metrics_out) with
-  | false, None, None -> ()
-  | _ ->
-    Hrt_obs.Sink.set_default
-      (Hrt_obs.Sink.create ~trace:(trace_out <> None) ()));
-  let live =
-    if selfcheck then Some (Hrt_verify.Live.attach (Hrt_obs.Sink.get_default ()))
-    else None
+  let sink =
+    match (selfcheck, trace_out, metrics_out) with
+    | false, None, None -> Hrt_obs.Sink.null
+    | _ -> Hrt_obs.Sink.create ~trace:(trace_out <> None) ()
   in
-  f ();
-  let sink = Hrt_obs.Sink.get_default () in
+  let live =
+    if selfcheck then Some (Hrt_verify.Live.attach sink) else None
+  in
+  f sink;
   (match trace_out with
   | Some path ->
     (match Hrt_obs.Sink.tracer sink with
@@ -122,14 +142,14 @@ let run_cmd =
       & opt (some string) None
       & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each table as CSV into $(docv).")
   in
-  let run scale csv_dir trace_out metrics_out selfcheck policy names =
-    Exp.set_policy policy;
-    with_obs ~selfcheck ~trace_out ~metrics_out (fun () ->
+  let run scale csv_dir trace_out metrics_out selfcheck policy jobs names =
+    with_obs ~selfcheck ~trace_out ~metrics_out (fun sink ->
+        let ctx = Exp.Ctx.make ~scale ~policy ~sink ~jobs () in
         List.iter
           (fun name ->
             match Registry.find name with
             | Some e -> (
-              Registry.run_and_print ~scale e;
+              Registry.run_and_print ~ctx e;
               match csv_dir with
               | None -> ()
               | Some dir ->
@@ -143,7 +163,7 @@ let run_cmd =
                       ~header:(Hrt_stats.Table.headers table)
                       (Hrt_stats.Table.to_rows table);
                     Printf.printf "wrote %s\n" path)
-                  (e.Registry.run scale))
+                  (e.Registry.run ctx))
             | None ->
               Printf.eprintf "unknown experiment %S; try `hrt_sim list`\n" name;
               exit 1)
@@ -152,20 +172,21 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ scale_term $ csv_dir $ trace_out_term $ metrics_out_term
-      $ selfcheck_term $ policy_term $ names)
+      $ selfcheck_term $ policy_term $ jobs_term $ names)
 
 (* ---- all ---- *)
 
 let all_cmd =
   let doc = "Run every experiment (the full evaluation section)." in
-  let run scale trace_out metrics_out selfcheck =
-    with_obs ~selfcheck ~trace_out ~metrics_out (fun () ->
-        List.iter (Registry.run_and_print ~scale) Registry.all)
+  let run scale trace_out metrics_out selfcheck policy jobs =
+    with_obs ~selfcheck ~trace_out ~metrics_out (fun sink ->
+        let ctx = Exp.Ctx.make ~scale ~policy ~sink ~jobs () in
+        List.iter (Registry.run_and_print ~ctx) Registry.all)
   in
   Cmd.v (Cmd.info "all" ~doc)
     Term.(
       const run $ scale_term $ trace_out_term $ metrics_out_term
-      $ selfcheck_term)
+      $ selfcheck_term $ policy_term $ jobs_term)
 
 (* ---- bsp ---- *)
 
@@ -199,7 +220,7 @@ let bsp_cmd =
   in
   let run cpus grain barrier aperiodic period_us slice_pct iters policy
       trace_out metrics_out selfcheck =
-    with_obs ~selfcheck ~trace_out ~metrics_out (fun () ->
+    with_obs ~selfcheck ~trace_out ~metrics_out (fun sink ->
         let params =
           match grain with
           | `Fine -> Hrt_bsp.Bsp.fine_grain ~cpus ~barrier:(barrier || aperiodic)
@@ -217,7 +238,7 @@ let bsp_cmd =
             Hrt_bsp.Bsp.Rt { period; slice; phase_correction = true }
           end
         in
-        let r = Hrt_bsp.Bsp.run ~policy params mode in
+        let r = Hrt_bsp.Bsp.run ~policy ~obs:sink params mode in
         Printf.printf
           "exec=%.3f ms  iterations=%d  misses=%d  admitted=%b  checksum=%.0f\n"
           (Time.to_float_ms r.Hrt_bsp.Bsp.exec_time)
@@ -252,11 +273,11 @@ let missrate_cmd =
   in
   let run platform period_us slice_pct ms policy trace_out metrics_out
       selfcheck =
-    with_obs ~selfcheck ~trace_out ~metrics_out (fun () ->
+    with_obs ~selfcheck ~trace_out ~metrics_out (fun sink ->
         let config =
           { Config.default with Config.admission_control = false; policy }
         in
-        let sys = Scheduler.create ~num_cpus:2 ~config platform in
+        let sys = Scheduler.create ~num_cpus:2 ~config ~obs:sink platform in
         let period = Time.us period_us in
         let slice =
           Int64.div (Int64.mul period (Int64.of_int slice_pct)) 100L
@@ -276,6 +297,73 @@ let missrate_cmd =
     Term.(
       const run $ platform $ period_us $ slice_pct $ ms $ policy_term
       $ trace_out_term $ metrics_out_term $ selfcheck_term)
+
+(* ---- sweepbench ---- *)
+
+let sweepbench_cmd =
+  let doc = "Time sweeps sequentially vs parallel and check determinism." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs each named experiment twice — once at jobs=1 and once at \
+         $(b,--jobs) — and records wall time, speedup, and whether the \
+         rendered tables are byte-identical (they must be: parallel \
+         sweeps merge results by submission index). The samples are \
+         written as JSON to $(b,--out) for CI to archive.";
+      `P
+        "Exit status is 2 when any sweep's parallel output diverges from \
+         its sequential output.";
+    ]
+  in
+  let names =
+    Arg.(
+      value
+      & pos_all string [ "fig13" ]
+      & info [] ~docv:"NAME"
+          ~doc:"Experiments to benchmark (default: fig13).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_sweep.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the JSON artifact.")
+  in
+  let run scale policy jobs out names =
+    let ctx = Exp.Ctx.make ~scale ~policy ~jobs () in
+    let entries =
+      List.map
+        (fun name ->
+          match Registry.find name with
+          | Some e -> e
+          | None ->
+            Printf.eprintf "unknown experiment %S; try `hrt_sim list`\n" name;
+            exit 1)
+        names
+    in
+    let samples =
+      List.map
+        (fun e ->
+          let s = Bench_sweep.measure ~ctx e in
+          Printf.printf
+            "%-18s seq=%.2fs  par(jobs=%d)=%.2fs  speedup=%.2fx  \
+             identical=%b\n%!"
+            s.Bench_sweep.name s.Bench_sweep.seq_seconds s.Bench_sweep.jobs
+            s.Bench_sweep.par_seconds s.Bench_sweep.speedup
+            s.Bench_sweep.identical;
+          s)
+        entries
+    in
+    Bench_sweep.write ~path:out ~jobs:ctx.Exp.Ctx.jobs samples;
+    Printf.printf "wrote %s\n" out;
+    if List.exists (fun s -> not s.Bench_sweep.identical) samples then begin
+      Printf.eprintf
+        "sweepbench: parallel output diverges from sequential output\n";
+      exit 2
+    end
+  in
+  Cmd.v (Cmd.info "sweepbench" ~doc ~man)
+    Term.(const run $ scale_term $ policy_term $ jobs_term $ out $ names)
 
 (* ---- verify ---- *)
 
@@ -332,4 +420,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; all_cmd; bsp_cmd; missrate_cmd; verify_cmd ]))
+          [
+            list_cmd;
+            run_cmd;
+            all_cmd;
+            bsp_cmd;
+            missrate_cmd;
+            sweepbench_cmd;
+            verify_cmd;
+          ]))

@@ -129,12 +129,14 @@ let worker_loop sys shared p ~index ~iter_cost ~barrier_for =
     step ()
 
 let run ?(seed = 42L) ?(platform = Platform.phi) ?(until = Time.sec 100)
-    ?(policy = Config.Edf) p mode =
+    ?(policy = Config.Edf) ?obs p mode =
   if p.cpus < 1 then invalid_arg "Bsp.run: cpus < 1";
   let config =
     { Config.default with Config.strict_reservations = false; policy }
   in
-  let sys = Scheduler.create ~seed ~num_cpus:(p.cpus + 1) ~config platform in
+  let sys =
+    Scheduler.create ~seed ~num_cpus:(p.cpus + 1) ~config ?obs platform
+  in
   let shared =
     {
       domain = Array.make (p.cpus * p.ne) 0.;

@@ -61,10 +61,13 @@ val run :
   ?platform:Platform.t ->
   ?until:Time.ns ->
   ?policy:Config.policy ->
+  ?obs:Hrt_obs.Sink.t ->
   params ->
   mode ->
   result
 (** Build a fresh system and execute the benchmark to completion (or until
     the [until] safety horizon, default 100 s simulated). [policy] selects
     the scheduling discipline for admission and dispatch (default
-    {!Config.Edf}). *)
+    {!Config.Edf}). [obs] is the observability sink for the system
+    (default {!Hrt_obs.Sink.null}); the run is fully described by its
+    arguments, so concurrent runs on different domains are safe. *)

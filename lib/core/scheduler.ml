@@ -7,6 +7,7 @@ type t = {
   shared : Local_sched.shared;
   mutable calibration : Sync_cal.result option;
   mutable next_name : int;
+  mutable next_obj_id : int;
   mutable threaded_devices : Irq.device list;
   irq_threads : (int, Thread.t * Time.ns Queue.t) Hashtbl.t;
 }
@@ -19,6 +20,11 @@ let num_cpus t = Machine.num_cpus (machine t)
 let sched t i = t.shared.Local_sched.scheds.(i)
 let calibration t = t.calibration
 let obs t = t.shared.Local_sched.obs
+
+let fresh_id t =
+  let id = t.next_obj_id in
+  t.next_obj_id <- id + 1;
+  id
 
 let rec spawn t ?name ?(cpu = 0) ?(bound = false) ?(prio = 0) body =
   if cpu < 0 || cpu >= num_cpus t then invalid_arg "Scheduler.spawn: bad CPU";
@@ -208,9 +214,7 @@ let create ?(seed = 42L) ?num_cpus ?(config = Config.default)
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Scheduler.create: " ^ msg));
-  let obs =
-    match obs with Some s -> s | None -> Obs.Sink.get_default ()
-  in
+  let obs = match obs with Some s -> s | None -> Obs.Sink.null in
   let machine = Machine.create ~seed ?num_cpus platform in
   let shared =
     {
@@ -242,6 +246,7 @@ let create ?(seed = 42L) ?num_cpus ?(config = Config.default)
       shared;
       calibration = None;
       next_name = 0;
+      next_obj_id = 0;
       threaded_devices = [];
       irq_threads = Hashtbl.create 8;
     }

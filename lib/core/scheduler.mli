@@ -22,9 +22,12 @@ val create :
 (** Boot a system. [calibrate] (default true) runs the boot-time TSC
     synchronization and installs the residual clock skews into the local
     schedulers. [obs] is the observability sink shared by every local
-    scheduler; it defaults to {!Hrt_obs.Sink.get_default} (the process-wide
-    sink, normally {!Hrt_obs.Sink.null}), so instrumentation costs one dead
-    branch per site unless a harness opts in. *)
+    scheduler; it defaults to {!Hrt_obs.Sink.null}, so instrumentation
+    costs one dead branch per site unless the caller passes an enabled
+    sink (the harness threads one through [Hrt_harness.Exp.Ctx]). There is
+    no process-wide ambient sink: a system is fully described by its
+    arguments, which is what lets independent systems run on parallel
+    domains. *)
 
 val machine : t -> Machine.t
 val engine : t -> Engine.t
@@ -36,6 +39,14 @@ val calibration : t -> Sync_cal.result option
 
 val obs : t -> Hrt_obs.Sink.t
 (** The observability sink this system reports through. *)
+
+val fresh_id : t -> int
+(** A small integer unique within this system, in allocation order.
+    Used by groups/barriers/elections to tag their trace events: keeping
+    the counter per system (rather than process-wide) makes event ids a
+    deterministic function of the system's own history, so traces are
+    reproducible even when many systems run concurrently on different
+    domains. *)
 
 val spawn :
   t ->

@@ -4,18 +4,16 @@ module Obs = Hrt_obs
 type t = {
   group : Group.t;
   id : int;
-      (* process-unique, creation-ordered — distinguishes interleaved
-         elections in one trace *)
+      (* unique within the owning system, creation-ordered — distinguishes
+         interleaved elections in one trace; allocated per system so
+         traces stay deterministic under domain-parallel sweeps *)
   mutable round : int;
   mutable leader : Thread.t option;
   mutable contenders : int;
 }
 
-let next_id = ref 0
-
 let create group =
-  let id = !next_id in
-  incr next_id;
+  let id = Scheduler.fresh_id (Group.scheduler group) in
   { group; id; round = 0; leader = None; contenders = 0 }
 
 let id t = t.id

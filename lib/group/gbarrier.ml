@@ -5,8 +5,11 @@ module Obs = Hrt_obs
 type t = {
   sys : Scheduler.t;
   id : int;
-      (* process-unique, creation-ordered: lets trace events from distinct
-         barriers be told apart by the verifier *)
+      (* unique within the owning system, creation-ordered: lets trace
+         events from distinct barriers be told apart by the verifier. Ids
+         are allocated per system (Scheduler.fresh_id), never from global
+         state, so a system's trace is identical whether it ran alone or
+         alongside others on parallel domains. *)
   arrive_cost : Hrt_hw.Platform.cost;
   serialized : bool;
   mutable parties : int;
@@ -21,12 +24,9 @@ type t = {
   delta : Time.ns;
 }
 
-let next_id = ref 0
-
 let create ?arrive_cost ?(serialized_arrivals = false) sys ~parties =
   if parties <= 0 then invalid_arg "Gbarrier.create";
-  let id = !next_id in
-  incr next_id;
+  let id = Scheduler.fresh_id sys in
   let plat = Scheduler.platform sys in
   let arrive_cost =
     match arrive_cost with

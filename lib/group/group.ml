@@ -22,8 +22,11 @@ type t = {
 
 (* The name registry is a process-wide association list filtered by
    scheduler identity, so independent simulated systems cannot see each
-   other's groups. *)
+   other's groups. It is the one piece of state shared between systems,
+   so it is mutex-protected: parallel sweep jobs (Hrt_par) create and
+   dispose groups from different domains. *)
 let registry : t list ref = ref []
+let registry_mu = Mutex.create ()
 
 let create sys ~name =
   let t =
@@ -42,13 +45,16 @@ let create sys ~name =
         };
     }
   in
-  registry := t :: !registry;
+  Mutex.protect registry_mu (fun () -> registry := t :: !registry);
   t
 
 let find sys name =
-  List.find_opt (fun g -> g.name = name && g.sys == sys) !registry
+  Mutex.protect registry_mu (fun () ->
+      List.find_opt (fun g -> g.name = name && g.sys == sys) !registry)
 
-let dispose t = registry := List.filter (fun g -> not (g == t)) !registry
+let dispose t =
+  Mutex.protect registry_mu (fun () ->
+      registry := List.filter (fun g -> not (g == t)) !registry)
 
 let destroy t =
   if t.size > 0 then invalid_arg "Group.destroy: members remain";

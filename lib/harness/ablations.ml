@@ -8,18 +8,22 @@ let horizon scale =
 
 (* ------------------------------------------------------------------ *)
 
-let eager_vs_lazy ?(scale = Exp.scale_of_env ()) () =
+let eager_vs_lazy ?ctx () =
+  let ctx = Exp.or_default ctx in
   let smi =
     { Smi.mean_interval = Time.us 400; duration_mean = Time.us 30; duration_jitter = 0.2 }
   in
-  let run dispatch =
+  let run (jctx : Exp.Ctx.t) dispatch =
     let config = { Config.default with Config.dispatch } in
-    let sys = Scheduler.create ~num_cpus:2 ~config Platform.phi in
+    let sys =
+      Scheduler.create ~seed:jctx.Exp.Ctx.seed ~num_cpus:2 ~config
+        ~obs:jctx.Exp.Ctx.sink Platform.phi
+    in
     let generator = Smi.install (Scheduler.engine sys) smi in
     ignore
       (Exp.periodic_thread sys ~cpu:1 ~period:(Time.us 100) ~slice:(Time.us 50)
          ());
-    Scheduler.run ~until:(horizon scale) sys;
+    Scheduler.run ~until:(horizon jctx.Exp.Ctx.scale) sys;
     let acc = Local_sched.account (Scheduler.sched sys 1) in
     (Account.arrivals acc, Account.misses acc, Account.miss_rate acc,
      Smi.count generator)
@@ -39,8 +43,7 @@ let eager_vs_lazy ?(scale = Exp.scale_of_env ()) () =
         ]
   in
   List.iter
-    (fun (name, policy) ->
-      let arrivals, misses, rate, smis = run policy in
+    (fun (name, (arrivals, misses, rate, smis)) ->
       Table.row table
         [
           name;
@@ -49,7 +52,12 @@ let eager_vs_lazy ?(scale = Exp.scale_of_env ()) () =
           Printf.sprintf "%.1f%%" (100. *. rate);
           string_of_int smis;
         ])
-    [ ("eager (this paper)", Config.Eager); ("lazy (latest start)", Config.Lazy) ];
+    (Exp.parallel_map ctx
+       (fun jctx (name, policy) -> (name, run jctx policy))
+       [
+         ("eager (this paper)", Config.Eager);
+         ("lazy (latest start)", Config.Lazy);
+       ]);
   [ table ]
 
 (* ------------------------------------------------------------------ *)
@@ -74,16 +82,20 @@ type policy_point = {
   rm_admissible : bool;
 }
 
-let edf_vs_rm_points ?(scale = Exp.scale_of_env ()) () =
+let edf_vs_rm_points ?ctx () =
+  let ctx = Exp.or_default ctx in
   let p1 = Time.us 1000 and p2 = Time.us 1500 in
   let slice p util =
     Int64.of_float (Int64.to_float p *. (util /. 2.))
   in
-  let run policy util =
+  let run (jctx : Exp.Ctx.t) policy util =
     let config =
       { Config.default with Config.admission_control = false; policy }
     in
-    let sys = Scheduler.create ~num_cpus:2 ~config Platform.phi in
+    let sys =
+      Scheduler.create ~seed:jctx.Exp.Ctx.seed ~num_cpus:2 ~config
+        ~obs:jctx.Exp.Ctx.sink Platform.phi
+    in
     (* Align the first arrivals at one absolute instant (admissions are
        serialized, so relative phases alone leave a stagger): a generous
        phase keeps both threads pending, then both are re-anchored to the
@@ -97,7 +109,7 @@ let edf_vs_rm_points ?(scale = Exp.scale_of_env ()) () =
       (Engine.schedule (Scheduler.engine sys) ~at:(Time.ms 2) (fun _ ->
            Scheduler.reanchor sys t1 ~first_arrival:(Time.ms 3);
            Scheduler.reanchor sys t2 ~first_arrival:(Time.ms 3)));
-    Scheduler.run ~until:(horizon scale) sys;
+    Scheduler.run ~until:(horizon jctx.Exp.Ctx.scale) sys;
     let acc = Local_sched.account (Scheduler.sched sys 1) in
     (Account.arrivals acc, Account.misses acc)
   in
@@ -119,10 +131,11 @@ let edf_vs_rm_points ?(scale = Exp.scale_of_env ()) () =
     in
     req p1 && req p2
   in
-  List.map
-    (fun util ->
-      let edf_arrivals, edf_misses = run Config.Edf util in
-      let rm_arrivals, rm_misses = run Config.Rm util in
+  (* One job per utilization point; each job runs EDF then RM. *)
+  Exp.parallel_map ctx
+    (fun jctx util ->
+      let edf_arrivals, edf_misses = run jctx Config.Edf util in
+      let rm_arrivals, rm_misses = run jctx Config.Rm util in
       {
         util;
         edf_arrivals;
@@ -133,8 +146,9 @@ let edf_vs_rm_points ?(scale = Exp.scale_of_env ()) () =
       })
     [ 0.60; 0.70; 0.75; 0.85; 0.90; 0.95 ]
 
-let edf_vs_rm ?(scale = Exp.scale_of_env ()) () =
-  let points = edf_vs_rm_points ~scale () in
+let edf_vs_rm ?ctx () =
+  let ctx = Exp.or_default ctx in
+  let points = edf_vs_rm_points ~ctx () in
   let table =
     Table.create
       ~title:
@@ -168,9 +182,13 @@ let edf_vs_rm ?(scale = Exp.scale_of_env ()) () =
 
 (* ------------------------------------------------------------------ *)
 
-let interrupt_steering ?(scale = Exp.scale_of_env ()) () =
-  let run ?(threaded = false) ~target_cpu ~prio () =
-    let sys = Scheduler.create ~num_cpus:2 Platform.phi in
+let interrupt_steering ?ctx () =
+  let ctx = Exp.or_default ctx in
+  let run (jctx : Exp.Ctx.t) ?(threaded = false) ~target_cpu ~prio () =
+    let sys =
+      Scheduler.create ~seed:jctx.Exp.Ctx.seed ~num_cpus:2
+        ~obs:jctx.Exp.Ctx.sink Platform.phi
+    in
     let dev =
       Scheduler.add_device sys ~name:"nic" ~prio ~threaded
         ~mean_interval:(Time.us 150)
@@ -182,7 +200,7 @@ let interrupt_steering ?(scale = Exp.scale_of_env ()) () =
     ignore
       (Exp.periodic_thread sys ~cpu:1 ~period:(Time.us 100) ~slice:(Time.us 70)
          ());
-    Scheduler.run ~until:(horizon scale) sys;
+    Scheduler.run ~until:(horizon jctx.Exp.Ctx.scale) sys;
     let acc = Local_sched.account (Scheduler.sched sys 1) in
     (Account.arrivals acc, Account.misses acc, Account.miss_rate acc)
   in
@@ -201,8 +219,7 @@ let interrupt_steering ?(scale = Exp.scale_of_env ()) () =
         ]
   in
   List.iter
-    (fun (name, cpu, prio, threaded) ->
-      let arrivals, misses, rate = run ~threaded ~target_cpu:cpu ~prio () in
+    (fun (name, (arrivals, misses, rate)) ->
       Table.row table
         [
           name;
@@ -210,21 +227,25 @@ let interrupt_steering ?(scale = Exp.scale_of_env ()) () =
           string_of_int misses;
           Printf.sprintf "%.1f%%" (100. *. rate);
         ])
-    [
+    (Exp.parallel_map ctx
+       (fun jctx (name, cpu, prio, threaded) ->
+         (name, run jctx ~threaded ~target_cpu:cpu ~prio ()))
+       [
       ("steered away (interrupt-laden CPU 0)", 0, 8, false);
       ("on RT CPU, masked by processor priority", 1, 8, false);
       ("on RT CPU, above processor priority", 1, 15, false);
-      ("on RT CPU, threaded interrupt handler", 1, 15, true);
-    ];
+         ("on RT CPU, threaded interrupt handler", 1, 15, true);
+       ]);
   [ table ]
 
 (* ------------------------------------------------------------------ *)
 
-let utilization_limit ?(scale = Exp.scale_of_env ()) () =
+let utilization_limit ?ctx () =
+  let ctx = Exp.or_default ctx in
   let smi =
     { Smi.mean_interval = Time.us 500; duration_mean = Time.us 25; duration_jitter = 0.2 }
   in
-  let run limit =
+  let run (jctx : Exp.Ctx.t) limit =
     let config =
       {
         Config.default with
@@ -232,7 +253,10 @@ let utilization_limit ?(scale = Exp.scale_of_env ()) () =
         strict_reservations = false;
       }
     in
-    let sys = Scheduler.create ~num_cpus:2 ~config Platform.phi in
+    let sys =
+      Scheduler.create ~seed:jctx.Exp.Ctx.seed ~num_cpus:2 ~config
+        ~obs:jctx.Exp.Ctx.sink Platform.phi
+    in
     ignore (Smi.install (Scheduler.engine sys) smi);
     (* Request the largest admissible slice under this limit. *)
     let period = Time.us 100 in
@@ -242,7 +266,7 @@ let utilization_limit ?(scale = Exp.scale_of_env ()) () =
       (Exp.periodic_thread sys ~cpu:1 ~period ~slice
          ~on_admit:(fun ok -> admitted := ok)
          ());
-    Scheduler.run ~until:(horizon scale) sys;
+    Scheduler.run ~until:(horizon jctx.Exp.Ctx.scale) sys;
     let acc = Local_sched.account (Scheduler.sched sys 1) in
     (!admitted, slice, Account.miss_rate acc)
   in
@@ -260,21 +284,23 @@ let utilization_limit ?(scale = Exp.scale_of_env ()) () =
         ]
   in
   List.iter
-    (fun limit ->
-      let admitted, slice, rate = run limit in
+    (fun (limit, (admitted, slice, rate)) ->
       Table.row table
         [
           Printf.sprintf "%.0f%%" (100. *. limit);
           (if admitted then Format.asprintf "%a" Time.pp slice else "rejected");
           Printf.sprintf "%.1f%%" (100. *. rate);
         ])
-    [ 0.5; 0.6; 0.7; 0.8; 0.9; 0.99 ];
+    (Exp.parallel_map ctx
+       (fun jctx limit -> (limit, run jctx limit))
+       [ 0.5; 0.6; 0.7; 0.8; 0.9; 0.99 ]);
   [ table ]
 
 (* ------------------------------------------------------------------ *)
 
-let cyclic_executive ?(scale = Exp.scale_of_env ()) () =
-  let horizon = horizon scale in
+let cyclic_executive ?ctx () =
+  let ctx = Exp.or_default ctx in
+  let horizon = horizon ctx.Exp.Ctx.scale in
   let jobs =
     [
       { Cyclic.name = "fast"; period = Time.us 100; slice = Time.us 15 };
@@ -283,8 +309,11 @@ let cyclic_executive ?(scale = Exp.scale_of_env ()) () =
     ]
   in
   (* (a) Three independent EDF periodic threads. *)
-  let edf () =
-    let sys = Scheduler.create ~num_cpus:2 Platform.phi in
+  let edf (jctx : Exp.Ctx.t) =
+    let sys =
+      Scheduler.create ~seed:jctx.Exp.Ctx.seed ~num_cpus:2
+        ~obs:jctx.Exp.Ctx.sink Platform.phi
+    in
     let threads =
       List.map
         (fun j ->
@@ -306,8 +335,11 @@ let cyclic_executive ?(scale = Exp.scale_of_env ()) () =
     (Account.invocations acc, Account.total_overhead_cycles acc, misses)
   in
   (* (b) The same set compiled into one cyclic executive. *)
-  let cyclic () =
-    let sys = Scheduler.create ~num_cpus:2 Platform.phi in
+  let cyclic (jctx : Exp.Ctx.t) =
+    let sys =
+      Scheduler.create ~seed:jctx.Exp.Ctx.seed ~num_cpus:2
+        ~obs:jctx.Exp.Ctx.sink Platform.phi
+    in
     let table = Result.get_ok (Cyclic.plan jobs) in
     let th = Cyclic.spawn sys ~cpu:1 table in
     Scheduler.run ~until:horizon sys;
@@ -331,16 +363,34 @@ let cyclic_executive ?(scale = Exp.scale_of_env ()) () =
     Table.row table
       [ name; string_of_int inv; Printf.sprintf "%.0f" ovh; string_of_int misses ]
   in
-  row "3 EDF periodic threads" (edf ());
-  row "1 cyclic executive (static table)" (cyclic ());
+  (match
+     Exp.parallel_map ctx
+       (fun jctx which ->
+         match which with `Edf -> edf jctx | `Cyclic -> cyclic jctx)
+       [ `Edf; `Cyclic ]
+   with
+  | [ e; c ] ->
+    row "3 EDF periodic threads" e;
+    row "1 cyclic executive (static table)" c
+  | _ -> assert false);
   [ table ]
 
 (* ------------------------------------------------------------------ *)
 
-let phase_correction ?(scale = Exp.scale_of_env ()) () =
-  let workers = match scale with Exp.Quick -> 32 | Exp.Full -> 128 in
-  let raw = Fig11.collect ~scale ~workers ~phase_correction:false () in
-  let fixed = Fig11.collect ~scale ~workers ~phase_correction:true () in
+let phase_correction ?ctx () =
+  let ctx = Exp.or_default ctx in
+  let workers =
+    match ctx.Exp.Ctx.scale with Exp.Quick -> 32 | Exp.Full -> 128
+  in
+  let raw, fixed =
+    match
+      Exp.parallel_map ctx
+        (fun jctx pc -> Fig11.collect ~ctx:jctx ~workers ~phase_correction:pc ())
+        [ false; true ]
+    with
+    | [ r; f ] -> (r, f)
+    | _ -> assert false
+  in
   let table =
     Table.create
       ~title:

@@ -15,13 +15,13 @@
     - {!phase_correction}: Section 4.4 — release-order phase correction
       removes the group-size-dependent bias (see also Fig 12). *)
 
-val eager_vs_lazy : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list
-val edf_vs_rm : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list
-val interrupt_steering : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list
-val utilization_limit : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list
-val phase_correction : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list
+val eager_vs_lazy : ?ctx:Exp.Ctx.t -> unit -> Hrt_stats.Table.t list
+val edf_vs_rm : ?ctx:Exp.Ctx.t -> unit -> Hrt_stats.Table.t list
+val interrupt_steering : ?ctx:Exp.Ctx.t -> unit -> Hrt_stats.Table.t list
+val utilization_limit : ?ctx:Exp.Ctx.t -> unit -> Hrt_stats.Table.t list
+val phase_correction : ?ctx:Exp.Ctx.t -> unit -> Hrt_stats.Table.t list
 
-val cyclic_executive : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list
+val cyclic_executive : ?ctx:Exp.Ctx.t -> unit -> Hrt_stats.Table.t list
 (** Section 8 future work: the same harmonic job set run as independent
     EDF periodic threads vs compiled into one static cyclic executive —
     both meet every deadline, but the executive needs far fewer scheduler
@@ -37,4 +37,4 @@ type policy_point = {
   rm_admissible : bool;  (** would RM admission (Liu-Layland) accept it *)
 }
 
-val edf_vs_rm_points : ?scale:Exp.scale -> unit -> policy_point list
+val edf_vs_rm_points : ?ctx:Exp.Ctx.t -> unit -> policy_point list

@@ -30,31 +30,37 @@ let workers ~scale = match scale with Exp.Quick -> 24 | Exp.Full -> 255
 
 let util period slice = Int64.to_float slice /. Int64.to_float period
 
-let run_one ~scale ~params ~barrier mode =
+let run_one (ctx : Exp.Ctx.t) ~params ~barrier mode =
+  let scale = ctx.Exp.Ctx.scale in
   let p = params ~cpus:(workers ~scale) ~barrier in
   let p =
     match scale with
     | Exp.Quick -> { p with Bsp.iters = Stdlib.max 20 (p.Bsp.iters / 5) }
     | Exp.Full -> p
   in
-  Bsp.run p mode
+  Bsp.run ~seed:ctx.Exp.Ctx.seed ~policy:ctx.Exp.Ctx.policy
+    ~obs:ctx.Exp.Ctx.sink p mode
 
-let sweep ~scale ~params ~barrier ~no_barrier =
-  List.map
-    (fun (period, slice) ->
+(* One job per (period, slice) combination; the job runs its requested
+   variants back to back so a row is always produced whole. *)
+let sweep ?ctx ~params ~barrier ~no_barrier () =
+  let ctx = Exp.or_default ctx in
+  Exp.parallel_map ctx
+    (fun jctx (period, slice) ->
       let mode = Bsp.Rt { period; slice; phase_correction = true } in
       {
         period;
         slice;
         utilization = util period slice;
         with_barrier =
-          (if barrier then Some (run_one ~scale ~params ~barrier:true mode)
+          (if barrier then Some (run_one jctx ~params ~barrier:true mode)
            else None);
         without_barrier =
-          (if no_barrier then Some (run_one ~scale ~params ~barrier:false mode)
+          (if no_barrier then Some (run_one jctx ~params ~barrier:false mode)
            else None);
       })
-    (combos ~scale)
+    (combos ~scale:ctx.Exp.Ctx.scale)
 
-let aperiodic_reference ~scale ~params =
-  run_one ~scale ~params ~barrier:true Bsp.Aperiodic
+let aperiodic_reference ?ctx ~params () =
+  let ctx = Exp.or_default ctx in
+  run_one ctx ~params ~barrier:true Bsp.Aperiodic

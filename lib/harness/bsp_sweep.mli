@@ -20,14 +20,18 @@ val workers : scale:Exp.scale -> int
 (** 255 at Full scale (the interrupt-free partition of the Phi). *)
 
 val sweep :
-  scale:Exp.scale ->
+  ?ctx:Exp.Ctx.t ->
   params:(cpus:int -> barrier:bool -> Bsp.params) ->
   barrier:bool ->
   no_barrier:bool ->
+  unit ->
   row list
-(** Run the grid in the requested variants. *)
+(** Run the grid in the requested variants, one job per (period, slice)
+    combination, fanned across [ctx.jobs] domains ({!Exp.parallel_map});
+    rows come back in grid order, bit-identical for any job count. [ctx]
+    defaults to {!Exp.Ctx.default}. *)
 
 val aperiodic_reference :
-  scale:Exp.scale -> params:(cpus:int -> barrier:bool -> Bsp.params) -> Bsp.result
+  ?ctx:Exp.Ctx.t -> params:(cpus:int -> barrier:bool -> Bsp.params) -> unit -> Bsp.result
 (** The non-real-time baseline: aperiodic scheduling at 100 % utilization,
     barriers on (required for correctness). *)

@@ -9,11 +9,70 @@ let scale_of_env () =
 
 let cpus scale quick full = match scale with Quick -> quick | Full -> full
 
-(* The CLI's --policy flag lands here; every harness that builds its own
-   Config picks it up, so one flag switches the whole figure suite. *)
-let default_policy = ref Config.Edf
-let set_policy p = default_policy := p
-let policy () = !default_policy
+let jobs_of_env () =
+  match Sys.getenv_opt "HRT_JOBS" with
+  | None -> 1
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> 1)
+
+module Ctx = struct
+  type t = {
+    seed : int64;
+    scale : scale;
+    policy : Config.policy;
+    sink : Hrt_obs.Sink.t;
+    jobs : int;
+  }
+
+  let make ?(seed = 42L) ?scale ?(policy = Config.Edf)
+      ?(sink = Hrt_obs.Sink.null) ?jobs () =
+    let scale = match scale with Some s -> s | None -> scale_of_env () in
+    let jobs =
+      match jobs with Some j -> Stdlib.max 1 j | None -> jobs_of_env ()
+    in
+    { seed; scale; policy; sink; jobs }
+
+  let default () = make ()
+  let quick () = make ~scale:Quick ()
+  let with_sink t sink = { t with sink }
+  let with_jobs t jobs = { t with jobs = Stdlib.max 1 jobs }
+end
+
+let or_default ctx = match ctx with Some c -> c | None -> Ctx.default ()
+
+(* Fan a list of independent job descriptions across domains. Each job
+   receives its own context: when fanning out with an enabled sink, a
+   fresh child sink per job (a sink is touched by exactly one domain);
+   otherwise the parent context verbatim. Children are absorbed back into
+   the parent in submission order after every job has finished, so the
+   metric/trace/subscriber streams are identical to a sequential run —
+   see Hrt_obs.Sink.absorb. *)
+let parallel_map (ctx : Ctx.t) f items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  if n = 0 then []
+  else begin
+    let fan = ctx.Ctx.jobs > 1 && Hrt_obs.Sink.enabled ctx.Ctx.sink in
+    let ctxs =
+      if fan then
+        Array.init n (fun _ ->
+            { ctx with Ctx.sink = Hrt_obs.Sink.child ctx.Ctx.sink })
+      else Array.make n ctx
+    in
+    let pool = Hrt_par.Par.Pool.create ~jobs:ctx.Ctx.jobs in
+    let out =
+      Hrt_par.Par.map pool
+        (fun i -> f ctxs.(i) arr.(i))
+        (Array.init n (fun i -> i))
+    in
+    if fan then
+      Array.iter
+        (fun (jctx : Ctx.t) -> Hrt_obs.Sink.absorb ctx.Ctx.sink jctx.Ctx.sink)
+        ctxs;
+    Array.to_list out
+  end
 
 let periodic_thread sys ~cpu ?(phase = 0L) ~period ~slice ?(on_admit = fun _ -> ())
     () =

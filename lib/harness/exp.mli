@@ -13,12 +13,63 @@ val scale_of_env : unit -> scale
 val cpus : scale -> int -> int -> int
 (** [cpus scale quick full] picks a worker count. *)
 
-val set_policy : Config.policy -> unit
-(** Set the scheduling policy experiments run under (the CLI's [--policy]
-    flag). Defaults to {!Config.Edf}, the paper's discipline. *)
+val jobs_of_env : unit -> int
+(** Parallel sweep width from the [HRT_JOBS] environment variable;
+    [1] (sequential) when unset or unparsable. *)
 
-val policy : unit -> Config.policy
-(** The policy experiment configs should carry. *)
+(** The run context: everything an experiment needs to be self-contained.
+
+    A context replaces the process-wide mutable defaults the harness used
+    to lean on (the default observability sink, the ambient [--policy]).
+    Every harness entry point takes [?ctx] and threads it into each
+    simulated system it builds — engine seed, scale, scheduling policy,
+    sink — so two runs with equal contexts are bit-identical, and
+    independent jobs can execute on parallel domains without sharing any
+    ambient state. *)
+module Ctx : sig
+  type t = {
+    seed : int64;  (** engine seed for every system the experiment boots *)
+    scale : scale;
+    policy : Config.policy;  (** the CLI's [--policy], explicit *)
+    sink : Hrt_obs.Sink.t;  (** where instrumented code reports *)
+    jobs : int;  (** parallel sweep width (1 = sequential) *)
+  }
+
+  val make :
+    ?seed:int64 ->
+    ?scale:scale ->
+    ?policy:Config.policy ->
+    ?sink:Hrt_obs.Sink.t ->
+    ?jobs:int ->
+    unit ->
+    t
+  (** Defaults — the documented behavior of every [?ctx]-taking entry
+      point when no context is passed: seed 42 (the repo-wide golden
+      seed), scale from [HRT_FULL], EDF policy, the disabled
+      {!Hrt_obs.Sink.null} sink, and jobs from [HRT_JOBS] (else 1). *)
+
+  val default : unit -> t
+  (** [make ()]. *)
+
+  val quick : unit -> t
+  (** [make ~scale:Quick ()] — the test suite's context. *)
+
+  val with_sink : t -> Hrt_obs.Sink.t -> t
+  val with_jobs : t -> int -> t
+end
+
+val or_default : Ctx.t option -> Ctx.t
+(** Resolve an optional [?ctx] argument. *)
+
+val parallel_map : Ctx.t -> (Ctx.t -> 'a -> 'b) -> 'a list -> 'b list
+(** Run one job per list element, fanned across [ctx.jobs] domains
+    ({!Hrt_par.Par}), results in submission order. Each job gets its own
+    context: the parent's seed/scale/policy, plus a private child sink
+    when the parent sink is enabled (absorbed back in submission order
+    afterwards, so observability output matches a sequential run —
+    {!Hrt_obs.Sink.absorb}). Jobs must be independent: each builds its
+    own simulated system and touches nothing shared. Output is therefore
+    bit-identical for any [jobs] value. *)
 
 val periodic_thread :
   Scheduler.t ->

@@ -1,9 +1,13 @@
 open Hrt_core
 open Hrt_stats
 
-let run ?(scale = Exp.scale_of_env ()) () =
-  let num_cpus = Exp.cpus scale 256 256 in
-  let sys = Scheduler.create ~num_cpus Hrt_hw.Platform.phi in
+let run ?ctx () =
+  let ctx = Exp.or_default ctx in
+  let num_cpus = Exp.cpus ctx.Exp.Ctx.scale 256 256 in
+  let sys =
+    Scheduler.create ~seed:ctx.Exp.Ctx.seed ~num_cpus ~obs:ctx.Exp.Ctx.sink
+      Hrt_hw.Platform.phi
+  in
   let residuals =
     match Scheduler.calibration sys with
     | Some r -> r.Sync_cal.residual_cycles

@@ -3,4 +3,4 @@
     Paper claim: all 256 CPUs agree on wall-clock time to within ~1000
     cycles of CPU 0. *)
 
-val run : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list
+val run : ?ctx:Exp.Ctx.t -> unit -> Hrt_stats.Table.t list

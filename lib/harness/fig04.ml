@@ -7,9 +7,17 @@ let thread_pin = 0
 let sched_pin = 1
 let irq_pin = 2
 
-let run ?(scale = Exp.scale_of_env ()) () =
-  let horizon = match scale with Exp.Quick -> Time.ms 50 | Exp.Full -> Time.ms 500 in
-  let sys = Scheduler.create ~num_cpus:2 Platform.phi in
+let run ?ctx () =
+  let ctx = Exp.or_default ctx in
+  let horizon =
+    match ctx.Exp.Ctx.scale with
+    | Exp.Quick -> Time.ms 50
+    | Exp.Full -> Time.ms 500
+  in
+  let sys =
+    Scheduler.create ~seed:ctx.Exp.Ctx.seed ~num_cpus:2 ~obs:ctx.Exp.Ctx.sink
+      Platform.phi
+  in
   let machine = Scheduler.machine sys in
   let gpio = machine.Machine.gpio in
   let eng = Scheduler.engine sys in

@@ -9,4 +9,4 @@
     deterministic. We report duty cycle and the coefficient of variation
     of each trace's high-interval durations. *)
 
-val run : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list
+val run : ?ctx:Exp.Ctx.t -> unit -> Hrt_stats.Table.t list

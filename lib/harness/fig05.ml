@@ -2,15 +2,24 @@ open Hrt_engine
 open Hrt_core
 open Hrt_stats
 
-let measure ?(scale = Exp.Quick) platform =
-  let horizon = match scale with Exp.Quick -> Time.ms 50 | Exp.Full -> Time.ms 500 in
-  let sys = Scheduler.create ~num_cpus:2 platform in
+let measure ?ctx platform =
+  let ctx = match ctx with Some c -> c | None -> Exp.Ctx.quick () in
+  let horizon =
+    match ctx.Exp.Ctx.scale with
+    | Exp.Quick -> Time.ms 50
+    | Exp.Full -> Time.ms 500
+  in
+  let sys =
+    Scheduler.create ~seed:ctx.Exp.Ctx.seed ~num_cpus:2 ~obs:ctx.Exp.Ctx.sink
+      platform
+  in
   ignore
     (Exp.periodic_thread sys ~cpu:1 ~period:(Time.us 100) ~slice:(Time.us 50) ());
   Scheduler.run ~until:horizon sys;
   Local_sched.account (Scheduler.sched sys 1)
 
-let run ?(scale = Exp.scale_of_env ()) () =
+let run ?ctx () =
+  let ctx = Exp.or_default ctx in
   let table =
     Table.create
       ~title:
@@ -24,9 +33,10 @@ let run ?(scale = Exp.scale_of_env ()) () =
         ]
   in
   let totals =
-    List.map
-      (fun plat ->
-        let acc = measure ~scale plat in
+    (* One job per platform: the two accounting runs are independent. *)
+    Exp.parallel_map ctx
+      (fun jctx plat ->
+        let acc = measure ~ctx:jctx plat in
         let row name s =
           Table.row table
             [

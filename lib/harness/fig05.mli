@@ -5,7 +5,7 @@
     switch), about half of it in the pass; the R415 is cheaper in cycles
     and much cheaper in wall time. *)
 
-val measure : ?scale:Exp.scale -> Hrt_hw.Platform.t -> Hrt_core.Account.t
+val measure : ?ctx:Exp.Ctx.t -> Hrt_hw.Platform.t -> Hrt_core.Account.t
 (** Run the single-thread workload and return the CPU-1 accounting. *)
 
-val run : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list
+val run : ?ctx:Exp.Ctx.t -> unit -> Hrt_stats.Table.t list

@@ -1,12 +1,12 @@
-let points ?(scale = Exp.scale_of_env ()) () =
-  Miss_sweep.sweep ~scale ~platform:Hrt_hw.Platform.phi
+let points ?ctx () =
+  Miss_sweep.sweep ~ctx:(Exp.or_default ctx) ~platform:Hrt_hw.Platform.phi
     ~periods_us:Miss_sweep.phi_periods ~slices_pct:Miss_sweep.slices ()
 
-let run ?(scale = Exp.scale_of_env ()) () =
+let run ?ctx () =
   [
     Miss_sweep.rate_table
       ~title:
         "Fig 6: deadline miss rate on Phi (admission control off). Edge of \
          feasibility ~10us"
-      (points ~scale ());
+      (points ~ctx:(Exp.or_default ctx) ());
   ]

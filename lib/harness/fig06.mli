@@ -4,5 +4,5 @@
     cycle invocations per period); once period and slice are feasible the
     miss rate is exactly zero. *)
 
-val points : ?scale:Exp.scale -> unit -> Miss_sweep.point list
-val run : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list
+val points : ?ctx:Exp.Ctx.t -> unit -> Miss_sweep.point list
+val run : ?ctx:Exp.Ctx.t -> unit -> Hrt_stats.Table.t list

@@ -1,12 +1,12 @@
-let points ?(scale = Exp.scale_of_env ()) () =
-  Miss_sweep.sweep ~scale ~platform:Hrt_hw.Platform.r415
+let points ?ctx () =
+  Miss_sweep.sweep ~ctx:(Exp.or_default ctx) ~platform:Hrt_hw.Platform.r415
     ~periods_us:Miss_sweep.r415_periods ~slices_pct:Miss_sweep.slices ()
 
-let run ?(scale = Exp.scale_of_env ()) () =
+let run ?ctx () =
   [
     Miss_sweep.rate_table
       ~title:
         "Fig 7: deadline miss rate on R415 (admission control off). Edge of \
          feasibility ~4us"
-      (points ~scale ());
+      (points ~ctx:(Exp.or_default ctx) ());
   ]

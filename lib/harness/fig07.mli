@@ -1,4 +1,4 @@
 (** Fig 7: local scheduler deadline miss rate on the R415 (edge ~4 us). *)
 
-val points : ?scale:Exp.scale -> unit -> Miss_sweep.point list
-val run : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list
+val points : ?ctx:Exp.Ctx.t -> unit -> Miss_sweep.point list
+val run : ?ctx:Exp.Ctx.t -> unit -> Hrt_stats.Table.t list

@@ -1,6 +1,6 @@
-let run ?(scale = Exp.scale_of_env ()) () =
+let run ?ctx () =
   [
     Miss_sweep.miss_time_table
       ~title:"Fig 8: miss times on Phi, mean +- std (us); 0 where feasible"
-      (Fig06.points ~scale ());
+      (Fig06.points ~ctx:(Exp.or_default ctx) ());
   ]

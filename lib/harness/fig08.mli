@@ -5,4 +5,4 @@
     microseconds, comparable to the scheduler overhead, not to the
     constraint. *)
 
-val run : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list
+val run : ?ctx:Exp.Ctx.t -> unit -> Hrt_stats.Table.t list

@@ -1,6 +1,6 @@
-let run ?(scale = Exp.scale_of_env ()) () =
+let run ?ctx () =
   [
     Miss_sweep.miss_time_table
       ~title:"Fig 9: miss times on R415, mean +- std (us); 0 where feasible"
-      (Fig07.points ~scale ());
+      (Fig07.points ~ctx:(Exp.or_default ctx) ());
   ]

@@ -1,3 +1,3 @@
 (** Fig 9: average and deviation of miss times on the R415. *)
 
-val run : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list
+val run : ?ctx:Exp.Ctx.t -> unit -> Hrt_stats.Table.t list

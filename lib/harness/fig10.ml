@@ -22,9 +22,12 @@ let fresh () =
 
 (* One experiment: n workers join a group and collectively adopt periodic
    constraints; per-thread step boundaries are timestamped. *)
-let measure n =
+let measure (ctx : Exp.Ctx.t) n =
   let plat = Hrt_hw.Platform.phi in
-  let sys = Scheduler.create ~num_cpus:(n + 1) plat in
+  let sys =
+    Scheduler.create ~seed:ctx.Exp.Ctx.seed ~num_cpus:(n + 1)
+      ~obs:ctx.Exp.Ctx.sink plat
+  in
   let ghz = plat.Hrt_hw.Platform.ghz in
   let t = fresh () in
   let group = Group.create sys ~name:"fig10" in
@@ -93,9 +96,10 @@ let measure n =
     marks;
   t
 
-let run ?(scale = Exp.scale_of_env ()) () =
+let run ?ctx () =
+  let ctx = Exp.or_default ctx in
   let sizes =
-    match scale with
+    match ctx.Exp.Ctx.scale with
     | Exp.Quick -> [ 2; 8; 16; 32; 64 ]
     | Exp.Full -> [ 2; 8; 32; 64; 128; 255 ]
   in
@@ -115,9 +119,9 @@ let run ?(scale = Exp.scale_of_env ()) () =
           ("total (Mcycles)", Table.Right);
         ]
   in
+  (* One job per group size; rows land in size order. *)
   List.iter
-    (fun n ->
-      let t = measure n in
+    (fun (n, t) ->
       let cell s =
         Printf.sprintf "%.2g / %.2g" (Summary.mean s) (Summary.max s)
       in
@@ -136,5 +140,5 @@ let run ?(scale = Exp.scale_of_env ()) () =
           cell t.local;
           Printf.sprintf "%.2f" total;
         ])
-    sizes;
+    (Exp.parallel_map ctx (fun jctx n -> (n, measure jctx n)) sizes);
   [ table ]

@@ -6,4 +6,4 @@
     admission-control cost inside is constant; at 255 threads the whole
     operation needs only ~8 M cycles (~6.2 ms). *)
 
-val run : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list
+val run : ?ctx:Exp.Ctx.t -> unit -> Hrt_stats.Table.t list

@@ -2,12 +2,18 @@ open Hrt_engine
 open Hrt_core
 open Hrt_stats
 
-let collect ?(scale = Exp.Quick) ~workers ~phase_correction () =
+let collect ?ctx ~workers ~phase_correction () =
+  let ctx = match ctx with Some c -> c | None -> Exp.Ctx.quick () in
   let horizon =
-    match scale with Exp.Quick -> Time.ms 120 | Exp.Full -> Time.sec 1
+    match ctx.Exp.Ctx.scale with
+    | Exp.Quick -> Time.ms 120
+    | Exp.Full -> Time.sec 1
   in
   let period = Time.us 100 in
-  let sys = Scheduler.create ~num_cpus:(workers + 1) Hrt_hw.Platform.phi in
+  let sys =
+    Scheduler.create ~seed:ctx.Exp.Ctx.seed ~num_cpus:(workers + 1)
+      ~obs:ctx.Exp.Ctx.sink Hrt_hw.Platform.phi
+  in
   let collector =
     Exp.make_spread_collector sys ~workers ~period ~settle:(Time.ms 20)
   in
@@ -21,8 +27,9 @@ let collect ?(scale = Exp.Quick) ~workers ~phase_correction () =
   | None -> ());
   Exp.spreads collector
 
-let run ?(scale = Exp.scale_of_env ()) () =
-  let spreads = collect ~scale ~workers:8 ~phase_correction:false () in
+let run ?ctx () =
+  let ctx = Exp.or_default ctx in
+  let spreads = collect ~ctx ~workers:8 ~phase_correction:false () in
   let s = Summary.of_array spreads in
   let table =
     Table.create

@@ -8,8 +8,8 @@
     bias (the first member runs ahead) that phase correction removes. *)
 
 val collect :
-  ?scale:Exp.scale -> workers:int -> phase_correction:bool -> unit -> float array
+  ?ctx:Exp.Ctx.t -> workers:int -> phase_correction:bool -> unit -> float array
 (** Per-period cross-CPU dispatch spreads (cycles) for a periodic group of
     the given size. Shared with Fig 12. *)
 
-val run : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list
+val run : ?ctx:Exp.Ctx.t -> unit -> Hrt_stats.Table.t list

@@ -1,8 +1,9 @@
 open Hrt_stats
 
-let run ?(scale = Exp.scale_of_env ()) () =
+let run ?ctx () =
+  let ctx = Exp.or_default ctx in
   let sizes =
-    match scale with
+    match ctx.Exp.Ctx.scale with
     | Exp.Quick -> [ 8; 32; 64 ]
     | Exp.Full -> [ 8; 64; 128; 255 ]
   in
@@ -21,10 +22,10 @@ let run ?(scale = Exp.scale_of_env ()) () =
           ("corrected max", Table.Right);
         ]
   in
+  (* One job per group size (each job runs the uncorrected and corrected
+     variants back to back); rows land in size order. *)
   List.iter
-    (fun n ->
-      let raw = Fig11.collect ~scale ~workers:n ~phase_correction:false () in
-      let fixed = Fig11.collect ~scale ~workers:n ~phase_correction:true () in
+    (fun (n, raw, fixed) ->
       let sr = Summary.of_array raw and sf = Summary.of_array fixed in
       Table.row table
         [
@@ -34,5 +35,10 @@ let run ?(scale = Exp.scale_of_env ()) () =
           Printf.sprintf "%.0f" (Summary.mean sf);
           Printf.sprintf "%.0f" (Summary.max sf);
         ])
-    sizes;
+    (Exp.parallel_map ctx
+       (fun jctx n ->
+         ( n,
+           Fig11.collect ~ctx:jctx ~workers:n ~phase_correction:false (),
+           Fig11.collect ~ctx:jctx ~workers:n ~phase_correction:true () ))
+       sizes);
   [ table ]

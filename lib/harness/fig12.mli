@@ -5,4 +5,4 @@
     what phase correction cancels; the uncorrectable variation stays a few
     thousand cycles regardless of group size. *)
 
-val run : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list
+val run : ?ctx:Exp.Ctx.t -> unit -> Hrt_stats.Table.t list

@@ -8,10 +8,10 @@
 
 val table_of :
   title:string ->
-  scale:Exp.scale ->
+  ctx:Exp.Ctx.t ->
   params:(cpus:int -> barrier:bool -> Hrt_bsp.Bsp.params) ->
   unit ->
   Hrt_stats.Table.t
 (** Shared with Fig 14. *)
 
-val run : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list
+val run : ?ctx:Exp.Ctx.t -> unit -> Hrt_stats.Table.t list

@@ -1,8 +1,9 @@
-let run ?(scale = Exp.scale_of_env ()) () =
+let run ?ctx () =
+  let ctx = Exp.or_default ctx in
   [
     Fig13.table_of
       ~title:
         "Fig 14: resource control, finest granularity (BSP with barriers). \
          Throttling remains commensurate, with more variance"
-      ~scale ~params:Hrt_bsp.Bsp.fine_grain ();
+      ~ctx ~params:Hrt_bsp.Bsp.fine_grain ();
   ]

@@ -4,4 +4,4 @@
     period/slice combinations of equal utilization because per-iteration
     work becomes comparable to the timing constraints themselves. *)
 
-val run : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list
+val run : ?ctx:Exp.Ctx.t -> unit -> Hrt_stats.Table.t list

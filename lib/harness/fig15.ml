@@ -1,9 +1,9 @@
 open Hrt_engine
 open Hrt_stats
 
-let table_of ~title ~scale ~params () =
-  let rows = Bsp_sweep.sweep ~scale ~params ~barrier:true ~no_barrier:true in
-  let aper = Bsp_sweep.aperiodic_reference ~scale ~params in
+let table_of ~title ~ctx ~params () =
+  let rows = Bsp_sweep.sweep ~ctx ~params ~barrier:true ~no_barrier:true () in
+  let aper = Bsp_sweep.aperiodic_reference ~ctx ~params () in
   let aper_ms = Time.to_float_ms aper.Hrt_bsp.Bsp.exec_time in
   let table =
     Table.create ~title
@@ -60,7 +60,8 @@ let table_of ~title ~scale ~params () =
     [ "max gain"; Printf.sprintf "%+.0f%%" (Summary.max gains) ];
   [ table; summary ]
 
-let run ?(scale = Exp.scale_of_env ()) () =
+let run ?ctx () =
+  let ctx = Exp.or_default ctx in
   table_of
     ~title:"Fig 15: barrier removal, coarsest granularity (255 CPUs at Full)"
-    ~scale ~params:Hrt_bsp.Bsp.coarse_grain ()
+    ~ctx ~params:Hrt_bsp.Bsp.coarse_grain ()

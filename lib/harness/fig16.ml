@@ -1,4 +1,5 @@
-let run ?(scale = Exp.scale_of_env ()) () =
+let run ?ctx () =
+  let ctx = Exp.or_default ctx in
   Fig15.table_of
     ~title:"Fig 16: barrier removal, finest granularity (255 CPUs at Full)"
-    ~scale ~params:Hrt_bsp.Bsp.fine_grain ()
+    ~ctx ~params:Hrt_bsp.Bsp.fine_grain ()

@@ -5,4 +5,4 @@
     real-time no-barrier runs considerably exceed the non-real-time
     barrier baseline. *)
 
-val run : ?scale:Exp.scale -> unit -> Hrt_stats.Table.t list
+val run : ?ctx:Exp.Ctx.t -> unit -> Hrt_stats.Table.t list

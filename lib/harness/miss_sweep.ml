@@ -16,15 +16,20 @@ let phi_periods = [ 1000; 100; 50; 40; 30; 20; 10 ]
 let r415_periods = [ 1000; 100; 50; 40; 30; 20; 10; 4 ]
 let slices = [ 10; 20; 30; 40; 50; 60; 70; 80; 90 ]
 
-let run_point ~horizon platform ~period_us ~slice_pct =
+(* One grid point = one self-contained job: it builds its own system from
+   the job context alone, so the grid can fan across domains. *)
+let run_point ~horizon (ctx : Exp.Ctx.t) platform ~period_us ~slice_pct =
   let config =
     {
       Config.default with
       Config.admission_control = false;
-      policy = Exp.policy ();
+      policy = ctx.Exp.Ctx.policy;
     }
   in
-  let sys = Scheduler.create ~num_cpus:2 ~config platform in
+  let sys =
+    Scheduler.create ~seed:ctx.Exp.Ctx.seed ~num_cpus:2 ~config
+      ~obs:ctx.Exp.Ctx.sink platform
+  in
   let period = Time.us period_us in
   let slice = Int64.div (Int64.mul period (Int64.of_int slice_pct)) 100L in
   ignore (Exp.periodic_thread sys ~cpu:1 ~period ~slice ());
@@ -41,16 +46,22 @@ let run_point ~horizon platform ~period_us ~slice_pct =
     miss_std_us = Summary.stddev times;
   }
 
-let sweep ?(scale = Exp.scale_of_env ()) ~platform ~periods_us ~slices_pct () =
+let sweep ?ctx ~platform ~periods_us ~slices_pct () =
+  let ctx = Exp.or_default ctx in
   let horizon =
-    match scale with Exp.Quick -> Time.ms 30 | Exp.Full -> Time.ms 300
+    match ctx.Exp.Ctx.scale with
+    | Exp.Quick -> Time.ms 30
+    | Exp.Full -> Time.ms 300
   in
-  List.concat_map
-    (fun period_us ->
-      List.map
-        (fun slice_pct -> run_point ~horizon platform ~period_us ~slice_pct)
-        slices_pct)
-    periods_us
+  let combos =
+    List.concat_map
+      (fun period_us -> List.map (fun s -> (period_us, s)) slices_pct)
+      periods_us
+  in
+  Exp.parallel_map ctx
+    (fun jctx (period_us, slice_pct) ->
+      run_point ~horizon jctx platform ~period_us ~slice_pct)
+    combos
 
 let grid ~title ~cell points =
   let slices_pct =

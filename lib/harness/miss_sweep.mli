@@ -16,12 +16,16 @@ type point = {
 }
 
 val sweep :
-  ?scale:Exp.scale ->
+  ?ctx:Exp.Ctx.t ->
   platform:Platform.t ->
   periods_us:int list ->
   slices_pct:int list ->
   unit ->
   point list
+(** Run the period x slice grid, one self-contained simulation per point,
+    fanned across [ctx.jobs] domains ({!Exp.parallel_map}). Results are in
+    grid order and bit-identical for any job count. [ctx] defaults to
+    {!Exp.Ctx.default}. *)
 
 val rate_table : title:string -> point list -> Hrt_stats.Table.t
 (** Periods as rows, slice percentages as columns, miss-rate cells. *)

@@ -3,7 +3,7 @@
 type entry = {
   name : string;  (** e.g. "fig6" *)
   title : string;
-  run : Exp.scale -> Hrt_stats.Table.t list;
+  run : Exp.Ctx.t -> Hrt_stats.Table.t list;
 }
 
 val all : entry list
@@ -11,5 +11,9 @@ val all : entry list
 
 val find : string -> entry option
 
-val run_and_print : ?scale:Exp.scale -> entry -> unit
+val time_run : ?ctx:Exp.Ctx.t -> entry -> Hrt_stats.Table.t list * float
+(** Execute the entry under [ctx] (default {!Exp.or_default}[ None]) and
+    return its tables plus the wall-clock seconds the run took. *)
+
+val run_and_print : ?ctx:Exp.Ctx.t -> entry -> unit
 (** Execute and print the entry's tables, with a wall-clock note. *)

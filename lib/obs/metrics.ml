@@ -75,6 +75,46 @@ let histo_percentile h p =
 
 let size t = Hashtbl.length t.tbl
 
+(* Fold [src] into [dst], instrument by instrument, in [src]'s creation
+   order. A key already present in [dst] is updated through the existing
+   handle — it is NOT appended to [dst.order] again (find_or_add only
+   records first creation), so repeated merges cannot duplicate rows.
+   Counters add, gauges take the source value (the source is the later
+   stream), histograms replay every sample so percentiles stay exact. *)
+let merge dst src =
+  if not (dst == src) then
+    List.iter
+      (fun key ->
+        let mismatch what =
+          invalid_arg
+            (Printf.sprintf "Metrics.merge: %S is not a %s in both registries"
+               key.name what)
+        in
+        match Hashtbl.find src.tbl key with
+        | Counter c -> (
+          match
+            find_or_add dst ~name:key.name ~cpu:key.cpu (fun () ->
+                Counter { n = 0 })
+          with
+          | Counter d -> d.n <- d.n + c.n
+          | Gauge _ | Histo _ -> mismatch "counter")
+        | Gauge g -> (
+          match
+            find_or_add dst ~name:key.name ~cpu:key.cpu (fun () ->
+                Gauge { g = 0.; touched = false })
+          with
+          | Gauge d -> if g.touched then set d g.g
+          | Counter _ | Histo _ -> mismatch "gauge")
+        | Histo h -> (
+          match
+            find_or_add dst ~name:key.name ~cpu:key.cpu (fun () ->
+                Histo
+                  { samples = Percentile.create (); summary = Summary.create () })
+          with
+          | Histo d -> Percentile.iter h.samples (fun v -> observe d v)
+          | Counter _ | Gauge _ -> mismatch "histogram"))
+      (List.rev src.order)
+
 let header =
   [ "metric"; "cpu"; "kind"; "count"; "value"; "mean"; "p50"; "p90"; "p99"; "max" ]
 

@@ -42,6 +42,17 @@ val histo_percentile : histo -> float -> float
 val size : t -> int
 (** Number of registered instruments. *)
 
+val merge : t -> t -> unit
+(** [merge dst src] folds every instrument of [src] into [dst]: counters
+    add, gauges take the source value when it was ever set, histograms
+    replay every source sample (exact percentiles, Welford summaries in
+    source order). Instruments missing from [dst] are created in [src]'s
+    creation order; instruments already present keep their single
+    creation-order entry, so merging per-job registries after a parallel
+    sweep never double-counts a {!rows} line. Raises [Invalid_argument]
+    when the same key names different instrument kinds. [src] is not
+    modified; merging a registry into itself is a no-op. *)
+
 val header : string list
 (** Column names matching {!rows}. *)
 

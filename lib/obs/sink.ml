@@ -78,8 +78,43 @@ let emit t ~time ~cpu ev =
     | subs -> List.iter (fun f -> f ~time ~cpu ev) subs
   end
 
-(* Process-wide default, installed by the CLI so that harnesses which build
-   their own [Scheduler.t] internally still report through one sink. *)
+(* ---- per-job fan-out ---- *)
+
+let child t =
+  if not t.enabled then null
+  else
+    {
+      enabled = true;
+      metrics = Metrics.create ();
+      (* Keep a tracer whenever the parent could want the events back:
+         either it traces itself, or it has subscribers that [absorb] must
+         replay to. *)
+      trace =
+        (if Option.is_some t.trace || t.subscribers <> [] then
+           Some (Tracer.create ())
+         else None);
+      subscribers = [];
+    }
+
+let absorb t ch =
+  if t.enabled && ch.enabled && not (ch == t) then begin
+    Metrics.merge t.metrics ch.metrics;
+    match ch.trace with
+    | None -> ()
+    | Some ctr ->
+      Tracer.iter ctr (fun { Tracer.time; cpu; event } ->
+          (match t.trace with
+          | Some ptr -> Tracer.record ptr ~time ~cpu event
+          | None -> ());
+          match t.subscribers with
+          | [] -> ()
+          | subs -> List.iter (fun f -> f ~time ~cpu event) subs)
+  end
+
+(* Deprecated process-wide default (see the .mli alert): kept one release
+   so out-of-tree callers of Sink.set_default / Sink.get_default get a
+   compile-time alert instead of a silent break. In-tree, the sink is
+   threaded explicitly (Hrt_harness.Exp.Ctx / Scheduler ~obs). *)
 let default = ref null
 let set_default t = default := t
 let get_default () = !default

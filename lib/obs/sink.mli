@@ -32,8 +32,35 @@ val subscribe : t -> subscriber -> unit
 (** Add a callback invoked synchronously on every event (enabled sinks
     only). Used for legacy probe shims and custom harness instruments. *)
 
+val child : t -> t
+(** A fresh sink for one parallel job. Disabled parents yield {!null};
+    enabled parents yield an enabled sink with its own metrics registry
+    and — whenever the parent traces or has subscribers — its own tracer,
+    so everything the job records can later be folded back with
+    {!absorb}. Child sinks have no subscribers of their own: a sink is
+    used by exactly one domain, and subscriber callbacks (e.g. the live
+    verifier) are replayed on the parent's domain at absorb time. *)
+
+val absorb : t -> t -> unit
+(** [absorb parent ch] folds a child sink back into its parent, on the
+    parent's domain: merges the metrics ({!Metrics.merge}), appends the
+    child's trace to the parent's tracer, and replays every recorded
+    event to the parent's subscribers, in the order the child recorded
+    them. Absorbing children in submission order therefore yields the
+    same metric, trace, and subscriber streams as running the jobs
+    sequentially on the parent — the parallel-sweep determinism
+    guarantee. No-op when either sink is disabled. *)
+
 val set_default : t -> unit
-(** Install the process-wide default sink picked up by
-    [Scheduler.create] when no explicit sink is passed. *)
+[@@alert
+  deprecated
+    "Sink.set_default is deprecated: thread the sink explicitly (Exp.Ctx / \
+     Scheduler ~obs). This shim will be removed next release."]
+(** Deprecated: installs a process-wide default sink. Nothing in-tree
+    reads it anymore — [Scheduler.create] defaults to {!null}. *)
 
 val get_default : unit -> t
+[@@alert
+  deprecated
+    "Sink.get_default is deprecated: thread the sink explicitly (Exp.Ctx / \
+     Scheduler ~obs). This shim will be removed next release."]

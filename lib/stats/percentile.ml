@@ -45,6 +45,11 @@ let value t p =
 
 let median t = value t 50.
 
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
 let of_array xs =
   let t = create () in
   Array.iter (add t) xs;

@@ -16,4 +16,12 @@ val value : t -> float -> float
     empty or [p] out of range. *)
 
 val median : t -> float
+
+val iter : t -> (float -> unit) -> unit
+(** Visit every stored sample. Samples are visited in insertion order as
+    long as no percentile has been queried yet; {!value} sorts the store
+    in place, after which iteration order is the sorted order. Callers
+    that replay samples into another store (e.g.
+    [Hrt_obs.Metrics.merge]) should do so before querying. *)
+
 val of_array : float array -> t

@@ -1,13 +1,15 @@
 (* Determinism golden tests: the scheduler is a deterministic discrete-event
-   simulation, so the same seed must give the same results — run to run, and
-   across refactors. The pinned numbers below were captured from the
-   pre-policy-refactor scheduler; the EDF policy must reproduce them
-   bit-for-bit (the policy-layer refactor's safety net). *)
+   simulation, so the same seed must give the same results — run to run,
+   across refactors, and for any parallel job count (the sweep runner
+   merges results by submission index). The pinned numbers below were
+   captured from the pre-policy-refactor scheduler; the EDF policy must
+   reproduce them bit-for-bit (the policy-layer refactor's safety net). *)
 
 open Hrt_harness
 
-let small_sweep () =
-  Miss_sweep.sweep ~scale:Exp.Quick ~platform:Hrt_hw.Platform.phi
+let small_sweep ?(jobs = 1) ?sink () =
+  let ctx = Exp.Ctx.make ~scale:Exp.Quick ?sink ~jobs () in
+  Miss_sweep.sweep ~ctx ~platform:Hrt_hw.Platform.phi
     ~periods_us:[ 1000; 100; 10 ] ~slices_pct:[ 20; 50 ] ()
 
 let csv_bytes points =
@@ -57,8 +59,44 @@ let test_pinned_counts () =
       Alcotest.(check int) (label ^ " misses") misses p.Miss_sweep.misses)
     pinned
 
+(* The tentpole guarantee: fanning the sweep across domains changes
+   nothing — not the CSV bytes, and not even the metrics stream when an
+   enabled sink is threaded through (child sinks are absorbed back in
+   submission order). *)
+
+let test_parallel_csv_identical () =
+  let seq = csv_bytes (small_sweep ~jobs:1 ()) in
+  let par = csv_bytes (small_sweep ~jobs:4 ()) in
+  Alcotest.(check string) "jobs=1 and jobs=4 CSV bytes" seq par
+
+let test_parallel_metrics_identical () =
+  let metrics_rows jobs =
+    let sink = Hrt_obs.Sink.create () in
+    ignore (small_sweep ~jobs ~sink ());
+    Hrt_obs.Metrics.rows (Hrt_obs.Sink.metrics sink)
+  in
+  Alcotest.(check (list (list string)))
+    "jobs=1 and jobs=4 metrics rows" (metrics_rows 1) (metrics_rows 4)
+
+(* Tiny BSP grid: 4 workers, 20 iterations per point at Quick scale. *)
+let bsp_params ~cpus:_ ~barrier =
+  { (Hrt_bsp.Bsp.fine_grain ~cpus:4 ~barrier) with Hrt_bsp.Bsp.iters = 40 }
+
+let test_parallel_bsp_identical () =
+  let rows jobs =
+    let ctx = Exp.Ctx.make ~scale:Exp.Quick ~jobs () in
+    Bsp_sweep.sweep ~ctx ~params:bsp_params ~barrier:true ~no_barrier:false ()
+  in
+  let seq = rows 1 and par = rows 4 in
+  Alcotest.(check int) "same row count" (List.length seq) (List.length par);
+  Alcotest.(check bool) "jobs=1 and jobs=4 rows structurally equal" true
+    (seq = par)
+
 let suite =
   [
     Alcotest.test_case "same seed, same CSV bytes" `Quick test_same_seed_same_csv;
     Alcotest.test_case "pinned pre-refactor miss counts" `Quick test_pinned_counts;
+    Alcotest.test_case "parallel sweep: CSV identical" `Quick test_parallel_csv_identical;
+    Alcotest.test_case "parallel sweep: metrics identical" `Quick test_parallel_metrics_identical;
+    Alcotest.test_case "parallel BSP sweep: rows identical" `Quick test_parallel_bsp_identical;
   ]

@@ -38,7 +38,7 @@ let test_fig5_totals () =
 
 let test_fig6_feasibility_edge () =
   let points =
-    Miss_sweep.sweep ~scale:Exp.Quick ~platform:Hrt_hw.Platform.phi
+    Miss_sweep.sweep ~ctx:(Exp.Ctx.quick ()) ~platform:Hrt_hw.Platform.phi
       ~periods_us:[ 1000; 100; 10 ] ~slices_pct:[ 20; 50 ] ()
   in
   let rate p s =
@@ -59,11 +59,11 @@ let test_fig6_feasibility_edge () =
 let test_fig7_r415_finer_edge () =
   (* 10us/50% misses on Phi but works on the faster R415 (edge ~4us). *)
   let phi =
-    Miss_sweep.sweep ~scale:Exp.Quick ~platform:Hrt_hw.Platform.phi
+    Miss_sweep.sweep ~ctx:(Exp.Ctx.quick ()) ~platform:Hrt_hw.Platform.phi
       ~periods_us:[ 10 ] ~slices_pct:[ 40 ] ()
   in
   let r415 =
-    Miss_sweep.sweep ~scale:Exp.Quick ~platform:Hrt_hw.Platform.r415
+    Miss_sweep.sweep ~ctx:(Exp.Ctx.quick ()) ~platform:Hrt_hw.Platform.r415
       ~periods_us:[ 10 ] ~slices_pct:[ 40 ] ()
   in
   Alcotest.(check bool) "phi misses" true
@@ -73,7 +73,7 @@ let test_fig7_r415_finer_edge () =
 
 let test_fig8_miss_times_small () =
   let points =
-    Miss_sweep.sweep ~scale:Exp.Quick ~platform:Hrt_hw.Platform.phi
+    Miss_sweep.sweep ~ctx:(Exp.Ctx.quick ()) ~platform:Hrt_hw.Platform.phi
       ~periods_us:[ 10; 20 ] ~slices_pct:[ 50; 90 ] ()
   in
   List.iter
@@ -85,9 +85,10 @@ let test_fig8_miss_times_small () =
 
 let test_fig12_bias_grows_and_correction_works () =
   let mean data = Hrt_stats.Summary.mean (Hrt_stats.Summary.of_array data) in
-  let raw8 = mean (Fig11.collect ~scale:Exp.Quick ~workers:8 ~phase_correction:false ()) in
-  let raw32 = mean (Fig11.collect ~scale:Exp.Quick ~workers:32 ~phase_correction:false ()) in
-  let fix32 = mean (Fig11.collect ~scale:Exp.Quick ~workers:32 ~phase_correction:true ()) in
+  let ctx = Exp.Ctx.quick () in
+  let raw8 = mean (Fig11.collect ~ctx ~workers:8 ~phase_correction:false ()) in
+  let raw32 = mean (Fig11.collect ~ctx ~workers:32 ~phase_correction:false ()) in
+  let fix32 = mean (Fig11.collect ~ctx ~workers:32 ~phase_correction:true ()) in
   Alcotest.(check bool) "bias grows with group size" true (raw32 > raw8 *. 1.2);
   Alcotest.(check bool) "correction removes most of it" true (fix32 < raw32 *. 0.85);
   Alcotest.(check bool) "residual is a few thousand cycles" true
@@ -95,19 +96,25 @@ let test_fig12_bias_grows_and_correction_works () =
 
 let test_ablation_eager_beats_lazy () =
   (* Reuse the ablation code path and check its verdict numerically. *)
-  let tables = Ablations.eager_vs_lazy ~scale:Exp.Quick () in
+  let tables = Ablations.eager_vs_lazy ~ctx:(Exp.Ctx.quick ()) () in
   Alcotest.(check int) "one table" 1 (List.length tables)
 
 let test_ablation_policy_table () =
   (* Table-level shape; the numeric EDF/RM separation is asserted in
      test_policy.ml against edf_vs_rm_points. *)
-  let tables = Ablations.edf_vs_rm ~scale:Exp.Quick () in
+  let tables = Ablations.edf_vs_rm ~ctx:(Exp.Ctx.quick ()) () in
   Alcotest.(check int) "one table" 1 (List.length tables);
   let t = List.hd tables in
   Alcotest.(check int) "six utilization points" 6 (Hrt_stats.Table.rows t)
 
-let test_exp_policy_default () =
-  Alcotest.(check bool) "default is EDF" true (Exp.policy () = Hrt_core.Config.Edf)
+let test_exp_ctx_default () =
+  let ctx = Exp.Ctx.default () in
+  Alcotest.(check bool) "default policy is EDF" true
+    (ctx.Exp.Ctx.policy = Hrt_core.Config.Edf);
+  Alcotest.(check bool) "default seed is the golden 42" true
+    (Int64.equal ctx.Exp.Ctx.seed 42L);
+  Alcotest.(check bool) "default sink is disabled" true
+    (not (Hrt_obs.Sink.enabled ctx.Exp.Ctx.sink))
 
 let test_exp_spread_collector () =
   let sys = Hrt_core.Scheduler.create ~num_cpus:5 Hrt_hw.Platform.phi in
@@ -132,7 +139,7 @@ let test_light_experiments_produce_tables () =
       match Registry.find name with
       | None -> Alcotest.fail ("missing " ^ name)
       | Some e ->
-        let tables = e.Registry.run Exp.Quick in
+        let tables = e.Registry.run (Exp.Ctx.quick ()) in
         Alcotest.(check bool) (name ^ " has tables") true (List.length tables >= 1);
         List.iter
           (fun t ->
@@ -175,7 +182,7 @@ let suite =
     Alcotest.test_case "fig12: bias grows, correction works" `Slow test_fig12_bias_grows_and_correction_works;
     Alcotest.test_case "ablation eager-vs-lazy runs" `Quick test_ablation_eager_beats_lazy;
     Alcotest.test_case "ablation edf-vs-rm table" `Quick test_ablation_policy_table;
-    Alcotest.test_case "experiment policy defaults to EDF" `Quick test_exp_policy_default;
+    Alcotest.test_case "experiment ctx defaults" `Quick test_exp_ctx_default;
     Alcotest.test_case "spread collector" `Quick test_exp_spread_collector;
     Alcotest.test_case "experiments produce tables" `Slow test_light_experiments_produce_tables;
     Alcotest.test_case "bsp sweep grids" `Quick test_bsp_sweep_grids;

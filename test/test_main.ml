@@ -7,6 +7,7 @@ let () =
       ("engine", Test_engine.suite);
       ("trace", Test_trace.suite);
       ("stats", Test_stats.suite);
+      ("par", Test_par.suite);
       ("obs", Test_obs.suite);
       ("hw", Test_hw.suite);
       ("kernel", Test_kernel.suite);

@@ -271,6 +271,79 @@ let test_of_parts_rejects_malformed () =
        ~dur_ns:None
     = None)
 
+(* ---- merge / child / absorb (the parallel-sweep fold-back) ---- *)
+
+let test_metrics_merge () =
+  let dst = Metrics.create () and src = Metrics.create () in
+  Metrics.add (Metrics.counter dst "c") 2;
+  Metrics.add (Metrics.counter src "c") 3;
+  Metrics.add (Metrics.counter src "only-src") 7;
+  Metrics.set (Metrics.gauge src "g") 1.5;
+  ignore (Metrics.gauge dst "untouched");
+  let h = Metrics.histo dst "h" in
+  Metrics.observe h 1.;
+  Metrics.observe (Metrics.histo src "h") 3.;
+  Metrics.merge dst src;
+  Alcotest.(check int) "counters add" 5 (Metrics.counter_value (Metrics.counter dst "c"));
+  Alcotest.(check int) "missing counter created" 7
+    (Metrics.counter_value (Metrics.counter dst "only-src"));
+  Alcotest.(check (float 0.)) "set gauge copied" 1.5
+    (Metrics.gauge_value (Metrics.gauge dst "g"));
+  Alcotest.(check int) "histo samples replayed" 2 (Metrics.histo_count h);
+  Alcotest.(check (float 0.)) "histo max" 3. (Metrics.histo_max h);
+  (* src untouched, and no duplicated rows in dst. *)
+  Alcotest.(check int) "src size unchanged" 4 (Metrics.size src);
+  Alcotest.(check int) "dst rows = instruments" (Metrics.size dst)
+    (List.length (Metrics.rows dst))
+
+let test_metrics_merge_no_double_rows () =
+  let dst = Metrics.create () and src = Metrics.create () in
+  Metrics.incr (Metrics.counter dst "shared");
+  Metrics.incr (Metrics.counter src "shared");
+  Metrics.merge dst src;
+  Metrics.merge dst src;
+  Alcotest.(check int) "one row for the shared key" 1
+    (List.length (Metrics.rows dst));
+  Alcotest.(check int) "counts kept adding" 3
+    (Metrics.counter_value (Metrics.counter dst "shared"))
+
+let test_metrics_merge_kind_mismatch () =
+  let dst = Metrics.create () and src = Metrics.create () in
+  ignore (Metrics.counter dst "x");
+  ignore (Metrics.gauge src "x");
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument
+       "Metrics.merge: \"x\" is not a gauge in both registries") (fun () ->
+      Metrics.merge dst src)
+
+let test_sink_child_of_disabled_is_null () =
+  let ch = Sink.child Sink.null in
+  Alcotest.(check bool) "disabled" false (Sink.enabled ch)
+
+let test_sink_absorb_replays_in_order () =
+  let parent = Sink.create ~trace:true () in
+  let seen = ref [] in
+  Sink.subscribe parent (fun ~time ~cpu:_ ev -> seen := (time, Event.kind ev) :: !seen);
+  Sink.emit parent ~time:1L ~cpu:0 Event.Idle;
+  let ch = Sink.child parent in
+  Alcotest.(check bool) "child enabled" true (Sink.enabled ch);
+  Alcotest.(check bool) "child has its own tracer" true
+    (Option.is_some (Sink.tracer ch));
+  Sink.emit ch ~time:2L ~cpu:1 (Event.Irq { dur_ns = 100L });
+  Sink.emit ch ~time:3L ~cpu:1 Event.Idle;
+  (* Child events reach the parent's subscribers only at absorb time. *)
+  Alcotest.(check int) "parent saw only its own event" 1 (List.length !seen);
+  Sink.absorb parent ch;
+  Alcotest.(check int) "replayed to subscribers" 3 (List.length !seen);
+  Alcotest.(check bool) "in recorded order" true
+    (List.rev_map fst !seen = [ 1L; 2L; 3L ]);
+  (match Sink.tracer parent with
+  | None -> Alcotest.fail "parent tracer"
+  | Some tr -> Alcotest.(check int) "trace appended" 3 (Tracer.length tr));
+  (* Child metrics folded in: the Irq event derived a counter. *)
+  Alcotest.(check bool) "metrics merged" true
+    (List.length (Metrics.rows (Sink.metrics parent)) > 0)
+
 let suite =
   [
     Alcotest.test_case "counter identity by (name, cpu)" `Quick
@@ -300,4 +373,13 @@ let suite =
       test_event_samples_cover_all_kinds;
     Alcotest.test_case "of_parts rejects malformed input" `Quick
       test_of_parts_rejects_malformed;
+    Alcotest.test_case "metrics merge" `Quick test_metrics_merge;
+    Alcotest.test_case "metrics merge: no duplicate rows" `Quick
+      test_metrics_merge_no_double_rows;
+    Alcotest.test_case "metrics merge: kind mismatch" `Quick
+      test_metrics_merge_kind_mismatch;
+    Alcotest.test_case "sink child of disabled is null" `Quick
+      test_sink_child_of_disabled_is_null;
+    Alcotest.test_case "sink absorb replays in order" `Quick
+      test_sink_absorb_replays_in_order;
   ]
