@@ -3,15 +3,17 @@
    Subcommands:
      list                     enumerate reproducible experiments
      run <names...>           run experiments (figures/ablations) by name
+                              (no names + --inject: mixed-criticality demo)
      all                      run everything
      bsp [options]            run one BSP benchmark configuration
      missrate [options]       run one period/slice miss-rate point
      sweepbench [names...]    time sweeps at jobs=1 vs --jobs, emit JSON
      verify <trace.json>      replay a recorded trace through the verifier
+     faults                   list the named fault-injection plans
 
    Every workload runs inside an explicit Exp.Ctx.t built from the common
-   flags (--full, --policy, --jobs) plus the observability sink; there is
-   no ambient mutable configuration.
+   flags (--full, --policy, --jobs, --inject/--intensity/--no-degrade)
+   plus the observability sink; there is no ambient mutable configuration.
 
    Exit codes: 0 success, 2 verification failure (verify subcommand or
    --selfcheck) or sweepbench divergence, anything else is a usage/IO
@@ -54,6 +56,46 @@ let jobs_term =
   Term.(
     const (fun j -> match j with Some n -> n | None -> Exp.jobs_of_env ())
     $ arg)
+
+(* ---- fault injection ---- *)
+
+let inject_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "inject" ] ~docv:"PLAN"
+        ~doc:
+          "Arm the named fault plan (see $(b,hrt_sim faults)) on every \
+           system the workload boots. Graceful degradation is enabled by \
+           default while injecting; turn it off with $(b,--no-degrade).")
+
+let intensity_term =
+  Arg.(
+    value & opt float 1.0
+    & info [ "intensity" ] ~docv:"F"
+        ~doc:
+          "Scale the injected plan's severity: event rates and magnitudes \
+           multiply by $(docv) (1.0 = nominal, 0 = no faults).")
+
+let no_degrade_term =
+  Arg.(
+    value & flag
+    & info [ "no-degrade" ]
+        ~doc:
+          "Disable graceful degradation (criticality-ordered load \
+           shedding) while injecting faults, reproducing the unprotected \
+           overload behaviour.")
+
+(* Resolve the three flags into (plan option, degradation flag). *)
+let resolve_fault inject intensity no_degrade =
+  match inject with
+  | None -> (None, false)
+  | Some name -> (
+    match Hrt_fault.Fault.of_name ~intensity name with
+    | Some plan -> (Some plan, not no_degrade)
+    | None ->
+      Printf.eprintf "unknown fault plan %S; try `hrt_sim faults`\n" name;
+      exit 1)
 
 (* ---- observability ---- *)
 
@@ -132,9 +174,17 @@ let list_cmd =
 (* ---- run ---- *)
 
 let run_cmd =
-  let doc = "Run experiments by name (see $(b,list))." in
+  let doc =
+    "Run experiments by name (see $(b,list)); with $(b,--inject) and no \
+     names, run the mixed-criticality fault demo."
+  in
   let names =
-    Arg.(non_empty & pos_all string [] & info [] ~docv:"NAME" ~doc:"Experiment name.")
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"NAME"
+          ~doc:
+            "Experiment name. May be omitted when $(b,--inject) is given, \
+             which runs the graceful-degradation demo workload instead.")
   in
   let csv_dir =
     Arg.(
@@ -142,37 +192,67 @@ let run_cmd =
       & opt (some string) None
       & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each table as CSV into $(docv).")
   in
-  let run scale csv_dir trace_out metrics_out selfcheck policy jobs names =
+  let demo ~sink ~scale ~policy ~fault ~degrade =
+    let horizon =
+      match scale with Exp.Quick -> Time.ms 50 | Exp.Full -> Time.ms 500
+    in
+    let out =
+      Fault_sweep.run_demo ~sink ~seed:42L ~policy ~degrade ~fault ~horizon ()
+    in
+    Printf.printf
+      "fault demo (policy=%s degrade=%b):\n\
+      \  high-criticality: arrivals=%d misses=%d\n\
+      \  low-criticality:  arrivals=%d misses=%d\n\
+      \  sheds=%d recovers=%d final-boundary=%d\n"
+      (Config.policy_name policy) degrade out.Fault_sweep.hi_arrivals
+      out.Fault_sweep.hi_misses out.Fault_sweep.lo_arrivals
+      out.Fault_sweep.lo_misses out.Fault_sweep.sheds
+      out.Fault_sweep.recovers out.Fault_sweep.boundary
+  in
+  let run scale csv_dir trace_out metrics_out selfcheck policy jobs inject
+      intensity no_degrade names =
+    let fault, degrade = resolve_fault inject intensity no_degrade in
+    if names = [] && fault = None then begin
+      Printf.eprintf "run: missing experiment NAME (or --inject for the demo)\n";
+      exit 1
+    end;
     with_obs ~selfcheck ~trace_out ~metrics_out (fun sink ->
-        let ctx = Exp.Ctx.make ~scale ~policy ~sink ~jobs () in
-        List.iter
-          (fun name ->
-            match Registry.find name with
-            | Some e -> (
-              Registry.run_and_print ~ctx e;
-              match csv_dir with
-              | None -> ()
-              | Some dir ->
-                if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-                List.iteri
-                  (fun i table ->
-                    let path =
-                      Filename.concat dir (Printf.sprintf "%s-%d.csv" name i)
-                    in
-                    Hrt_stats.Csv.write ~path
-                      ~header:(Hrt_stats.Table.headers table)
-                      (Hrt_stats.Table.to_rows table);
-                    Printf.printf "wrote %s\n" path)
-                  (e.Registry.run ctx))
-            | None ->
-              Printf.eprintf "unknown experiment %S; try `hrt_sim list`\n" name;
-              exit 1)
-          names)
+        if names = [] then demo ~sink ~scale ~policy ~fault ~degrade
+        else begin
+          let ctx =
+            Exp.Ctx.make ~scale ~policy ~sink ~jobs ?fault ~degrade ()
+          in
+          List.iter
+            (fun name ->
+              match Registry.find name with
+              | Some e -> (
+                Registry.run_and_print ~ctx e;
+                match csv_dir with
+                | None -> ()
+                | Some dir ->
+                  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+                  List.iteri
+                    (fun i table ->
+                      let path =
+                        Filename.concat dir (Printf.sprintf "%s-%d.csv" name i)
+                      in
+                      Hrt_stats.Csv.write ~path
+                        ~header:(Hrt_stats.Table.headers table)
+                        (Hrt_stats.Table.to_rows table);
+                      Printf.printf "wrote %s\n" path)
+                    (e.Registry.run ctx))
+              | None ->
+                Printf.eprintf "unknown experiment %S; try `hrt_sim list`\n"
+                  name;
+                exit 1)
+            names
+        end)
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ scale_term $ csv_dir $ trace_out_term $ metrics_out_term
-      $ selfcheck_term $ policy_term $ jobs_term $ names)
+      $ selfcheck_term $ policy_term $ jobs_term $ inject_term
+      $ intensity_term $ no_degrade_term $ names)
 
 (* ---- all ---- *)
 
@@ -271,11 +351,17 @@ let missrate_cmd =
   let ms =
     Arg.(value & opt int 100 & info [ "duration" ] ~doc:"Simulated ms to run.")
   in
-  let run platform period_us slice_pct ms policy trace_out metrics_out
-      selfcheck =
+  let run platform period_us slice_pct ms policy inject intensity no_degrade
+      trace_out metrics_out selfcheck =
+    let fault, degrade = resolve_fault inject intensity no_degrade in
     with_obs ~selfcheck ~trace_out ~metrics_out (fun sink ->
         let config =
-          { Config.default with Config.admission_control = false; policy }
+          {
+            Config.default with
+            Config.admission_control = false;
+            policy;
+            degradation = degrade;
+          }
         in
         let sys = Scheduler.create ~num_cpus:2 ~config ~obs:sink platform in
         let period = Time.us period_us in
@@ -283,6 +369,9 @@ let missrate_cmd =
           Int64.div (Int64.mul period (Int64.of_int slice_pct)) 100L
         in
         ignore (Exp.periodic_thread sys ~cpu:1 ~period ~slice ());
+        (match fault with
+        | Some plan -> Hrt_fault.Fault.inject plan sys
+        | None -> ());
         Scheduler.run ~until:(Time.ms ms) sys;
         let acc = Local_sched.account (Scheduler.sched sys 1) in
         Printf.printf
@@ -296,7 +385,8 @@ let missrate_cmd =
   Cmd.v (Cmd.info "missrate" ~doc)
     Term.(
       const run $ platform $ period_us $ slice_pct $ ms $ policy_term
-      $ trace_out_term $ metrics_out_term $ selfcheck_term)
+      $ inject_term $ intensity_term $ no_degrade_term $ trace_out_term
+      $ metrics_out_term $ selfcheck_term)
 
 (* ---- sweepbench ---- *)
 
@@ -414,6 +504,30 @@ let verify_cmd =
   in
   Cmd.v (Cmd.info "verify" ~doc ~man) Term.(const run $ trace $ report_out)
 
+(* ---- faults ---- *)
+
+let faults_cmd =
+  let doc = "List the named fault-injection plans." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Fault plans compose hardware interference (SMI storms, interrupt \
+         bursts, clock steps, timer jitter) and task-level faults (WCET \
+         overruns, release jitter) into named, seeded scenarios. Arm one \
+         with $(b,--inject) on $(b,run) or $(b,missrate); scale it with \
+         $(b,--intensity).";
+    ]
+  in
+  let run () =
+    List.iter
+      (fun p ->
+        Printf.printf "%-16s %s\n" p.Hrt_fault.Fault.Plan.name
+          (Hrt_fault.Fault.describe p))
+      Hrt_fault.Fault.builtins
+  in
+  Cmd.v (Cmd.info "faults" ~doc ~man) Term.(const run $ const ())
+
 let () =
   let doc = "Hard real-time scheduling for parallel run-time systems (HPDC'18 reproduction)." in
   let info = Cmd.info "hrt_sim" ~version:"1.0.0" ~doc in
@@ -428,4 +542,5 @@ let () =
             missrate_cmd;
             sweepbench_cmd;
             verify_cmd;
+            faults_cmd;
           ]))

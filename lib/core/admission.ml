@@ -8,6 +8,7 @@ type t = {
   mutable periodic_set : (Time.ns * Time.ns) list;  (* (period, slice) *)
   mutable sporadic : (Time.ns * float) list;  (* (deadline, density) *)
   mutable rejections : int;
+  mutable shed_boundary : int;  (* overload mode: min admitted crit rank *)
 }
 
 let create ?(overhead_ns = 0L) config =
@@ -19,9 +20,14 @@ let create ?(overhead_ns = 0L) config =
     periodic_set = [];
     sporadic = [];
     rejections = 0;
+    shed_boundary = 0;
   }
 
 let periodic_util t = t.periodic_util
+
+let set_overload t ~boundary = t.shed_boundary <- Stdlib.max 0 boundary
+let clear_overload t = t.shed_boundary <- 0
+let shed_boundary t = t.shed_boundary
 
 let purge t ~now =
   t.sporadic <- List.filter (fun (d, _) -> Time.(d > now)) t.sporadic
@@ -149,11 +155,30 @@ let commit t ~now = function
     in
     t.sporadic <- (deadline, density) :: t.sporadic
 
-let request t ~now ~old_constr c =
+let request t ~now ?(crit = Constraints.High) ~old_constr c =
+  (* Snapshot the full accounting state before releasing [old_constr]:
+     on rejection it is restored verbatim. Re-committing [old_constr]
+     here would recompute a sporadic entry's density at the current
+     [now], so each rejected re-request would silently shift the stored
+     density away from what was admitted. *)
+  let snap_util = t.periodic_util in
+  let snap_count = t.periodic_count in
+  let snap_set = t.periodic_set in
+  let snap_sporadic = t.sporadic in
   release_one t old_constr;
   let structurally_ok = Result.is_ok (Constraints.validate c) in
+  let overload_blocked =
+    (* Overload mode is orthogonal to [admission_control]: once the
+       scheduler has shed threads, real-time guarantees below the shed
+       boundary stay revoked until recovery even in runs that disable
+       the feasibility tests. *)
+    t.shed_boundary > 0
+    && Constraints.is_realtime c
+    && Constraints.crit_rank crit < t.shed_boundary
+  in
   let ok =
     structurally_ok
+    && (not overload_blocked)
     && (not t.config.Config.admission_control
        ||
        match c with
@@ -169,7 +194,10 @@ let request t ~now ~old_constr c =
   end
   else begin
     t.rejections <- t.rejections + 1;
-    commit t ~now old_constr;
+    t.periodic_util <- snap_util;
+    t.periodic_count <- snap_count;
+    t.periodic_set <- snap_set;
+    t.sporadic <- snap_sporadic;
     false
   end
 

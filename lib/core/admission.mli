@@ -31,12 +31,30 @@ val sporadic_density : t -> now:Time.ns -> float
 (** Committed density of still-live sporadic admissions. *)
 
 val request :
-  t -> now:Time.ns -> old_constr:Constraints.t -> Constraints.t -> bool
+  t ->
+  now:Time.ns ->
+  ?crit:Constraints.criticality ->
+  old_constr:Constraints.t ->
+  Constraints.t ->
+  bool
 (** Test-and-commit: releases [old_constr]'s contribution, tests the new
-    constraints, commits them on success and restores the old contribution
-    on failure. Always succeeds for aperiodic constraints, and for any
-    constraints when [admission_control] is off in the config (Figs 6-9
-    turn it off to drive the scheduler past the feasibility edge). *)
+    constraints, commits them on success and restores the accounting
+    state byte-for-byte on failure (a sporadic [old_constr] keeps the
+    density computed at its original commit, not one recomputed at the
+    current [now]). Always succeeds for aperiodic constraints, and for
+    any constraints when [admission_control] is off in the config (Figs
+    6-9 turn it off to drive the scheduler past the feasibility edge) —
+    except in overload mode: real-time requests with [crit] (default
+    [High]) ranked below {!shed_boundary} are rejected regardless of
+    [admission_control]. *)
+
+val set_overload : t -> boundary:int -> unit
+(** Enter overload mode: real-time requests below criticality rank
+    [boundary] are rejected until {!clear_overload}. *)
+
+val clear_overload : t -> unit
+val shed_boundary : t -> int
+(** Current boundary; 0 when not in overload mode. *)
 
 val release : t -> Constraints.t -> unit
 (** Remove a thread's contribution (thread exit). *)

@@ -28,6 +28,8 @@ type t = {
   work_stealing : bool;
   steal_interval : Time.ns;
   lazy_slack : Time.ns;
+  degradation : bool;
+  shed_recovery : Time.ns;
 }
 
 let default =
@@ -47,6 +49,8 @@ let default =
     work_stealing = true;
     steal_interval = Time.us 20;
     lazy_slack = Time.us 15;
+    degradation = false;
+    shed_recovery = Time.ms 20;
   }
 
 let periodic_capacity t =
@@ -64,6 +68,7 @@ let validate t =
   else if Time.(t.min_slice <= 0L) then Error "non-positive min_slice"
   else if Time.(t.steal_interval <= 0L) then Error "non-positive steal_interval"
   else if Time.(t.lazy_slack < 0L) then Error "negative lazy_slack"
+  else if Time.(t.shed_recovery <= 0L) then Error "non-positive shed_recovery"
   else if t.max_threads <= 0 then Error "non-positive max_threads"
   else if t.policy = Rm && t.admission = Hyperperiod_sim then
     Error

@@ -70,6 +70,16 @@ type t = {
   work_stealing : bool;
   steal_interval : Time.ns;  (** idle-thread probe cadence *)
   lazy_slack : Time.ns;  (** safety margin for the Lazy policy *)
+  degradation : bool;
+      (** graceful degradation (DESIGN §8): on a deadline miss, raise the
+          shed boundary above the missing thread's criticality, shed
+          lower-criticality real-time threads to aperiodic, and throttle
+          missed arrivals instead of letting them steal others' slack.
+          Off by default — the baseline experiments measure raw miss
+          behavior past the feasibility edge. *)
+  shed_recovery : Time.ns;
+      (** quiet time (no deadline miss) after which shed threads are
+          re-admitted, default 20 ms *)
 }
 
 val default : t

@@ -31,6 +31,25 @@ val sporadic :
 
 val is_realtime : t -> bool
 
+type criticality = Low | Mid | High
+(** Per-thread importance for graceful degradation (the overload story of
+    DESIGN §8): when interference pushes demand past the admission bound,
+    the scheduler sheds lower-criticality threads first so higher ones
+    keep their guarantees. Orthogonal to the constraint class — any class
+    may carry any criticality. *)
+
+val crit_rank : criticality -> int
+(** [Low] = 0, [Mid] = 1, [High] = 2. *)
+
+val crit_name : criticality -> string
+(** Stable lowercase name ("low" / "mid" / "high") used in Obs events. *)
+
+val crit_of_name : string -> criticality option
+val crit_of_rank : int -> criticality
+(** Clamps out-of-range ranks to the nearest level. *)
+
+val pp_crit : Format.formatter -> criticality -> unit
+
 val utilization : t -> float
 (** [slice/period] for periodic constraints; 0 otherwise (sporadic
     utilization depends on admission time, see {!Admission}). *)

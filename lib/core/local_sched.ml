@@ -27,6 +27,7 @@ and t = {
   mutable services : Thread.services;
   mutable current : Thread.t option;
   mutable completion_ev : Engine.handle option;
+  mutable completion_gen : int;
   mutable steal_armed : bool;
   mutable busy_until : Time.ns;
   mutable probe : probe option;
@@ -35,6 +36,18 @@ and t = {
   mutable idle_since : Time.ns option;
   mutable idle_total : Time.ns;
   mutable task_thread : Thread.t option;
+  (* Graceful-degradation state (only touched when [Config.degradation]):
+     threads currently shed (with their pre-shed [bound] flag, since shed
+     threads are pinned home so recovery can find them), the shed
+     boundary (criticality ranks below it hold no RT guarantee; 0 = not
+     in overload), and the quiet-time clock for recovery. *)
+  mutable shed_list : (Thread.t * bool) list;
+  mutable boundary : int;
+  mutable last_miss : Time.ns;
+  mutable recover_armed : bool;
+  mutable sheds : int;
+  mutable recovers : int;
+  mutable demotes : int;
 }
 
 and probe = {
@@ -55,6 +68,8 @@ let set_clock_skew t s = t.clock_skew <- s
 let clock_skew t = t.clock_skew
 let set_task_thread t th = t.task_thread <- Some th
 let task_thread t = t.task_thread
+let shed_boundary t = t.boundary
+let degradation_stats t = (t.sheds, t.recovers, t.demotes)
 
 let engine t = t.shared.machine.Machine.engine
 let platform t = t.shared.machine.Machine.platform
@@ -152,7 +167,12 @@ let charge_current t now =
     end
   | Some _ | None -> ()
 
+(* Cancelling must also invalidate a completion that has already fired
+   into the gate: once an event lands inside a busy window, [run_gated]
+   re-schedules its handler as a fresh engine event that [Engine.cancel]
+   can no longer reach, so the handler itself re-checks the generation. *)
 let cancel_completion t =
+  t.completion_gen <- t.completion_gen + 1;
   match t.completion_ev with
   | None -> ()
   | Some ev ->
@@ -202,6 +222,28 @@ let process_arrival t (th : Thread.t) now =
   if not (Prio_queue.add t.rt_run ~key:(rt_key t th) th) then
     failwith "local_sched: real-time run queue overflow"
 
+(* Task-level fault hooks (Hrt_fault): a WCET-overrun fault inflates
+   every compute the thread issues beyond its declared cost; a
+   release-jitter fault delays each release by a uniform draw while the
+   deadline stays nominal. Both are inert (and draw nothing from the
+   workload stream) at their zero defaults. *)
+let inflate (th : Thread.t) w =
+  if th.Thread.wcet_overrun_pct <= 0 then w
+  else
+    Time.(
+      w + Int64.div (Int64.mul w (Int64.of_int th.Thread.wcet_overrun_pct)) 100L)
+
+let release_jitter t (th : Thread.t) =
+  if Time.(th.Thread.release_jitter_ns <= 0L) then 0L
+  else Rng.range_ns t.shared.workload_rng 0L th.Thread.release_jitter_ns
+
+(* The one way into the pending queue: keyed by the (possibly jittered)
+   release instant. *)
+let pend t (th : Thread.t) =
+  let key = Time.(th.Thread.next_arrival + release_jitter t th) in
+  if not (Prio_queue.add t.pending ~key th) then
+    failwith "local_sched: pending queue overflow"
+
 let rec pump t now =
   match Prio_queue.peek t.pending with
   | Some (k, _) when Time.(k <= now) -> (
@@ -233,9 +275,15 @@ let flag_miss t (th : Thread.t) now =
              tid = th.id;
              thread = th.name;
              lateness_ns = Time.(now - th.deadline);
+             crit = Constraints.crit_name th.crit;
            })
   end
 
+let missed_now t (th : Thread.t) now =
+  rt_active th && (not th.missed_current) && Policy.missed (policy t) ~now th
+
+(* The baseline (no-degradation) miss pass; with [Config.degradation] the
+   invoke pipeline runs [degrade_on_misses] instead. *)
 let flag_misses t now =
   (match t.current with Some th -> flag_miss t th now | None -> ());
   Prio_queue.iter t.rt_run (fun _ th -> flag_miss t th now)
@@ -262,7 +310,9 @@ let do_set_constraints t (th : Thread.t) c cb now =
   (* Whether the thread is abandoning an in-flight real-time arrival: it is
      executing this op, so an RT constraint implies an active arrival. *)
   let was_rt = rt_active th in
-  let ok = Admission.request t.admission ~now ~old_constr:th.constr c in
+  let ok =
+    Admission.request t.admission ~now ~crit:th.crit ~old_constr:th.constr c
+  in
   (if obs_on t then
      let cls = cls_of_constr c in
      obs_emit t ~time:now
@@ -285,8 +335,7 @@ let do_set_constraints t (th : Thread.t) c cb now =
     th.slice_left <- 0L;
     th.missed_current <- false;
     th.state <- Thread.Pending_arrival;
-    if not (Prio_queue.add t.pending ~key:th.next_arrival th) then
-      failwith "local_sched: pending queue overflow";
+    pend t th;
     (* A zero-phase first arrival is due immediately; pump here because
        this can run after the invocation's own pumps (pick phase). *)
     pump t now
@@ -296,8 +345,7 @@ let do_set_constraints t (th : Thread.t) c cb now =
     th.slice_left <- 0L;
     th.missed_current <- false;
     th.state <- Thread.Pending_arrival;
-    if not (Prio_queue.add t.pending ~key:th.next_arrival th) then
-      failwith "local_sched: pending queue overflow";
+    pend t th;
     pump t now
   | Constraints.Periodic _ | Constraints.Sporadic _ ->
     (* Admission failed mid-arrival: the thread keeps its old (admitted)
@@ -310,7 +358,7 @@ let do_set_constraints t (th : Thread.t) c cb now =
     else begin
       emit_complete t th now;
       th.state <- Thread.Pending_arrival;
-      ignore (Prio_queue.add t.pending ~key:th.next_arrival th)
+      pend t th
     end);
   cb ok
 
@@ -343,7 +391,7 @@ let rec advance t (th : Thread.t) now =
         if Time.(w <= 0L) then go ()
         else begin
           th.has_op <- true;
-          th.work_left <- w;
+          th.work_left <- inflate th w;
           true
         end
       | Thread.Yield ->
@@ -433,7 +481,7 @@ and wake_enqueue t (th : Thread.t) =
         th.missed_current <- false;
         th.slice_left <- 0L;
         th.state <- Thread.Pending_arrival;
-        ignore (Prio_queue.add t.pending ~key:th.next_arrival th)
+        pend t th
       end)
   end
 
@@ -454,6 +502,254 @@ and request_invoke t =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Graceful degradation (DESIGN §8). With [Config.degradation] on, the
+   miss pass becomes a state machine: a flagged miss raises this CPU's
+   shed boundary to one rank above the highest criticality that missed
+   (capped at High — High is never shed, so a High miss is a contract
+   violation the verifier flags), sheds every queued lower-criticality
+   RT thread to aperiodic, and throttles the missed arrivals themselves
+   (retired at the deadline instead of running late into others' slack).
+   After [Config.shed_recovery] of miss-free time, shed threads are
+   re-admitted under their saved constraints, highest criticality first.
+
+   Event order within one instant is part of the contract the offline
+   checker relies on: Overload first (so misses are judged against the
+   raised boundary), then the Deadline_miss events (while each arrival
+   is still in flight), then Shed/Demote with their retiring Completes. *)
+
+and crit_rank_of (th : Thread.t) = Constraints.crit_rank th.Thread.crit
+
+and emit_overload t now rank =
+  if obs_on t then
+    obs_emit t ~time:now
+      (Obs.Event.Overload
+         {
+           boundary =
+             (if rank <= 0 then "none"
+              else Constraints.crit_name (Constraints.crit_of_rank rank));
+         })
+
+and emit_shed t (th : Thread.t) now =
+  if obs_on t then
+    obs_emit t ~time:now
+      (Obs.Event.Shed
+         {
+           tid = th.id;
+           thread = th.name;
+           crit = Constraints.crit_name th.crit;
+         })
+
+and shed_thread t (th : Thread.t) now ~in_flight =
+  (* Revoke the RT constraints (remembering them, and the stealability
+     the thread had, for recovery) and continue it as a priority-0
+     aperiodic thread pinned to its home CPU. *)
+  record_miss_completion t th now;
+  if in_flight then emit_complete t th now;
+  Admission.release t.admission th.constr;
+  th.shed_constr <- Some th.constr;
+  t.shed_list <- (th, th.bound) :: t.shed_list;
+  th.bound <- true;
+  th.constr <- Constraints.Aperiodic { prio = 0 };
+  th.slice_left <- 0L;
+  th.missed_current <- false;
+  th.quantum_left <- (config t).Config.aperiodic_quantum;
+  t.sheds <- t.sheds + 1;
+  emit_shed t th now
+
+and shed_below t now =
+  let b = t.boundary in
+  let rec drain_rt () =
+    match Prio_queue.remove t.rt_run (fun th -> crit_rank_of th < b) with
+    | Some th ->
+      (* In the RT run queue: an arrival is in flight; retire it. *)
+      shed_thread t th now ~in_flight:true;
+      th.state <- Thread.Ready;
+      aper_push_back t th;
+      drain_rt ()
+    | None -> ()
+  in
+  drain_rt ();
+  let rec drain_pending () =
+    match Prio_queue.remove t.pending (fun th -> crit_rank_of th < b) with
+    | Some th ->
+      (* Waiting for its next arrival: nothing in flight to retire. *)
+      shed_thread t th now ~in_flight:false;
+      th.state <- Thread.Ready;
+      aper_push_back t th;
+      drain_pending ()
+    | None -> ()
+  in
+  drain_pending ();
+  match t.current with
+  | Some th when rt_active th && crit_rank_of th < b ->
+    (* The interrupted thread itself: revoke in place — the settle stage
+       sees an aperiodic thread and requeues it accordingly. *)
+    shed_thread t th now ~in_flight:true
+  | Some _ | None -> ()
+
+and throttle t (th : Thread.t) now =
+  (* A missed thread at or above the boundary keeps its guarantee going
+     forward but forfeits the late arrival: budget enforcement means an
+     overrun is cut off at its deadline, not allowed to steal slack. *)
+  if rt_active th && th.missed_current then begin
+    t.demotes <- t.demotes + 1;
+    if obs_on t then
+      obs_emit t ~time:now (Obs.Event.Demote { tid = th.id; thread = th.name });
+    match th.state with
+    | Thread.Ready -> (
+      match Prio_queue.remove t.rt_run (fun x -> x == th) with
+      | Some _ -> end_rt_arrival t th now
+      | None -> ())
+    | Thread.Running ->
+      (* Zero the remaining slice; this invocation's settle stage retires
+         the arrival (emitting its Complete). *)
+      th.slice_left <- 0L
+    | Thread.Blocked | Thread.Pending_arrival | Thread.Exited -> ()
+  end
+
+and degrade_on_misses t now =
+  let missed = ref [] in
+  let consider th = if missed_now t th now then missed := th :: !missed in
+  (match t.current with Some th -> consider th | None -> ());
+  Prio_queue.iter t.rt_run (fun _ th -> consider th);
+  match !missed with
+  | [] -> ()
+  | misses ->
+    t.last_miss <- now;
+    let top = List.fold_left (fun acc th -> max acc (crit_rank_of th)) 0 misses in
+    let want = min (top + 1) (Constraints.crit_rank Constraints.High) in
+    if want > t.boundary then begin
+      t.boundary <- want;
+      Admission.set_overload t.admission ~boundary:want;
+      emit_overload t now want
+    end;
+    List.iter (fun th -> flag_miss t th now) misses;
+    shed_below t now;
+    List.iter (fun th -> throttle t th now) misses;
+    arm_recovery t
+
+and arm_recovery t =
+  if not t.recover_armed then begin
+    t.recover_armed <- true;
+    ignore
+      (Engine.schedule_after (engine t)
+         ~after:(config t).Config.shed_recovery
+         (run_gated t (recovery_tick t)))
+  end
+
+and recovery_tick t eng =
+  t.recover_armed <- false;
+  if t.boundary > 0 then begin
+    let now = Engine.now eng in
+    let quiet_at = Time.(t.last_miss + (config t).Config.shed_recovery) in
+    if Time.(now < quiet_at) then begin
+      (* A miss happened since arming: wait out the rest of the quiet
+         window. *)
+      t.recover_armed <- true;
+      ignore (Engine.schedule eng ~at:quiet_at (run_gated t (recovery_tick t)))
+    end
+    else begin
+      (* Lift the admission block while re-requesting; re-imposed below
+         if some threads could not come back yet. *)
+      Admission.clear_overload t.admission;
+      recover_shed t now;
+      if t.shed_list = [] then begin
+        t.boundary <- 0;
+        emit_overload t now 0
+      end
+      else begin
+        Admission.set_overload t.admission ~boundary:t.boundary;
+        arm_recovery t
+      end;
+      invoke t eng ~irq_ns:0L ~handler_ns:0L
+    end
+  end
+
+and recover_shed t now =
+  (* Highest criticality first, so contention for the freed capacity
+     resolves in favor of the threads that matter most. Only threads
+     parked in this CPU's aperiodic queue can be re-anchored cleanly;
+     Running/Blocked ones are retried on a later tick. Sporadic saved
+     constraints are dropped — their absolute deadline has passed, which
+     is exactly the existing degrade-to-aperiodic semantics. *)
+  let ordered =
+    List.stable_sort
+      (fun (a, _) (b, _) -> compare (crit_rank_of b) (crit_rank_of a))
+      t.shed_list
+  in
+  let still = ref [] in
+  List.iter
+    (fun ((th : Thread.t), was_bound) ->
+      match th.shed_constr with
+      | None -> ()
+      | Some (Constraints.Aperiodic _) | Some (Constraints.Sporadic _) ->
+        th.shed_constr <- None;
+        th.bound <- was_bound
+      | Some (Constraints.Periodic { phase; _ } as c) ->
+        if th.state = Thread.Exited then th.shed_constr <- None
+        else begin
+          (* A shed thread sits either parked in this CPU's aperiodic
+             queue (Ready) or asleep inside its polling loop (Blocked);
+             both re-anchor cleanly. A Running one is retried on a later
+             tick. *)
+          let was_blocked = th.state = Thread.Blocked in
+          let taken =
+            if rt_active th then false
+            else if was_blocked then true
+            else
+              th.state = Thread.Ready
+              && Deque.remove t.aper_run (fun x -> x == th) <> None
+              && begin
+                   aper_taken t;
+                   true
+                 end
+          in
+          if not taken then still := (th, was_bound) :: !still
+          else if
+            Admission.request t.admission ~now ~crit:th.crit
+              ~old_constr:th.constr c
+          then begin
+            (* Orphan any pending sleep wake-up: the thread restarts its
+               arrival loop from scratch (the stale event also checks the
+               token before waking). *)
+            if was_blocked then th.wake_token <- th.wake_token + 1;
+            th.shed_constr <- None;
+            th.bound <- was_bound;
+            th.constr <- c;
+            th.admit_time <- now;
+            th.slice_left <- 0L;
+            th.missed_current <- false;
+            th.next_arrival <- Time.(now + phase);
+            th.state <- Thread.Pending_arrival;
+            pend t th;
+            t.recovers <- t.recovers + 1;
+            if obs_on t then begin
+              obs_emit t ~time:now
+                (Obs.Event.Admission_accept
+                   { tid = th.id; cls = cls_of_constr c });
+              obs_emit t ~time:now
+                (Obs.Event.Recover
+                   {
+                     tid = th.id;
+                     thread = th.name;
+                     crit = Constraints.crit_name th.crit;
+                   })
+            end
+          end
+          else begin
+            (* Capacity moved elsewhere meanwhile: park it back where it
+               came from (a Blocked one just keeps sleeping). *)
+            if not was_blocked then begin
+              th.state <- Thread.Ready;
+              aper_push_back t th
+            end;
+            still := (th, was_bound) :: !still
+          end
+        end)
+    ordered;
+  t.shed_list <- List.rev !still
+
+(* ------------------------------------------------------------------ *)
 (* Pipeline stage 3 — settle: resolve the interrupted thread — op
    completion, slice exhaustion, class transitions. Afterwards
    [t.current] is [None] and any still-runnable previous thread sits in
@@ -470,8 +766,7 @@ and end_rt_arrival t (th : Thread.t) now =
       th.next_arrival <- Time.(th.next_arrival + period)
     done;
     th.state <- Thread.Pending_arrival;
-    if not (Prio_queue.add t.pending ~key:th.next_arrival th) then
-      failwith "local_sched: pending queue overflow"
+    pend t th
   | Constraints.Sporadic { aper_prio; _ } ->
     (* The guaranteed size is consumed: continue as an aperiodic thread. *)
     Admission.release t.admission th.constr;
@@ -655,12 +950,18 @@ and schedule_completion t resume_at =
   match t.current with
   | Some th when th.Thread.has_op && Time.(th.work_left > 0L) ->
     let at = Time.(resume_at + th.work_left) in
+    t.completion_gen <- t.completion_gen + 1;
+    let gen = t.completion_gen in
     t.completion_ev <-
       Some
         (Engine.schedule (engine t) ~at
            (run_gated t (fun eng ->
-                t.completion_ev <- None;
-                on_completion t eng)))
+                (* Stale if a cancel/re-schedule happened while this fire
+                   sat deferred behind a busy window. *)
+                if gen = t.completion_gen then begin
+                  t.completion_ev <- None;
+                  on_completion t eng
+                end)))
   | Some _ | None -> ()
 
 (* Op completion is a thread-level transition, not an interrupt. When the
@@ -688,7 +989,7 @@ and on_completion t eng =
         match th.body ctx with
         | Thread.Compute w when Time.(w > 0L) ->
           th.has_op <- true;
-          th.work_left <- w;
+          th.work_left <- inflate th w;
           schedule_completion t now
         | op ->
           (* Anything else goes through the scheduler proper. *)
@@ -778,7 +1079,8 @@ and invoke t eng ~irq_ns ~handler_ns =
   charge_current t now;
   (* pump *)
   pump t now;
-  flag_misses t now;
+  if (config t).Config.degradation then degrade_on_misses t now
+  else flag_misses t now;
   (* settle *)
   settle_current t now;
   (* Settling can enqueue an arrival due immediately (e.g. a constraint
@@ -869,8 +1171,17 @@ and invoke t eng ~irq_ns ~handler_ns =
 (* Entry points. *)
 
 let on_timer t eng =
-  let irq_ns = sample t (platform t).Platform.irq_dispatch in
-  invoke t eng ~irq_ns ~handler_ns:0L
+  (* A one-shot APIC holds exactly one shot in flight. If the timer is
+     armed again by the time a fire is delivered, this fire left the APIC
+     before a re-program and then sat deferred behind a busy window — on
+     real hardware that shot no longer exists, so drop it. Without this,
+     a slice remainder smaller than the pass overhead livelocks: each
+     stale fire lands at the next dispatch instant, charges zero
+     progress, and re-arms at the same relative offset. *)
+  if Apic.timer_armed_at t.cpu.Machine.apic = None then begin
+    let irq_ns = sample t (platform t).Platform.irq_dispatch in
+    invoke t eng ~irq_ns ~handler_ns:0L
+  end
 
 let wake t th = wake_sched t th
 
@@ -988,6 +1299,7 @@ let create shared cpu =
         };
       current = None;
       completion_ev = None;
+      completion_gen = 0;
       steal_armed = false;
       busy_until = 0L;
       probe = None;
@@ -996,6 +1308,13 @@ let create shared cpu =
       idle_since = None;
       idle_total = 0L;
       task_thread = None;
+      shed_list = [];
+      boundary = 0;
+      last_miss = 0L;
+      recover_armed = false;
+      sheds = 0;
+      recovers = 0;
+      demotes = 0;
     }
   in
   t.services <- make_services t;

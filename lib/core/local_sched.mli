@@ -148,3 +148,14 @@ val sync_accounting : t -> unit
 
 val idle_time : t -> Time.ns
 (** Total time this CPU spent with no thread dispatched. *)
+
+val shed_boundary : t -> int
+(** The current shed boundary of the graceful-degradation state machine
+    (DESIGN §8): 0 when not overloaded, otherwise the lowest
+    {!Constraints.crit_rank} still entitled to real-time service on this
+    CPU. Only moves when [Config.degradation] is on. *)
+
+val degradation_stats : t -> int * int * int
+(** [(sheds, recovers, demotes)]: cumulative counts of threads shed to
+    aperiodic, re-admitted after recovery, and throttled (late arrival
+    retired at its deadline). *)

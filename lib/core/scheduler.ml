@@ -10,6 +10,7 @@ type t = {
   mutable next_obj_id : int;
   mutable threaded_devices : Irq.device list;
   irq_threads : (int, Thread.t * Time.ns Queue.t) Hashtbl.t;
+  mutable threads : Thread.t list;  (** every spawn, newest first *)
 }
 
 let machine t = t.shared.Local_sched.machine
@@ -26,7 +27,8 @@ let fresh_id t =
   t.next_obj_id <- id + 1;
   id
 
-let rec spawn t ?name ?(cpu = 0) ?(bound = false) ?(prio = 0) body =
+let rec spawn t ?name ?(cpu = 0) ?(bound = false) ?(prio = 0)
+    ?(crit = Constraints.Mid) body =
   if cpu < 0 || cpu >= num_cpus t then invalid_arg "Scheduler.spawn: bad CPU";
   match Thread_pool.alloc t.shared.Local_sched.pool with
   | None -> failwith "Scheduler.spawn: thread limit exceeded"
@@ -40,6 +42,8 @@ let rec spawn t ?name ?(cpu = 0) ?(bound = false) ?(prio = 0) body =
     in
     let th = Thread.make ~id ~name ~cpu ~bound body in
     th.Thread.constr <- Constraints.aperiodic ~prio ();
+    th.Thread.crit <- crit;
+    t.threads <- th :: t.threads;
     Local_sched.enroll (sched t cpu) th;
     th
 
@@ -209,6 +213,11 @@ let total_arrivals t =
 
 let threads_alive t = Thread_pool.in_use t.shared.Local_sched.pool
 
+let iter_threads t f = List.iter f (List.rev t.threads)
+
+let find_thread t name =
+  List.find_opt (fun th -> String.equal th.Thread.name name) t.threads
+
 let create ?(seed = 42L) ?num_cpus ?(config = Config.default)
     ?(calibrate = true) ?obs platform =
   (match Config.validate config with
@@ -249,6 +258,7 @@ let create ?(seed = 42L) ?num_cpus ?(config = Config.default)
       next_obj_id = 0;
       threaded_devices = [];
       irq_threads = Hashtbl.create 8;
+      threads = [];
     }
   in
   (if calibrate then begin

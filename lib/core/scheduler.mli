@@ -54,11 +54,14 @@ val spawn :
   ?cpu:int ->
   ?bound:bool ->
   ?prio:int ->
+  ?crit:Constraints.criticality ->
   Thread.body ->
   Thread.t
 (** Create an aperiodic thread (priority [prio], default 0) on the given
-    CPU (default 0) and enqueue it. Raises [Failure] when the compile-time
-    thread limit is exhausted. *)
+    CPU (default 0) and enqueue it. [crit] (default [Mid]) is the thread's
+    criticality for graceful degradation: under overload, lower-criticality
+    threads are shed first (DESIGN §8). Raises [Failure] when the
+    compile-time thread limit is exhausted. *)
 
 val wake : t -> Thread.t -> unit
 (** Wake a blocked thread from outside any thread context. *)
@@ -128,3 +131,11 @@ val total_arrivals : t -> int
 
 val threads_alive : t -> int
 (** Threads currently holding a pool slot. *)
+
+val iter_threads : t -> (Thread.t -> unit) -> unit
+(** Visit every thread ever spawned through this scheduler (including
+    exited ones), in spawn order. Fault plans use this to target
+    task-level faults (WCET overrun, release jitter) by thread. *)
+
+val find_thread : t -> string -> Thread.t option
+(** Look up a spawned thread by name (newest first on duplicates). *)

@@ -32,6 +32,10 @@ type t = {
   mutable spin_block : bool;
   mutable wake_token : int;
   mutable tag : int;
+  mutable crit : Constraints.criticality;
+  mutable wcet_overrun_pct : int;
+  mutable release_jitter_ns : Time.ns;
+  mutable shed_constr : Constraints.t option;
 }
 
 and op =
@@ -83,6 +87,10 @@ let make ~id ~name ~cpu ?(bound = false) body =
     spin_block = false;
     wake_token = 0;
     tag = 0;
+    crit = Constraints.Mid;
+    wcet_overrun_pct = 0;
+    release_jitter_ns = 0L;
+    shed_constr = None;
   }
 
 let is_realtime t = Constraints.is_realtime t.constr

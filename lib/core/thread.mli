@@ -55,6 +55,16 @@ type t = {
   mutable wake_token : int;
       (** incremented on every block; guards stale sleep timeouts *)
   mutable tag : int;  (** free for harness/group use *)
+  mutable crit : Constraints.criticality;
+      (** importance under overload (default [Mid]); see DESIGN §8 *)
+  mutable wcet_overrun_pct : int;
+      (** fault injection: inflate every [Compute] by this percentage
+          (0 = faithful WCET declaration) *)
+  mutable release_jitter_ns : Time.ns;
+      (** fault injection: each real-time release is delayed by a uniform
+          draw in [0, release_jitter_ns); the deadline stays nominal *)
+  mutable shed_constr : Constraints.t option;
+      (** real-time constraints revoked by a shed, restored on recovery *)
 }
 
 and op =

@@ -20,16 +20,31 @@ let float t =
   let bits = Int64.shift_right_logical (next t) 11 in
   Int64.to_float bits *. (1. /. 9007199254740992.)
 
+(* Uniform in [0, span) from 63 random bits, without modulo bias: draws
+   landing in the incomplete final copy of [0, span) at the top of the
+   2^63 range are rejected and redrawn. [Int64.min_int] read as an
+   unsigned quantity is exactly 2^63, so [unsigned_rem min_int span] is
+   2^63 mod span, and [min_int - rem] is the (positive, representable)
+   rejection threshold 2^63 - rem. Accepted draws return the same value
+   the old biased code did, so existing seeded streams are preserved
+   except on the (astronomically rare, span/2^63) rejected draw. *)
+let bounded t span =
+  let rem = Int64.unsigned_rem Int64.min_int span in
+  let rec draw () =
+    let bits = Int64.shift_right_logical (next t) 1 in
+    if Int64.equal rem 0L then bits
+    else if Int64.compare bits (Int64.sub Int64.min_int rem) >= 0 then draw ()
+    else bits
+  in
+  Int64.rem (draw ()) span
+
 let int t n =
   if n <= 0 then invalid_arg "Rng.int";
-  let bits = Int64.shift_right_logical (next t) 1 in
-  Int64.to_int (Int64.rem bits (Int64.of_int n))
+  Int64.to_int (bounded t (Int64.of_int n))
 
 let range_ns t lo hi =
   if not Time.(lo < hi) then invalid_arg "Rng.range_ns";
-  let span = Int64.sub hi lo in
-  let bits = Int64.shift_right_logical (next t) 1 in
-  Int64.add lo (Int64.rem bits span)
+  Int64.add lo (bounded t (Int64.sub hi lo))
 
 let gaussian t ~mu ~sigma =
   let rec draw () =

@@ -20,10 +20,13 @@ val float : t -> float
 (** Uniform in [0, 1). *)
 
 val int : t -> int -> int
-(** [int t n] is uniform in [0, n). Requires [n > 0]. *)
+(** [int t n] is uniform in [0, n). Requires [n > 0]. Exact — large [n]
+    that do not divide 2^63 are handled by rejection sampling rather than
+    a biased modulo. *)
 
 val range_ns : t -> Time.ns -> Time.ns -> Time.ns
-(** [range_ns t lo hi] is uniform in [lo, hi). Requires [lo < hi]. *)
+(** [range_ns t lo hi] is uniform in [lo, hi). Requires [lo < hi]. Exact
+    for any span (rejection sampling, no modulo bias). *)
 
 val gaussian : t -> mu:float -> sigma:float -> float
 (** Normal deviate via Box-Muller. *)

@@ -1,0 +1,70 @@
+(** Fault injection: named, seeded, schedulable interference scenarios.
+
+    A fault plan composes the hardware interference sources the simulator
+    already models — SMI storms (missing time), device-interrupt bursts,
+    TSC steps, timer-delivery jitter — with task-level faults (WCET
+    overruns, release jitter) into a single value that can be armed on any
+    running system. Plans are deterministic: every random choice a plan
+    makes comes from its own seeded stream, split per item, so arming a
+    plan never perturbs the workload's draws and the same plan replays
+    byte-identically across runs and domain counts.
+
+    Arming a plan emits an {!Hrt_obs.Event.Fault_plan} marker into the
+    trace; the verifier switches the affected segment from
+    hard-rt-soundness to the graceful-degradation rule (misses allowed
+    only below the announced shed boundary, DESIGN §8). *)
+
+open Hrt_engine
+open Hrt_hw
+open Hrt_core
+
+module Plan : sig
+  type action =
+    | Smi_storm of Smi.config
+        (** periodic firmware stalls stealing cycles from every CPU *)
+    | Irq_burst of {
+        mean_interval : Time.ns;
+        handler_cycles : float;
+        cpus : int list;  (** steering; empty = CPU 0 (the default) *)
+      }  (** a chatty device raising exponential-arrival interrupts *)
+    | Tsc_step of { cpu : int; delta_ns : Time.ns }
+        (** one-shot clock step: the CPU's TSC (and the scheduler's view
+            of local time) jumps forward by [delta_ns] *)
+    | Timer_jitter of { max_ns : Time.ns }
+        (** extra uniform APIC timer delivery latency on every CPU *)
+    | Wcet_overrun of { thread : string option; pct : int }
+        (** inflate compute bursts by [pct]% ([None] = every thread) *)
+    | Release_jitter of { thread : string option; max_ns : Time.ns }
+        (** delay real-time releases uniformly in [0, max_ns) *)
+
+  type item = { at : Time.ns; action : action }
+  (** One scheduled fault: [action] starts (or fires) at simulated time
+      [at]. Generators started by an item run until the end of the run. *)
+
+  type t = { name : string; seed : int64; items : item list }
+
+  val scale : t -> intensity:float -> t
+  (** Scale a plan's severity by [intensity]: event rates multiply by it
+      (inter-arrival means divide), magnitudes (steps, jitter bounds,
+      overrun percentages) multiply by it. [1.0] is the nominal plan;
+      [0.0] yields an empty plan (no items). Negative intensities are
+      clamped to zero. *)
+end
+
+val builtins : Plan.t list
+(** The named plans shipped with the simulator (nominal intensity). *)
+
+val names : unit -> string list
+(** Names of {!builtins}, in listing order. *)
+
+val of_name : ?intensity:float -> string -> Plan.t option
+(** Look up a builtin by name, optionally scaled. *)
+
+val describe : Plan.t -> string
+(** One-line summary of what the plan injects. *)
+
+val inject : Plan.t -> Scheduler.t -> unit
+(** Arm every item of the plan on the system: emits the
+    {!Hrt_obs.Event.Fault_plan} trace marker, then schedules each item at
+    its [at]. Must be called before [Scheduler.run]; idempotence is not
+    guaranteed (arm a plan once per system). *)

@@ -24,20 +24,24 @@ module Ctx = struct
     policy : Config.policy;
     sink : Hrt_obs.Sink.t;
     jobs : int;
+    fault : Hrt_fault.Fault.Plan.t option;
+    degrade : bool;
   }
 
   let make ?(seed = 42L) ?scale ?(policy = Config.Edf)
-      ?(sink = Hrt_obs.Sink.null) ?jobs () =
+      ?(sink = Hrt_obs.Sink.null) ?jobs ?fault ?(degrade = false) () =
     let scale = match scale with Some s -> s | None -> scale_of_env () in
     let jobs =
       match jobs with Some j -> Stdlib.max 1 j | None -> jobs_of_env ()
     in
-    { seed; scale; policy; sink; jobs }
+    { seed; scale; policy; sink; jobs; fault; degrade }
 
   let default () = make ()
   let quick () = make ~scale:Quick ()
   let with_sink t sink = { t with sink }
   let with_jobs t jobs = { t with jobs = Stdlib.max 1 jobs }
+  let with_fault t fault = { t with fault }
+  let with_degrade t degrade = { t with degrade }
 end
 
 let or_default ctx = match ctx with Some c -> c | None -> Ctx.default ()

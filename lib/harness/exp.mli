@@ -33,6 +33,9 @@ module Ctx : sig
     policy : Config.policy;  (** the CLI's [--policy], explicit *)
     sink : Hrt_obs.Sink.t;  (** where instrumented code reports *)
     jobs : int;  (** parallel sweep width (1 = sequential) *)
+    fault : Hrt_fault.Fault.Plan.t option;
+        (** fault plan armed on every system the experiment boots *)
+    degrade : bool;  (** enable graceful degradation (DESIGN §8) *)
   }
 
   val make :
@@ -41,12 +44,15 @@ module Ctx : sig
     ?policy:Config.policy ->
     ?sink:Hrt_obs.Sink.t ->
     ?jobs:int ->
+    ?fault:Hrt_fault.Fault.Plan.t ->
+    ?degrade:bool ->
     unit ->
     t
   (** Defaults — the documented behavior of every [?ctx]-taking entry
       point when no context is passed: seed 42 (the repo-wide golden
       seed), scale from [HRT_FULL], EDF policy, the disabled
-      {!Hrt_obs.Sink.null} sink, and jobs from [HRT_JOBS] (else 1). *)
+      {!Hrt_obs.Sink.null} sink, jobs from [HRT_JOBS] (else 1), no fault
+      plan, degradation off. *)
 
   val default : unit -> t
   (** [make ()]. *)
@@ -56,6 +62,8 @@ module Ctx : sig
 
   val with_sink : t -> Hrt_obs.Sink.t -> t
   val with_jobs : t -> int -> t
+  val with_fault : t -> Hrt_fault.Fault.Plan.t option -> t
+  val with_degrade : t -> bool -> t
 end
 
 val or_default : Ctx.t option -> Ctx.t

@@ -1,0 +1,176 @@
+open Hrt_engine
+open Hrt_core
+module Fault = Hrt_fault.Fault
+
+(* The mixed-criticality demo workload: one high-criticality control
+   thread with ample slack next to two heavy low-criticality workers on
+   the same CPU. Nominal utilization (0.1 + 2 x 0.3 = 0.7) is admissible,
+   but an injected fault plan pushes the CPU past capacity: without
+   degradation EDF's overload behaviour lets the overdue low threads
+   starve the high one; with degradation the first low miss sheds both
+   lows and the high thread keeps every deadline. *)
+
+let hi_period = Time.us 500
+let hi_slice = Time.us 50
+let lo_period = Time.us 1000
+let lo_slice = Time.us 300
+
+(* A sized-job body: compute [work] once per arrival, then sleep until the
+   next one. Unlike [Program.compute_forever], the demand is finite per
+   period, so WCET-overrun faults (which inflate each burst) actually
+   change feasibility. While shed to aperiodic the thread just polls
+   lazily; recovery re-anchors its arrivals. *)
+let sized_job ~work ~period =
+  let served = ref 0 in
+  fun ({ Thread.svc; self } : Thread.ctx) ->
+    if self.Thread.arrivals > !served then begin
+      served := self.Thread.arrivals;
+      Thread.Compute work
+    end
+    else if Thread.is_realtime self then
+      Thread.Sleep_until Time.(self.Thread.arrival + period)
+    else Thread.Sleep_until Time.(svc.Thread.now () + period)
+
+let spawn_rt sys ~name ~cpu ~crit ~period ~slice =
+  let constr = Constraints.periodic ~period ~slice () in
+  Scheduler.spawn sys ~name ~cpu ~bound:true ~crit
+    (Program.seq
+       [
+         Program.of_steps
+           (Scheduler.admission_ops sys constr ~on_result:(fun _ -> ()));
+         sized_job ~work:slice ~period;
+       ])
+
+type outcome = {
+  hi_misses : int;
+  lo_misses : int;
+  hi_arrivals : int;
+  lo_arrivals : int;
+  sheds : int;
+  recovers : int;
+  boundary : int;  (** shed boundary at end of run *)
+}
+
+let run_demo ?(sink = Hrt_obs.Sink.null) ~seed ~policy ~degrade ~fault
+    ~horizon () =
+  let config =
+    {
+      Config.default with
+      Config.policy;
+      degradation = degrade;
+      work_stealing = false;
+    }
+  in
+  let sys =
+    Scheduler.create ~seed ~num_cpus:2 ~config ~obs:sink
+      Hrt_hw.Platform.phi
+  in
+  let hi =
+    spawn_rt sys ~name:"hi" ~cpu:1 ~crit:Constraints.High ~period:hi_period
+      ~slice:hi_slice
+  in
+  let lo_a =
+    spawn_rt sys ~name:"lo-a" ~cpu:1 ~crit:Constraints.Low ~period:lo_period
+      ~slice:lo_slice
+  in
+  let lo_b =
+    spawn_rt sys ~name:"lo-b" ~cpu:1 ~crit:Constraints.Low ~period:lo_period
+      ~slice:lo_slice
+  in
+  (match fault with Some plan -> Fault.inject plan sys | None -> ());
+  Scheduler.run ~until:horizon sys;
+  let sheds, recovers, _demotes =
+    Local_sched.degradation_stats (Scheduler.sched sys 1)
+  in
+  {
+    hi_misses = hi.Thread.misses;
+    lo_misses = lo_a.Thread.misses + lo_b.Thread.misses;
+    hi_arrivals = hi.Thread.arrivals;
+    lo_arrivals = lo_a.Thread.arrivals + lo_b.Thread.arrivals;
+    sheds;
+    recovers;
+    boundary = Local_sched.shed_boundary (Scheduler.sched sys 1);
+  }
+
+let intensities = [ 0.0; 0.5; 1.0; 1.5; 2.0 ]
+
+type point = {
+  policy : Config.policy;
+  intensity : float;
+  degrade : bool;
+  out : outcome;
+}
+
+(* One grid point per (policy, intensity, degrade) combination; each is a
+   self-contained job so the sweep fans across domains. *)
+let points ?ctx ?(plan_name = "smi-storm") () =
+  let ctx = Exp.or_default ctx in
+  let horizon =
+    match ctx.Exp.Ctx.scale with
+    | Exp.Quick -> Time.ms 30
+    | Exp.Full -> Time.ms 300
+  in
+  let combos =
+    List.concat_map
+      (fun policy ->
+        List.concat_map
+          (fun intensity ->
+            List.map
+              (fun degrade -> (policy, intensity, degrade))
+              [ true; false ])
+          intensities)
+      [ Config.Edf; Config.Rm ]
+  in
+  Exp.parallel_map ctx
+    (fun (jctx : Exp.Ctx.t) (policy, intensity, degrade) ->
+      let fault =
+        if intensity = 0. then None else Fault.of_name ~intensity plan_name
+      in
+      let out =
+        run_demo ~sink:jctx.Exp.Ctx.sink ~seed:jctx.Exp.Ctx.seed ~policy
+          ~degrade ~fault ~horizon ()
+      in
+      { policy; intensity; degrade; out })
+    combos
+
+let pct misses arrivals =
+  if arrivals = 0 then "-"
+  else Printf.sprintf "%.0f%%" (100. *. float_of_int misses /. float_of_int arrivals)
+
+let table ~title pts =
+  let columns =
+    [
+      ("policy", Hrt_stats.Table.Left);
+      ("intensity", Hrt_stats.Table.Right);
+      ("degrade", Hrt_stats.Table.Left);
+      ("hi miss", Hrt_stats.Table.Right);
+      ("lo miss", Hrt_stats.Table.Right);
+      ("sheds", Hrt_stats.Table.Right);
+      ("recovers", Hrt_stats.Table.Right);
+    ]
+  in
+  let t = Hrt_stats.Table.create ~title ~columns in
+  List.iter
+    (fun p ->
+      Hrt_stats.Table.row t
+        [
+          Config.policy_name p.policy;
+          Printf.sprintf "%.1f" p.intensity;
+          (if p.degrade then "on" else "off");
+          pct p.out.hi_misses p.out.hi_arrivals;
+          pct p.out.lo_misses p.out.lo_arrivals;
+          string_of_int p.out.sheds;
+          string_of_int p.out.recovers;
+        ])
+    pts;
+  t
+
+let run ?ctx () =
+  let ctx = Exp.or_default ctx in
+  [
+    table
+      ~title:
+        "Fault-intensity sweep: miss rate by criticality (smi-storm plan, \
+         mixed-criticality workload, EDF vs RM)"
+      (points ~ctx ());
+  ]

@@ -24,6 +24,7 @@ let run_point ~horizon (ctx : Exp.Ctx.t) platform ~period_us ~slice_pct =
       Config.default with
       Config.admission_control = false;
       policy = ctx.Exp.Ctx.policy;
+      degradation = ctx.Exp.Ctx.degrade;
     }
   in
   let sys =
@@ -33,6 +34,9 @@ let run_point ~horizon (ctx : Exp.Ctx.t) platform ~period_us ~slice_pct =
   let period = Time.us period_us in
   let slice = Int64.div (Int64.mul period (Int64.of_int slice_pct)) 100L in
   ignore (Exp.periodic_thread sys ~cpu:1 ~period ~slice ());
+  (match ctx.Exp.Ctx.fault with
+  | Some plan -> Hrt_fault.Fault.inject plan sys
+  | None -> ());
   Scheduler.run ~until:horizon sys;
   let acc = Local_sched.account (Scheduler.sched sys 1) in
   let times = Account.miss_times_us acc in

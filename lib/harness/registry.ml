@@ -106,6 +106,11 @@ let all =
       title = "EDF threads vs compiled cyclic executive";
       run = (fun ctx -> Ablations.cyclic_executive ~ctx ());
     };
+    {
+      name = "fault-intensity";
+      title = "Miss rate vs fault intensity with graceful degradation";
+      run = (fun ctx -> Fault_sweep.run ~ctx ());
+    };
   ]
 
 let find name = List.find_opt (fun e -> e.name = name) all

@@ -16,8 +16,16 @@ type t = {
   mutable timer_handler : Engine.t -> unit;
   mutable timer_ev : Engine.handle option;
   mutable timer_at : Time.ns option;
+  mutable timer_gen : int;
+      (* Bumped on every arm/cancel. A one-shot timer holds exactly one
+         shot in flight; the fire event validates its generation at
+         delivery so a reprogrammed-away shot is dropped even when the
+         engine detached it from its cancellation handle (events deferred
+         past a frozen window are re-queued as fresh entries). *)
   mutable pending : pending list; (* unsorted; flushed by priority *)
   mutable pending_seq : int;
+  mutable extra_jitter_ns : Time.ns; (* fault-injected latency, uniform max *)
+  mutable extra_rng : Rng.t option;
 }
 
 let create ~engine ~rng ~tick_ns ~tsc_deadline ~jitter_max_cycles ~ghz =
@@ -32,20 +40,36 @@ let create ~engine ~rng ~tick_ns ~tsc_deadline ~jitter_max_cycles ~ghz =
     timer_handler = (fun _ -> ());
     timer_ev = None;
     timer_at = None;
+    timer_gen = 0;
     pending = [];
     pending_seq = 0;
+    extra_jitter_ns = 0L;
+    extra_rng = None;
   }
 
 let set_timer_handler t f = t.timer_handler <- f
 
+let set_timer_jitter t ?rng ~max_ns () =
+  t.extra_jitter_ns <- Time.max 0L max_ns;
+  t.extra_rng <- rng
+
 let delivery_latency t =
-  if t.jitter_max_cycles <= 0. then 0L
-  else begin
-    let cycles = Rng.float t.rng *. t.jitter_max_cycles in
-    Time.ns_of_cycles ~ghz:t.ghz (Int64.of_float cycles)
-  end
+  let base =
+    if t.jitter_max_cycles <= 0. then 0L
+    else begin
+      let cycles = Rng.float t.rng *. t.jitter_max_cycles in
+      Time.ns_of_cycles ~ghz:t.ghz (Int64.of_float cycles)
+    end
+  in
+  (* Injected latency draws from its own stream so arming/clearing a fault
+     plan never shifts the hardware jitter sequence. *)
+  if Time.(t.extra_jitter_ns <= 0L) then base
+  else
+    let rng = match t.extra_rng with Some r -> r | None -> t.rng in
+    Time.(base + Rng.range_ns rng 0L t.extra_jitter_ns)
 
 let cancel_timer t =
+  t.timer_gen <- t.timer_gen + 1;
   (match t.timer_ev with
   | None -> ()
   | Some ev -> Engine.cancel t.engine ev);
@@ -67,11 +91,14 @@ let arm t ~at =
   in
   let fire_at = Time.(fire_at + delivery_latency t) in
   t.timer_at <- Some fire_at;
+  let gen = t.timer_gen in
   let ev =
     Engine.schedule t.engine ~at:fire_at (fun eng ->
-        t.timer_ev <- None;
-        t.timer_at <- None;
-        t.timer_handler eng)
+        if gen = t.timer_gen then begin
+          t.timer_ev <- None;
+          t.timer_at <- None;
+          t.timer_handler eng
+        end)
   in
   t.timer_ev <- Some ev
 

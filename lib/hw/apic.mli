@@ -39,6 +39,12 @@ val create :
 val set_timer_handler : t -> (Engine.t -> unit) -> unit
 (** Install the timer-interrupt vector (the local scheduler entry). *)
 
+val set_timer_jitter : t -> ?rng:Rng.t -> max_ns:Time.ns -> unit -> unit
+(** Add a fault-injected uniform [0, max_ns) delivery latency on top of
+    the platform's own jitter (zero [max_ns] clears it). Draws come from
+    [rng] when given — fault plans pass a plan-seeded stream so the
+    platform's jitter sequence is untouched. *)
+
 val arm : t -> at:Time.ns -> unit
 (** Program the one-shot to fire at wall-clock [at] (cancelling any earlier
     programming). Without TSC-deadline mode the countdown is rounded down to

@@ -28,12 +28,22 @@ let draw_duration t =
   let x = Rng.gaussian t.rng ~mu ~sigma in
   Int64.of_float (Float.max (mu /. 4.) x)
 
+(* Freeze [now, now + duration) and charge this generator only for the
+   part not already covered by an open freeze window: when windows merge,
+   the overlap was stolen once already, so counting the full duration
+   again would overstate [total_stolen]. The overlap must be measured
+   before the freeze extends the window. *)
+let steal t eng ~duration =
+  let now = Engine.now eng in
+  let until = Time.(now + duration) in
+  let already = Engine.frozen_overlap eng now until in
+  t.count <- t.count + 1;
+  t.stolen <- Time.(t.stolen + Time.max 0L (duration - already));
+  Engine.freeze eng ~until
+
 let rec fire t eng =
   if not t.stopped then begin
-    let duration = draw_duration t in
-    t.count <- t.count + 1;
-    t.stolen <- Time.(t.stolen + duration);
-    Engine.freeze eng ~until:Time.(Engine.now eng + duration);
+    steal t eng ~duration:(draw_duration t);
     schedule_next t
   end
 
@@ -42,12 +52,12 @@ and schedule_next t =
     (Engine.schedule_after t.engine ~after:(draw_interval t) (fun eng ->
          fire t eng))
 
-let install engine config =
+let install ?rng engine config =
   let t =
     {
       engine;
       config;
-      rng = Rng.split (Engine.rng engine);
+      rng = (match rng with Some r -> r | None -> Rng.split (Engine.rng engine));
       stopped = false;
       count = 0;
       stolen = 0L;
@@ -59,6 +69,8 @@ let install engine config =
 let stop t = t.stopped <- true
 
 let inject eng ~duration = Engine.freeze eng ~until:Time.(Engine.now eng + duration)
+
+let inject_on t ~duration = steal t t.engine ~duration
 
 let count t = t.count
 let total_stolen t = t.stolen

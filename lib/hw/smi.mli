@@ -19,15 +19,24 @@ val default_config : config
 
 type t
 
-val install : Engine.t -> config -> t
+val install : ?rng:Rng.t -> Engine.t -> config -> t
 (** Start generating SMIs on the given engine (first arrival one
-    exponential draw from now). *)
+    exponential draw from now). [rng] overrides the generator's stream
+    (default: a split of the engine's); fault plans pass a plan-seeded
+    stream so injected interference never perturbs workload draws. *)
 
 val stop : t -> unit
 (** No further SMIs after the current one completes. *)
 
 val inject : Engine.t -> duration:Time.ns -> unit
-(** Force one SMI right now (for tests and failure injection). *)
+(** Force one SMI right now (for tests and failure injection). Not
+    charged to any generator's accounting. *)
+
+val inject_on : t -> duration:Time.ns -> unit
+(** Force one SMI right now through this generator, counting it and
+    charging [total_stolen] with only the incremental extension of the
+    freeze window (overlap with an already-open window is not
+    double-counted). *)
 
 val count : t -> int
 (** SMIs delivered so far. *)

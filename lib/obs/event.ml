@@ -5,7 +5,12 @@ type cls = Cls_aperiodic | Cls_periodic | Cls_sporadic
 type t =
   | Dispatch of { tid : int; thread : string }
   | Preempt of { tid : int; thread : string }
-  | Deadline_miss of { tid : int; thread : string; lateness_ns : Time.ns }
+  | Deadline_miss of {
+      tid : int;
+      thread : string;
+      lateness_ns : Time.ns;
+      crit : string;
+    }
   | Admission_accept of { tid : int; cls : cls }
   | Admission_reject of { tid : int; cls : cls }
   | Arrival of {
@@ -26,6 +31,11 @@ type t =
   | Group_phase of { tid : int; phase : string }
   | Elected of { election : int; round : int; tid : int; leader : bool }
   | Policy of { policy : string }
+  | Fault_plan of { plan : string }
+  | Overload of { boundary : string }
+  | Shed of { tid : int; thread : string; crit : string }
+  | Demote of { tid : int; thread : string }
+  | Recover of { tid : int; thread : string; crit : string }
   | Idle
 
 let cls_name = function
@@ -57,6 +67,11 @@ let kind = function
   | Group_phase _ -> "group-phase"
   | Elected _ -> "elected"
   | Policy _ -> "policy"
+  | Fault_plan _ -> "fault-plan"
+  | Overload _ -> "overload"
+  | Shed _ -> "shed"
+  | Demote _ -> "demote"
+  | Recover _ -> "recover"
   | Idle -> "idle"
 
 let dur_ns = function
@@ -64,7 +79,8 @@ let dur_ns = function
   | Dispatch _ | Preempt _ | Deadline_miss _ | Admission_accept _
   | Admission_reject _ | Arrival _ | Complete _ | Block _ | Wake _
   | Steal_attempt _ | Barrier_arrive _ | Barrier_release _ | Group_phase _
-  | Elected _ | Policy _ | Idle ->
+  | Elected _ | Policy _ | Fault_plan _ | Overload _ | Shed _ | Demote _
+  | Recover _ | Idle ->
     None
 
 let args = function
@@ -74,12 +90,17 @@ let args = function
   | Block { tid; thread }
   | Wake { tid; thread } ->
     [ ("tid", string_of_int tid); ("thread", thread) ]
-  | Deadline_miss { tid; thread; lateness_ns } ->
+  | Deadline_miss { tid; thread; lateness_ns; crit } ->
     [
       ("tid", string_of_int tid);
       ("thread", thread);
       ("lateness_ns", Int64.to_string lateness_ns);
+      ("crit", crit);
     ]
+  | Shed { tid; thread; crit } | Recover { tid; thread; crit } ->
+    [ ("tid", string_of_int tid); ("thread", thread); ("crit", crit) ]
+  | Demote { tid; thread } ->
+    [ ("tid", string_of_int tid); ("thread", thread) ]
   | Admission_accept { tid; cls } | Admission_reject { tid; cls } ->
     [ ("tid", string_of_int tid); ("class", cls_name cls) ]
   | Arrival { tid; thread; arrival; deadline; period } ->
@@ -119,6 +140,8 @@ let args = function
       ("leader", string_of_bool leader);
     ]
   | Policy { policy } -> [ ("policy", policy) ]
+  | Fault_plan { plan } -> [ ("plan", plan) ]
+  | Overload { boundary } -> [ ("boundary", boundary) ]
 
 (* [of_parts] inverts [kind]/[args]/[dur_ns]: it is how the offline
    verifier reconstructs typed events from an exported trace, and the
@@ -163,7 +186,28 @@ let of_parts ~kind:k ~args:kvs ~dur_ns:dur =
     let* tid = int "tid" in
     let* thread = str "thread" in
     let* lateness_ns = ns "lateness_ns" in
-    Some (Deadline_miss { tid; thread; lateness_ns })
+    let* crit = str "crit" in
+    Some (Deadline_miss { tid; thread; lateness_ns; crit })
+  | "shed" ->
+    let* tid = int "tid" in
+    let* thread = str "thread" in
+    let* crit = str "crit" in
+    Some (Shed { tid; thread; crit })
+  | "recover" ->
+    let* tid = int "tid" in
+    let* thread = str "thread" in
+    let* crit = str "crit" in
+    Some (Recover { tid; thread; crit })
+  | "demote" ->
+    let* tid = int "tid" in
+    let* thread = str "thread" in
+    Some (Demote { tid; thread })
+  | "fault-plan" ->
+    let* plan = str "plan" in
+    Some (Fault_plan { plan })
+  | "overload" ->
+    let* boundary = str "boundary" in
+    Some (Overload { boundary })
   | "admission-accept" ->
     let* tid = int "tid" in
     let* cls = Option.bind (str "class") cls_of_name in
@@ -239,5 +283,10 @@ let all_kinds =
     "group-phase";
     "elected";
     "policy";
+    "fault-plan";
+    "overload";
+    "shed";
+    "demote";
+    "recover";
     "idle";
   ]

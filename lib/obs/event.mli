@@ -24,8 +24,15 @@ type t =
       (** a thread was context-switched in *)
   | Preempt of { tid : int; thread : string }
       (** a still-runnable thread was switched out *)
-  | Deadline_miss of { tid : int; thread : string; lateness_ns : Time.ns }
-      (** detected at the instant the deadline passed with slice still owed *)
+  | Deadline_miss of {
+      tid : int;
+      thread : string;
+      lateness_ns : Time.ns;
+      crit : string;
+    }
+      (** detected at the instant the deadline passed with slice still
+          owed; [crit] is the thread's criticality name ({!Constraints}
+          [crit_name]) so the degradation rule can judge the miss offline *)
   | Admission_accept of { tid : int; cls : cls }
   | Admission_reject of { tid : int; cls : cls }
   | Arrival of {
@@ -64,6 +71,23 @@ type t =
       (** the scheduling policy this CPU dispatches with ("edf", "rm");
           emitted once at boot so traces are self-describing. The CPU-0
           stamp doubles as the run boundary for multi-run traces *)
+  | Fault_plan of { plan : string }
+      (** a named fault plan was armed on this run ([Hrt_fault]); marks
+          the trace segment as fault-injected, which switches the
+          verifier from hard-RT soundness to the graceful-degradation
+          contract *)
+  | Overload of { boundary : string }
+      (** this CPU entered (or adjusted) overload mode: real-time
+          guarantees below the named criticality are revoked. ["none"]
+          marks the return to normal operation after recovery *)
+  | Shed of { tid : int; thread : string; crit : string }
+      (** an admitted real-time thread below the shed boundary was
+          demoted to aperiodic, its constraints revoked *)
+  | Demote of { tid : int; thread : string }
+      (** a missed arrival was throttled: retired at the deadline instead
+          of running late into others' slack *)
+  | Recover of { tid : int; thread : string; crit : string }
+      (** a shed thread was re-admitted with its original constraints *)
   | Idle  (** the CPU went idle *)
 
 val kind : t -> string

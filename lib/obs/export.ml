@@ -29,10 +29,14 @@ let event_tid ev =
   | Event.Wake { tid; _ }
   | Event.Barrier_arrive { tid; _ }
   | Event.Group_phase { tid; _ }
-  | Event.Elected { tid; _ } ->
+  | Event.Elected { tid; _ }
+  | Event.Shed { tid; _ }
+  | Event.Demote { tid; _ }
+  | Event.Recover { tid; _ } ->
     tid
   | Event.Irq _ | Event.Sched_pass _ | Event.Steal_attempt _
-  | Event.Barrier_release _ | Event.Policy _ | Event.Idle ->
+  | Event.Barrier_release _ | Event.Policy _ | Event.Fault_plan _
+  | Event.Overload _ | Event.Idle ->
     0
 
 (* Chrome-trace timestamps are microseconds; keep nanosecond precision with

@@ -65,6 +65,15 @@ let update_metrics t ~cpu ev =
     if leader then c "group.election.leader"
   | Event.Policy { policy } ->
     Metrics.set (Metrics.gauge m ~cpu ("sched.policy." ^ policy)) 1.
+  | Event.Fault_plan _ -> c "fault.plan_armed"
+  | Event.Overload { boundary } ->
+    c "sched.overload_transition";
+    Metrics.set
+      (Metrics.gauge m ~cpu "sched.overload")
+      (if String.equal boundary "none" then 0. else 1.)
+  | Event.Shed _ -> c "sched.shed"
+  | Event.Demote _ -> c "sched.demote"
+  | Event.Recover _ -> c "sched.recover"
   | Event.Idle -> c "sched.idle_transition"
 
 let emit t ~time ~cpu ev =

@@ -33,7 +33,13 @@ type cpu_state = {
   mutable current : int option;  (* tid of the thread dispatched here *)
   mutable span_end : Time.ns;  (* end of the latest overhead span *)
   mutable overhead : Time.ns;  (* cumulative Irq + Sched_pass durations *)
+  mutable boundary : int;  (* shed boundary rank; 0 = not in overload *)
 }
+
+(* Criticality names as stamped by [Constraints.crit_name]; an unknown
+   name ranks above every boundary, so its misses always flag. *)
+let crit_rank = function "low" -> 0 | "mid" -> 1 | "high" -> 2 | _ -> 3
+let boundary_rank = function "none" -> 0 | b -> crit_rank b
 
 type round_state = {
   mutable r_arrived : (int * int) list;  (* (tid, order), newest first *)
@@ -48,6 +54,7 @@ type t = {
   mutable in_segment : int;  (* events fed since the last segment reset *)
   mutable segment : int;
   mutable policy : policy;
+  mutable faulted : bool;  (* a Fault_plan event marked this segment *)
   cpus : (int, cpu_state) Hashtbl.t;
   admitted : (int, Event.cls) Hashtbl.t;  (* tid -> admitted RT class *)
   active : (int, arrival) Hashtbl.t;  (* tid -> in-flight arrival *)
@@ -69,6 +76,7 @@ let create () =
     in_segment = 0;
     segment = 0;
     policy = Unknown;
+    faulted = false;
     cpus = Hashtbl.create 16;
     admitted = Hashtbl.create 64;
     active = Hashtbl.create 64;
@@ -85,6 +93,7 @@ let create () =
    world there, so all cross-event state is dropped. Violations and counts
    survive — they describe the trace, not the segment. *)
 let reset_segment t =
+  t.faulted <- false;
   Hashtbl.reset t.cpus;
   Hashtbl.reset t.admitted;
   Hashtbl.reset t.active;
@@ -114,6 +123,7 @@ let cpu_state t cpu =
         current = None;
         span_end = 0L;
         overhead = 0L;
+        boundary = 0;
       }
     in
     Hashtbl.replace t.cpus cpu st;
@@ -300,21 +310,55 @@ let feed t ~time ~cpu event =
         (Printf.sprintf "completion for thread %d (%s) with no arrival in \
                          flight" tid thread);
     Hashtbl.remove t.active tid
-  | Event.Deadline_miss { tid; thread; lateness_ns } -> (
+  | Event.Deadline_miss { tid; thread; lateness_ns; crit } -> (
     match Hashtbl.find_opt t.active tid with
     | Some _ ->
-      let cls =
-        match Hashtbl.find_opt t.admitted tid with
-        | Some c -> Event.cls_name c
-        | None -> "unadmitted"
-      in
-      violate t Rules.Hard_rt ~index ~time ~cpu
-        (Printf.sprintf "%s thread %d (%s) missed its deadline by %Ldns" cls
-           tid thread lateness_ns)
+      if not t.faulted then
+        let cls =
+          match Hashtbl.find_opt t.admitted tid with
+          | Some c -> Event.cls_name c
+          | None -> "unadmitted"
+        in
+        violate t Rules.Hard_rt ~index ~time ~cpu
+          (Printf.sprintf "%s thread %d (%s) missed its deadline by %Ldns" cls
+             tid thread lateness_ns)
+      else if
+        (* Fault-injected segment: the graceful-degradation contract
+           replaces hard-RT soundness. A miss is tolerable exactly when
+           the CPU has announced a shed boundary strictly above the
+           missing thread's criticality. *)
+        crit_rank crit >= st.boundary
+      then
+        violate t Rules.Degradation ~index ~time ~cpu
+          (if st.boundary = 0 then
+             Printf.sprintf
+               "%s-criticality thread %d (%s) missed its deadline by %Ldns \
+                under an injected fault with no shed in effect"
+               crit tid thread lateness_ns
+           else
+             Printf.sprintf
+               "%s-criticality thread %d (%s) missed its deadline by %Ldns \
+                at or above the shed boundary"
+               crit tid thread lateness_ns)
     | None ->
       violate t Rules.Causality ~index ~time ~cpu
         (Printf.sprintf "deadline-miss for thread %d (%s) with no arrival \
                          in flight" tid thread))
+  | Event.Fault_plan _ -> t.faulted <- true
+  | Event.Overload { boundary } -> st.boundary <- boundary_rank boundary
+  | Event.Shed { tid; thread; crit } ->
+    if crit_rank crit >= st.boundary then
+      violate t Rules.Degradation ~index ~time ~cpu
+        (Printf.sprintf
+           "thread %d (%s) shed at criticality %s, at or above the boundary"
+           tid thread crit);
+    (* The shed thread is aperiodic from here on; its in-flight arrival,
+       if any, is retired by a separate Complete event. *)
+    Hashtbl.remove t.admitted tid
+  | Event.Demote _ | Event.Recover _ ->
+    (* Informational: the paired Complete / Admission_accept events carry
+       the state transitions the checker tracks. *)
+    ()
   | Event.Block { tid; thread } ->
     if Hashtbl.mem t.blocked tid then
       violate t Rules.Causality ~index ~time ~cpu

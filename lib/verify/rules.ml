@@ -7,6 +7,7 @@ type t =
   | Accounting
   | Barrier_safety
   | Election_safety
+  | Degradation
 
 let all =
   [
@@ -18,6 +19,7 @@ let all =
     Accounting;
     Barrier_safety;
     Election_safety;
+    Degradation;
   ]
 
 let name = function
@@ -29,6 +31,7 @@ let name = function
   | Accounting -> "accounting"
   | Barrier_safety -> "barrier-safety"
   | Election_safety -> "election-safety"
+  | Degradation -> "graceful-degradation"
 
 let of_name = function
   | "monotonic-time" -> Some Monotonic_time
@@ -39,6 +42,7 @@ let of_name = function
   | "accounting" -> Some Accounting
   | "barrier-safety" -> Some Barrier_safety
   | "election-safety" -> Some Election_safety
+  | "graceful-degradation" -> Some Degradation
   | _ -> None
 
 let describe = function
@@ -64,3 +68,7 @@ let describe = function
   | Election_safety ->
     "an election round decides each contender at most once and produces at \
      most one leader"
+  | Degradation ->
+    "in a fault-injected segment, deadline misses occur only on threads of \
+     criticality strictly below the CPU's announced shed boundary, and \
+     sheds only remove threads below it (replaces hard-rt-soundness there)"

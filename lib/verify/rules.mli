@@ -11,6 +11,9 @@ type t =
   | Accounting  (** charged overhead is consistent with elapsed time *)
   | Barrier_safety  (** barrier rounds release completely, in order *)
   | Election_safety  (** elections produce at most one leader per round *)
+  | Degradation
+      (** under an injected fault plan, misses stay below the shed
+          boundary (graceful degradation, DESIGN §8) *)
 
 val all : t list
 (** Every rule, in reporting order. *)

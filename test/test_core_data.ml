@@ -228,6 +228,33 @@ let test_admission_sporadic_density () =
        (Constraints.sporadic ~phase:0L ~size:(Time.us 90)
           ~deadline:(Time.us 3000) ()))
 
+(* Regression: a rejected change-request used to roll back by
+   re-committing [old_constr], which recomputes a sporadic entry's
+   density at the *current* [now] — so every failed re-request at a
+   later time silently inflated the stored density (size over a
+   shrinking window). The rollback must restore the snapshot instead. *)
+let test_admission_rollback_no_drift () =
+  let a = mk_admission () in
+  let aper = Constraints.aperiodic () in
+  let sp =
+    Constraints.sporadic ~size:(Time.us 90) ~deadline:(Time.us 1000) ()
+  in
+  Alcotest.(check bool) "sporadic admitted" true
+    (Admission.request a ~now:0L ~old_constr:aper sp);
+  let d0 = Admission.sporadic_density a ~now:0L in
+  (* An infeasible upgrade, retried as time passes: each attempt must
+     leave the original admission's density untouched. *)
+  let infeasible =
+    Constraints.sporadic ~size:(Time.us 900) ~deadline:(Time.us 1000) ()
+  in
+  List.iter
+    (fun now ->
+      Alcotest.(check bool) "upgrade rejected" false
+        (Admission.request a ~now ~old_constr:sp infeasible);
+      Alcotest.(check (float 1e-9)) "density stable after rejection" d0
+        (Admission.sporadic_density a ~now:0L))
+    [ Time.us 100; Time.us 300; Time.us 600; Time.us 900 ]
+
 let test_admission_sporadic_past_deadline () =
   let a = mk_admission () in
   Alcotest.(check bool) "deadline before arrival rejected" false
@@ -403,6 +430,8 @@ let suite =
     Alcotest.test_case "admission: failed change restores" `Quick test_admission_change_restores_on_failure;
     Alcotest.test_case "admission: granularity bound" `Quick test_admission_granularity;
     Alcotest.test_case "admission: sporadic density" `Quick test_admission_sporadic_density;
+    Alcotest.test_case "admission: rollback drift regression" `Quick
+      test_admission_rollback_no_drift;
     Alcotest.test_case "admission: sporadic past deadline" `Quick test_admission_sporadic_past_deadline;
     Alcotest.test_case "admission: control off" `Quick test_admission_off;
     Alcotest.test_case "admission: rate monotonic bound" `Quick test_admission_rate_monotonic;

@@ -1,0 +1,131 @@
+(* The fault-injection layer: plan construction and scaling, seeded
+   determinism (including byte-identity across parallel sweep widths),
+   and the graceful-degradation acceptance story — with degradation on,
+   the high-criticality thread rides out an SMI storm with zero misses
+   and a clean verifier verdict; with it off, the same plan starves it
+   and the degradation rule fires. *)
+
+open Hrt_engine
+open Hrt_core
+open Hrt_harness
+module Fault = Hrt_fault.Fault
+module V = Hrt_verify
+
+(* ---- plans ---- *)
+
+let test_builtins_resolve () =
+  let names = Fault.names () in
+  Alcotest.(check bool) "several builtins" true (List.length names >= 5);
+  List.iter
+    (fun n ->
+      match Fault.of_name n with
+      | None -> Alcotest.failf "builtin %s does not resolve" n
+      | Some p ->
+        Alcotest.(check string) "name round-trips" n p.Fault.Plan.name;
+        Alcotest.(check bool) "describable" true
+          (String.length (Fault.describe p) > 0))
+    names;
+  Alcotest.(check bool) "junk rejected" true (Fault.of_name "junk" = None)
+
+let test_scale () =
+  let plan =
+    match Fault.of_name "smi-storm" with
+    | Some p -> p
+    | None -> Alcotest.fail "no smi-storm"
+  in
+  let smi_interval p =
+    match p.Fault.Plan.items with
+    | [ { Fault.Plan.action = Fault.Plan.Smi_storm c; _ } ] ->
+      c.Hrt_hw.Smi.mean_interval
+    | _ -> Alcotest.fail "unexpected smi-storm shape"
+  in
+  let base = smi_interval plan in
+  Alcotest.(check int64) "intensity 1 is identity" base
+    (smi_interval (Fault.Plan.scale plan ~intensity:1.0));
+  Alcotest.(check int64) "intensity 2 doubles the rate"
+    (Int64.div base 2L)
+    (smi_interval (Fault.Plan.scale plan ~intensity:2.0));
+  Alcotest.(check int) "intensity 0 disarms" 0
+    (List.length (Fault.Plan.scale plan ~intensity:0.0).Fault.Plan.items)
+
+(* ---- determinism ---- *)
+
+let demo ~degrade ?(plan = "smi-storm") () =
+  Fault_sweep.run_demo ~seed:42L ~policy:Config.Edf ~degrade
+    ~fault:(Fault.of_name plan) ~horizon:(Time.ms 50) ()
+
+let test_demo_deterministic () =
+  let a = demo ~degrade:true () and b = demo ~degrade:true () in
+  Alcotest.(check bool) "same seed, same outcome" true (a = b)
+
+(* The satellite property: a seeded fault plan replays byte-identically
+   whether the sweep grid fans across 1 domain or 4. *)
+let test_points_parallel_identical () =
+  let pts jobs =
+    Fault_sweep.points
+      ~ctx:(Exp.Ctx.make ~scale:Exp.Quick ~jobs ())
+      ()
+  in
+  let seq = pts 1 and par = pts 4 in
+  Alcotest.(check int) "same grid size" (List.length seq) (List.length par);
+  List.iter2
+    (fun (a : Fault_sweep.point) (b : Fault_sweep.point) ->
+      if a <> b then
+        Alcotest.failf "grid point diverged at intensity %.1f (%s, %s)"
+          a.Fault_sweep.intensity
+          (Config.policy_name a.Fault_sweep.policy)
+          (if a.Fault_sweep.degrade then "degrade" else "no-degrade"))
+    seq par
+
+(* ---- acceptance: degradation protects high criticality ---- *)
+
+let test_degradation_protects_high () =
+  let on = demo ~degrade:true () in
+  Alcotest.(check int) "zero high-criticality misses" 0
+    on.Fault_sweep.hi_misses;
+  Alcotest.(check bool) "lows were shed" true (on.Fault_sweep.sheds > 0);
+  Alcotest.(check bool) "lows recovered in quiet gaps" true
+    (on.Fault_sweep.recovers > 0);
+  let off = demo ~degrade:false () in
+  Alcotest.(check bool) "without degradation the high thread misses" true
+    (off.Fault_sweep.hi_misses > 0);
+  Alcotest.(check int) "no shedding without degradation" 0
+    off.Fault_sweep.sheds
+
+(* ---- the verifier closes the loop ---- *)
+
+let verdict ~degrade =
+  let sink = Hrt_obs.Sink.create () in
+  let live = V.Live.attach sink in
+  ignore
+    (Fault_sweep.run_demo ~sink ~seed:42L ~policy:Config.Edf ~degrade
+       ~fault:(Fault.of_name "smi-storm") ~horizon:(Time.ms 50) ());
+  V.Live.report live
+
+let test_selfcheck_verdicts () =
+  let clean = verdict ~degrade:true in
+  if not (V.Report.passed clean) then
+    Alcotest.failf "degraded run should verify clean: %s"
+      (V.Report.verdict_line clean);
+  let dirty = verdict ~degrade:false in
+  Alcotest.(check bool) "no-degrade run fails verification" false
+    (V.Report.passed dirty);
+  let degradation_violations =
+    match List.assoc_opt V.Rules.Degradation dirty.V.Report.counts with
+    | Some n -> n
+    | None -> 0
+  in
+  Alcotest.(check bool) "the degradation rule is what fires" true
+    (degradation_violations > 0)
+
+let suite =
+  [
+    Alcotest.test_case "builtin plans resolve" `Quick test_builtins_resolve;
+    Alcotest.test_case "intensity scaling" `Quick test_scale;
+    Alcotest.test_case "demo run deterministic" `Quick test_demo_deterministic;
+    Alcotest.test_case "sweep identical at jobs=1 and jobs=4" `Quick
+      test_points_parallel_identical;
+    Alcotest.test_case "degradation protects high criticality" `Quick
+      test_degradation_protects_high;
+    Alcotest.test_case "selfcheck verdicts" `Quick test_selfcheck_verdicts;
+  ]

@@ -5,7 +5,7 @@ open Hrt_harness
 
 let test_registry_well_formed () =
   let names = List.map (fun e -> e.Registry.name) Registry.all in
-  Alcotest.(check int) "20 experiments" 20 (List.length names);
+  Alcotest.(check int) "21 experiments" 21 (List.length names);
   Alcotest.(check (list string)) "unique names" (List.sort_uniq compare names)
     (List.sort compare names);
   Alcotest.(check bool) "find works" true (Registry.find "fig6" <> None);

@@ -156,6 +156,29 @@ let test_smi_generator () =
      /. Int64.to_float (Smi.total_stolen gen)
     > 0.95)
 
+(* Regression: two overlapping injections used to charge [total_stolen]
+   with both full durations even though the freeze windows merged, so the
+   books said 250us of missing time for a 150us freeze. Only the
+   incremental extension may be charged. *)
+let test_smi_overlap_accounting () =
+  let eng = Engine.create () in
+  let config =
+    (* An effectively-infinite interval: only the forced injections run. *)
+    { Smi.mean_interval = Time.sec 3600; duration_mean = Time.us 10; duration_jitter = 0. }
+  in
+  let gen = Smi.install eng config in
+  ignore
+    (Engine.schedule eng ~at:(Time.us 50) (fun _ ->
+         Smi.inject_on gen ~duration:(Time.us 100);
+         Smi.inject_on gen ~duration:(Time.us 150)));
+  ignore (Engine.schedule eng ~at:(Time.ms 1) (fun _ -> ()));
+  Engine.run ~until:(Time.ms 1) eng;
+  Alcotest.(check int) "both counted" 2 (Smi.count gen);
+  Alcotest.(check int64) "incremental extension only" (Time.us 150)
+    (Smi.total_stolen gen);
+  Alcotest.(check int64) "matches the engine's frozen time" (Time.us 150)
+    (Engine.total_frozen eng)
+
 let test_smi_stop () =
   let eng = Engine.create () in
   let config =
@@ -329,6 +352,8 @@ let suite =
     Alcotest.test_case "apic pending priority order" `Quick test_apic_pending_priority_order;
     Alcotest.test_case "smi inject freezes" `Quick test_smi_inject;
     Alcotest.test_case "smi generator" `Quick test_smi_generator;
+    Alcotest.test_case "smi overlap accounting" `Quick
+      test_smi_overlap_accounting;
     Alcotest.test_case "smi stop" `Quick test_smi_stop;
     Alcotest.test_case "gpio transitions" `Quick test_gpio_transitions;
     Alcotest.test_case "gpio high intervals" `Quick test_gpio_intervals;

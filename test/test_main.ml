@@ -26,4 +26,5 @@ let () =
       ("omp-runtime", Test_omp.suite);
       ("nesl", Test_nesl.suite);
       ("verify", Test_verify.suite);
+      ("fault", Test_fault.suite);
     ]

@@ -92,9 +92,11 @@ let test_null_sink_noop () =
 let test_sink_derives_metrics () =
   let s = Sink.create () in
   Sink.emit s ~time:10L ~cpu:0
-    (Event.Deadline_miss { tid = 3; thread = "rt"; lateness_ns = 2_000L });
+    (Event.Deadline_miss
+       { tid = 3; thread = "rt"; lateness_ns = 2_000L; crit = "mid" });
   Sink.emit s ~time:20L ~cpu:0
-    (Event.Deadline_miss { tid = 3; thread = "rt"; lateness_ns = 4_000L });
+    (Event.Deadline_miss
+       { tid = 3; thread = "rt"; lateness_ns = 4_000L; crit = "mid" });
   let m = Sink.metrics s in
   Alcotest.(check int) "miss counter" 2
     (Metrics.counter_value (Metrics.counter m ~cpu:0 "sched.deadline_miss"));
@@ -216,7 +218,7 @@ let event_samples =
   [
     Event.Dispatch { tid = 3; thread = "t3" };
     Event.Preempt { tid = 3; thread = "t3" };
-    Event.Deadline_miss { tid = 3; thread = "t3"; lateness_ns = 17L };
+    Event.Deadline_miss { tid = 3; thread = "t3"; lateness_ns = 17L; crit = "high" };
     Event.Admission_accept { tid = 4; cls = Event.Cls_periodic };
     Event.Admission_reject { tid = 5; cls = Event.Cls_sporadic };
     Event.Arrival
@@ -233,6 +235,12 @@ let event_samples =
     Event.Group_phase { tid = 7; phase = "join" };
     Event.Elected { election = 0; round = 2; tid = 7; leader = true };
     Event.Policy { policy = "edf" };
+    Event.Fault_plan { plan = "smi-storm" };
+    Event.Overload { boundary = "mid" };
+    Event.Overload { boundary = "none" };
+    Event.Shed { tid = 9; thread = "t9"; crit = "low" };
+    Event.Demote { tid = 9; thread = "t9" };
+    Event.Recover { tid = 9; thread = "t9"; crit = "low" };
     Event.Idle;
   ]
 

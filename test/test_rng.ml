@@ -56,6 +56,49 @@ let test_range_ns () =
     (Invalid_argument "Rng.range_ns") (fun () ->
       ignore (Rng.range_ns r 5L 5L))
 
+(* Regression for the modulo-bias fix: reducing 63 random bits with a
+   plain [mod] gives the low end of a large span extra weight. For
+   span = 3 * 2^61, bits in [0, 2^61) and [span, 2^63) both map onto
+   [0, 2^61), so the biased probability of landing in the lowest third
+   is 1/2 instead of 1/3 — a ~60-sigma signal at 30k draws. Rejection
+   sampling restores the uniform 1/3. *)
+let test_range_ns_unbiased () =
+  let span = Int64.shift_left 3L 61 in
+  let third = Int64.shift_left 1L 61 in
+  let r = Rng.create 31L in
+  let n = 30_000 in
+  let low = ref 0 in
+  for _ = 1 to n do
+    let x = Rng.range_ns r 0L span in
+    if not Time.(x >= 0L && x < span) then Alcotest.fail "out of range";
+    if Int64.compare x third < 0 then incr low
+  done;
+  let frac = float_of_int !low /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "lowest third ~ 1/3, got %.3f" frac)
+    true
+    (frac > 0.30 && frac < 0.37)
+
+(* Same property through [Rng.int]: n = 3 * 2^60 makes the biased
+   probability of the lowest third 0.375 (three full copies of the span
+   fit in 2^63 plus a partial fourth), ~15 sigma away from 1/3. *)
+let test_int_unbiased () =
+  let n_span = 3 * (1 lsl 60) in
+  let third = 1 lsl 60 in
+  let r = Rng.create 37L in
+  let n = 30_000 in
+  let low = ref 0 in
+  for _ = 1 to n do
+    let x = Rng.int r n_span in
+    if not (x >= 0 && x < n_span) then Alcotest.fail "out of range";
+    if x < third then incr low
+  done;
+  let frac = float_of_int !low /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "lowest third ~ 1/3, got %.3f" frac)
+    true
+    (frac > 0.30 && frac < 0.36)
+
 let test_gaussian_moments () =
   let r = Rng.create 23L in
   let n = 20_000 in
@@ -90,6 +133,9 @@ let suite =
     Alcotest.test_case "int range and coverage" `Quick test_int_range;
     Alcotest.test_case "int rejects n<=0" `Quick test_int_invalid;
     Alcotest.test_case "range_ns bounds" `Quick test_range_ns;
+    Alcotest.test_case "range_ns modulo-bias regression" `Quick
+      test_range_ns_unbiased;
+    Alcotest.test_case "int modulo-bias regression" `Quick test_int_unbiased;
     Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
     Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
   ]

@@ -53,8 +53,8 @@ let wk tid = Event.Wake { tid; thread = name_of tid }
 let arr tid ~a ~d ~p =
   Event.Arrival { tid; thread = name_of tid; arrival = a; deadline = d; period = p }
 
-let miss tid ~late =
-  Event.Deadline_miss { tid; thread = name_of tid; lateness_ns = late }
+let miss ?(crit = "mid") tid ~late =
+  Event.Deadline_miss { tid; thread = name_of tid; lateness_ns = late; crit }
 
 (* ---- hand-built good trace ---- *)
 
@@ -352,7 +352,10 @@ let test_mutation_hard_rt () =
         | Event.Arrival { tid; thread; _ } ->
           [
             (t, cpu, ev);
-            (t, cpu, Event.Deadline_miss { tid; thread; lateness_ns = 1L });
+            ( t,
+              cpu,
+              Event.Deadline_miss { tid; thread; lateness_ns = 1L; crit = "mid" }
+            );
           ]
         | _ -> assert false)
       (Lazy.force rt_base)
@@ -566,6 +569,75 @@ let test_edf_clean_rm_flagged () =
   let rm = run Config.Rm in
   assert_only "RM past its bound" V.Rules.Hard_rt rm
 
+(* ---- graceful degradation under injected faults ---- *)
+
+(* In a fault-injected segment (marked by a Fault_plan event anywhere in
+   the trace) the hard-RT rule stands down and the degradation contract
+   takes over: a deadline miss is tolerable exactly when the CPU has
+   announced a shed boundary strictly above the missing thread's
+   criticality. *)
+
+let test_degradation_clean_shed () =
+  let records =
+    [
+      (0L, 0, Event.Fault_plan { plan = "smi-storm" });
+      (0L, 1, pol "edf");
+      (0L, 1, accept 1);
+      (0L, 1, accept 2);
+      (1000L, 1, arr 1 ~a:1000L ~d:2000L ~p:1000L);
+      (1100L, 1, arr 2 ~a:1100L ~d:2100L ~p:1000L);
+      (1200L, 1, disp 2);
+      (* Overload: boundary "mid" protects mid and high; the low worker's
+         miss is tolerated and it is shed. *)
+      (1500L, 1, Event.Overload { boundary = "mid" });
+      (1500L, 1, miss ~crit:"low" 1 ~late:50L);
+      (1500L, 1, Event.Shed { tid = 1; thread = name_of 1; crit = "low" });
+      (1500L, 1, Event.Demote { tid = 1; thread = name_of 1 });
+      (1500L, 1, comp 1);
+      (1600L, 1, comp 2);
+      (* Quiet again: the shed thread recovers its admission. *)
+      (3000L, 1, Event.Overload { boundary = "none" });
+      (3000L, 1, accept 1);
+      (3000L, 1, Event.Recover { tid = 1; thread = name_of 1; crit = "low" });
+    ]
+  in
+  assert_clean "low-criticality miss under a shed" (check records)
+
+let test_degradation_fires_on_high_miss () =
+  let records =
+    [
+      (0L, 0, Event.Fault_plan { plan = "smi-storm" });
+      (0L, 1, pol "edf");
+      (0L, 1, accept 2);
+      (1100L, 1, arr 2 ~a:1100L ~d:2100L ~p:1000L);
+      (1200L, 1, disp 2);
+      (1500L, 1, Event.Overload { boundary = "mid" });
+      (* A high-criticality miss at (or above) the boundary breaks the
+         degradation contract. *)
+      (2163L, 1, miss ~crit:"high" 2 ~late:63L);
+      (2200L, 1, comp 2);
+    ]
+  in
+  assert_only "high-criticality miss during a shed" V.Rules.Degradation
+    (check records)
+
+let test_degradation_fires_without_shed () =
+  (* Faulted segment but no Overload announcement: any miss violates the
+     contract (boundary 0 tolerates nothing), and it is the degradation
+     rule, not hard-rt, that reports it. *)
+  let records =
+    [
+      (0L, 0, Event.Fault_plan { plan = "smi-storm" });
+      (0L, 1, pol "edf");
+      (0L, 1, accept 1);
+      (1000L, 1, arr 1 ~a:1000L ~d:2000L ~p:1000L);
+      (2050L, 1, miss ~crit:"low" 1 ~late:50L);
+      (2100L, 1, comp 1);
+    ]
+  in
+  assert_only "miss with no shed in effect" V.Rules.Degradation
+    (check records)
+
 (* ---- report formatting ---- *)
 
 let test_verdict_line () =
@@ -623,5 +695,11 @@ let suite =
     QCheck_alcotest.to_alcotest prop_random_run_is_clean;
     Alcotest.test_case "EDF clean, RM flagged past bound" `Quick
       test_edf_clean_rm_flagged;
+    Alcotest.test_case "degradation: low miss under shed is clean" `Quick
+      test_degradation_clean_shed;
+    Alcotest.test_case "degradation: high miss during shed fires" `Quick
+      test_degradation_fires_on_high_miss;
+    Alcotest.test_case "degradation: miss without shed fires" `Quick
+      test_degradation_fires_without_shed;
     Alcotest.test_case "verdict line format" `Quick test_verdict_line;
   ]
