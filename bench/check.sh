@@ -14,4 +14,9 @@ dune runtest
 echo "== observability overhead gate =="
 dune exec bench/overhead_check.exe
 
+echo "== engine core smoke bench (quick) =="
+# Small sizes: proves the harness runs and the wheel still beats the
+# reference heap; the full-size regression gate is CI's enginebench job.
+dune exec bin/hrt_sim.exe -- enginebench --quick --out /tmp/BENCH_engine_quick.json
+
 echo "check.sh: all gates passed"

@@ -105,7 +105,7 @@ let experiment_tests =
   ]
 
 let hot_path_tests =
-  let q = Event_queue.create () in
+  let q = Event_queue.create ~dummy:() in
   let pq = Prio_queue.create ~capacity:1024 in
   let rng = Rng.create 1L in
   [

@@ -455,6 +455,103 @@ let sweepbench_cmd =
   Cmd.v (Cmd.info "sweepbench" ~doc ~man)
     Term.(const run $ scale_term $ policy_term $ jobs_term $ out $ names)
 
+(* ---- enginebench ---- *)
+
+let enginebench_cmd =
+  let doc = "Benchmark the engine core: timing wheel vs reference heap." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Drives three self-rescheduling workloads through the event core — \
+         the current timing-wheel engine with cached actions, the same \
+         engine with a fresh closure per event, and the original \
+         binary-heap-plus-closures core — reporting events/sec and minor \
+         words allocated per event for each, plus a fixed-population churn \
+         pass that locates the wheel-vs-heap ns/op crossover. The result \
+         is written as JSON to $(b,--out).";
+      `P
+        "With $(b,--check-against), the measured wheel throughput is \
+         compared to a committed baseline artifact and the exit status is \
+         2 when it regresses by more than $(b,--tolerance).";
+    ]
+  in
+  let events =
+    Arg.(
+      value
+      & opt int 1_000_000
+      & info [ "events" ] ~docv:"N" ~doc:"Events per workload.")
+  in
+  let sources =
+    Arg.(
+      value
+      & opt int 512
+      & info [ "sources" ] ~docv:"N"
+          ~doc:"Concurrent event sources (steady-state queue depth).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_engine.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the JSON artifact.")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Small sizes for smoke-testing the harness (CI check.sh).")
+  in
+  let check_against =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "check-against" ] ~docv:"FILE"
+          ~doc:"Committed baseline artifact to gate against.")
+  in
+  let tolerance =
+    Arg.(
+      value
+      & opt float 0.2
+      & info [ "tolerance" ] ~docv:"FRAC"
+          ~doc:"Allowed fractional events/sec regression (default 0.2).")
+  in
+  let run events sources out quick check_against tolerance =
+    let events, sources, churn_ops =
+      if quick then (120_000, 256, 40_000) else (events, sources, 200_000)
+    in
+    let r = Hrt_harness.Engine_bench.measure ~events ~sources ~churn_ops in
+    List.iter
+      (fun s ->
+        Printf.printf "%-16s %9.0f events/s  %6.2f minor words/event\n%!"
+          s.Hrt_harness.Engine_bench.name
+          s.Hrt_harness.Engine_bench.events_per_sec
+          s.Hrt_harness.Engine_bench.minor_words_per_event)
+      r.Hrt_harness.Engine_bench.samples;
+    Printf.printf "speedup vs heap baseline: %.2fx\n"
+      r.Hrt_harness.Engine_bench.speedup;
+    List.iter
+      (fun c ->
+        Printf.printf "churn n=%-6d wheel %6.1f ns/op  heap %6.1f ns/op\n"
+          c.Hrt_harness.Engine_bench.size
+          c.Hrt_harness.Engine_bench.wheel_ns_per_op
+          c.Hrt_harness.Engine_bench.heap_ns_per_op)
+      r.Hrt_harness.Engine_bench.crossovers;
+    Hrt_harness.Engine_bench.write r ~path:out;
+    Printf.printf "wrote %s\n" out;
+    match check_against with
+    | None -> ()
+    | Some path -> (
+      match Hrt_harness.Engine_bench.check_against r ~path ~tolerance with
+      | Ok base ->
+        Printf.printf "baseline %s: %.0f events/s, within tolerance\n" path base
+      | Error msg ->
+        Printf.eprintf "enginebench: %s\n" msg;
+        exit 2)
+  in
+  Cmd.v (Cmd.info "enginebench" ~doc ~man)
+    Term.(
+      const run $ events $ sources $ out $ quick $ check_against $ tolerance)
+
 (* ---- verify ---- *)
 
 let verify_cmd =
@@ -541,6 +638,7 @@ let () =
             bsp_cmd;
             missrate_cmd;
             sweepbench_cmd;
+            enginebench_cmd;
             verify_cmd;
             faults_cmd;
           ]))

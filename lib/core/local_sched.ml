@@ -26,8 +26,17 @@ and t = {
   account : Account.t;
   mutable services : Thread.services;
   mutable current : Thread.t option;
-  mutable completion_ev : Engine.handle option;
+  mutable completion_ev : Engine.handle;
   mutable completion_gen : int;
+  mutable completion_armed_gen : int;
+  (* Cached engine actions for the recurring per-CPU events (scheduler
+     pass requests, op completions, kick IPIs, steal polls). Each names a
+     source registered at [create]; scheduling them allocates nothing. *)
+  mutable soft_action : Engine.action;
+  mutable complete_action : Engine.action;
+  mutable kick_action : Engine.action;
+  mutable kick_inner : Engine.action;
+  mutable steal_action : Engine.action;
   mutable steal_armed : bool;
   mutable busy_until : Time.ns;
   mutable probe : probe option;
@@ -136,11 +145,17 @@ let aper_load t =
    deferred to the end of the window (interrupts are effectively off while
    the scheduler or an interrupt handler runs). *)
 
-let rec run_gated t f eng =
-  let now = Engine.now eng in
-  if Time.(now < t.busy_until) then
-    ignore (Engine.schedule eng ~at:t.busy_until (run_gated t f))
-  else f eng
+let run_gated t f =
+  (* One closure per [run_gated] call, reused across every bounce off the
+     busy window (each bounce is still a fresh engine event with a fresh
+     sequence number, exactly as before). *)
+  let rec g eng =
+    let now = Engine.now eng in
+    if Time.(now < t.busy_until) then
+      ignore (Engine.schedule eng ~at:t.busy_until g)
+    else f eng
+  in
+  g
 
 (* ------------------------------------------------------------------ *)
 (* Pipeline stage 1 — charge: account the interrupted thread's progress
@@ -167,17 +182,14 @@ let charge_current t now =
     end
   | Some _ | None -> ()
 
-(* Cancelling must also invalidate a completion that has already fired
-   into the gate: once an event lands inside a busy window, [run_gated]
-   re-schedules its handler as a fresh engine event that [Engine.cancel]
-   can no longer reach, so the handler itself re-checks the generation. *)
+(* The generation also invalidates a completion that was deferred past a
+   busy window or frozen stretch before the cancel landed: the deferred
+   entry keeps its handle, so [Engine.cancel] usually reaches it, but the
+   handler re-checks the generation as the authoritative test. *)
 let cancel_completion t =
   t.completion_gen <- t.completion_gen + 1;
-  match t.completion_ev with
-  | None -> ()
-  | Some ev ->
-    Engine.cancel (engine t) ev;
-    t.completion_ev <- None
+  Engine.cancel (engine t) t.completion_ev;
+  t.completion_ev <- Engine.no_handle
 
 (* ------------------------------------------------------------------ *)
 (* Pipeline stage 2 — pump: move due arrivals from the pending queue into
@@ -494,11 +506,19 @@ and wake_sched t (th : Thread.t) =
 and request_invoke t =
   if not t.soft_pending then begin
     t.soft_pending <- true;
-    ignore
-      (Engine.schedule_after (engine t) ~after:0L
-         (run_gated t (fun eng ->
-              t.soft_pending <- false;
-              invoke t eng ~irq_ns:0L ~handler_ns:0L)))
+    ignore (Engine.schedule_action_after (engine t) ~after:0L t.soft_action)
+  end
+
+(* The registered handler behind [t.soft_action]: gated on the busy
+   window like every scheduler entry, but by parking the event itself
+   ([Engine.defer_current] — fresh sequence number, no allocation)
+   instead of scheduling a bounce closure. *)
+and soft_entry t eng =
+  if Time.(Engine.now eng < t.busy_until) then
+    Engine.defer_current eng ~at:t.busy_until
+  else begin
+    t.soft_pending <- false;
+    invoke t eng ~irq_ns:0L ~handler_ns:0L
   end
 
 (* ------------------------------------------------------------------ *)
@@ -951,18 +971,20 @@ and schedule_completion t resume_at =
   | Some th when th.Thread.has_op && Time.(th.work_left > 0L) ->
     let at = Time.(resume_at + th.work_left) in
     t.completion_gen <- t.completion_gen + 1;
-    let gen = t.completion_gen in
-    t.completion_ev <-
-      Some
-        (Engine.schedule (engine t) ~at
-           (run_gated t (fun eng ->
-                (* Stale if a cancel/re-schedule happened while this fire
-                   sat deferred behind a busy window. *)
-                if gen = t.completion_gen then begin
-                  t.completion_ev <- None;
-                  on_completion t eng
-                end)))
+    t.completion_armed_gen <- t.completion_gen;
+    t.completion_ev <- Engine.schedule_action (engine t) ~at t.complete_action
   | Some _ | None -> ()
+
+(* The registered handler behind [t.complete_action]: gate first, then
+   drop the fire if a cancel/re-schedule happened while it sat deferred
+   behind a busy window. *)
+and complete_entry t eng =
+  if Time.(Engine.now eng < t.busy_until) then
+    Engine.defer_current eng ~at:t.busy_until
+  else if t.completion_armed_gen = t.completion_gen then begin
+    t.completion_ev <- Engine.no_handle;
+    on_completion t eng
+  end
 
 (* Op completion is a thread-level transition, not an interrupt. When the
    thread simply continues computing (the common BSP inner loop) no
@@ -1013,16 +1035,22 @@ and arm_steal t =
       else Time.ms 1
     in
     t.steal_armed <- true;
-    (* Gated like every other scheduler entry: the idle thread cannot poll
-       while the CPU is serialized in a pass or handler, and gating keeps
-       steal-attempt events inside the CPU's monotone timeline. *)
     ignore
-      (Engine.schedule_after (engine t) ~after:interval
-         (run_gated t (fun eng ->
-              t.steal_armed <- false;
-              if t.current = None then
-                if t.shared.total_aper_queued > 0 then attempt_steal t eng
-                else arm_steal t)))
+      (Engine.schedule_action_after (engine t) ~after:interval t.steal_action)
+  end
+
+(* The registered handler behind [t.steal_action]. Gated like every other
+   scheduler entry: the idle thread cannot poll while the CPU is
+   serialized in a pass or handler, and gating keeps steal-attempt events
+   inside the CPU's monotone timeline. *)
+and steal_entry t eng =
+  if Time.(Engine.now eng < t.busy_until) then
+    Engine.defer_current eng ~at:t.busy_until
+  else begin
+    t.steal_armed <- false;
+    if t.current = None then
+      if t.shared.total_aper_queued > 0 then attempt_steal t eng
+      else arm_steal t
   end
 
 and attempt_steal t eng =
@@ -1188,14 +1216,14 @@ let wake t th = wake_sched t th
 let kick t ~from =
   ignore from;
   Account.record_kick t.account;
-  let eng = engine t in
   let latency = sample t (platform t).Platform.ipi_latency in
-  ignore
-    (Engine.schedule_after eng ~after:latency (fun eng ->
-         Apic.deliver t.cpu.Machine.apic eng ~prio:Apic.sched_prio
-           (run_gated t (fun eng ->
-                let irq_ns = sample t (platform t).Platform.irq_dispatch in
-                invoke t eng ~irq_ns ~handler_ns:0L))))
+  ignore (Engine.schedule_action_after (engine t) ~after:latency t.kick_action)
+
+(* The registered handler behind [t.kick_action]: the IPI reaching this
+   CPU's APIC after the wire latency. The APIC then delivers the cached
+   [kick_inner] (gated scheduler entry) or holds it pending by PPR. *)
+let kick_entry t eng =
+  Apic.deliver t.cpu.Machine.apic eng ~prio:Apic.sched_prio t.kick_inner
 
 let on_device_irq t ~handler_ns =
   let eng = engine t in
@@ -1298,8 +1326,14 @@ let create shared cpu =
           rng = shared.workload_rng;
         };
       current = None;
-      completion_ev = None;
+      completion_ev = Engine.no_handle;
       completion_gen = 0;
+      completion_armed_gen = 0;
+      soft_action = Engine.Soft_invoke 0;
+      complete_action = Engine.Complete 0;
+      kick_action = Engine.Wake 0;
+      kick_inner = Engine.Callback (fun _ -> ());
+      steal_action = Engine.Callback (fun _ -> ());
       steal_armed = false;
       busy_until = 0L;
       probe = None;
@@ -1318,5 +1352,23 @@ let create shared cpu =
     }
   in
   t.services <- make_services t;
+  (* Cache one action value per long-lived event source so the steady-state
+     hot paths (soft-IRQ requests, completion timers, kick IPIs, steal
+     polls) schedule without allocating a closure per event. The timer
+     vector stays a gated closure: [Apic.fire] disarms before entering the
+     handler, so deferring from inside it would lose a re-armed shot. *)
+  let eng = engine t in
+  t.soft_action <-
+    Engine.Soft_invoke (Engine.register_source eng (fun eng -> soft_entry t eng));
+  t.complete_action <-
+    Engine.Complete (Engine.register_source eng (fun eng -> complete_entry t eng));
+  t.kick_action <-
+    Engine.Wake (Engine.register_source eng (fun eng -> kick_entry t eng));
+  t.kick_inner <-
+    Engine.Callback
+      (run_gated t (fun eng ->
+           let irq_ns = sample t (platform t).Platform.irq_dispatch in
+           invoke t eng ~irq_ns ~handler_ns:0L));
+  t.steal_action <- Engine.Callback (fun eng -> steal_entry t eng);
   Apic.set_timer_handler cpu.Machine.apic (run_gated t (on_timer t));
   t

@@ -160,6 +160,7 @@ let snapshot_metrics t =
     setg "engine.pending_events" (float_of_int (Engine.pending eng));
     setg "engine.sim_time_ns" (Int64.to_float (Engine.now eng));
     setg "engine.total_frozen_ns" (Int64.to_float (Engine.total_frozen eng));
+    Obs.Sink.sample_probes obs;
     Array.iteri
       (fun i s ->
         let acc = Local_sched.account s in
@@ -244,12 +245,18 @@ let create ?(seed = 42L) ?num_cpus ?(config = Config.default)
   shared.Local_sched.scheds <- scheds;
   (* Stamp every CPU's trace with the dispatch policy so exported traces
      and metric snapshots are self-describing. *)
-  (if Obs.Sink.enabled obs then
+  (if Obs.Sink.enabled obs then begin
      let policy = Config.policy_name config.Config.policy in
      Array.iteri
        (fun cpu _ ->
          Obs.Sink.emit obs ~time:0L ~cpu (Obs.Event.Policy { policy }))
-       scheds);
+       scheds;
+     (* Live queue-depth gauge: pulled at snapshot points rather than
+        pushed per event — the engine hot loop stays instrumentation-free. *)
+     let eng = machine.Machine.engine in
+     Obs.Sink.add_probe obs ~name:"engine.pending" (fun () ->
+         float_of_int (Engine.pending_events eng))
+   end);
   let t =
     {
       shared;

@@ -1,10 +1,25 @@
-type callback = t -> unit
+type action =
+  | Callback of (t -> unit)
+  | Timer_fire of int
+  | Soft_invoke of int
+  | Complete of int
+  | Wake of int
+  | Smi_fire of int
+  | Irq_pull of int
+  | Fault_tick of int
 
 and t = {
   mutable now : Time.ns;
-  queue : callback Event_queue.t;
+  mutable now_tick : int;
+  queue : action Event_queue.t;
   rng : Rng.t;
+  (* Registered event sources: the int carried by every non-[Callback]
+     action indexes this table. Long-lived subsystems register once and
+     cache one action value, so firing them allocates nothing. *)
+  mutable sources : (t -> unit) array;
+  mutable n_sources : int;
   mutable freeze_until : Time.ns;
+  mutable freeze_tick : int;
   (* Closed freeze windows, in increasing order, merged when adjacent.
      [open_freeze] is the start of the currently open window, if any. *)
   mutable windows : (Time.ns * Time.ns) list; (* reverse order *)
@@ -13,43 +28,81 @@ and t = {
   mutable stopped : bool;
   mutable executed : int;
   mutable max_pending : int;
+  (* Entry currently being dispatched, and whether its callback parked it
+     back into the queue via [defer_current]. *)
+  mutable current : Event_queue.handle;
+  mutable deferred : bool;
 }
 
-type handle = callback Event_queue.entry
+type handle = Event_queue.handle
+
+let no_handle = Event_queue.none
+
+let nop (_ : t) = ()
 
 let create ?(seed = 42L) () =
   {
     now = 0L;
-    queue = Event_queue.create ();
+    now_tick = 0;
+    queue = Event_queue.create ~dummy:(Callback nop);
     rng = Rng.create seed;
+    sources = [||];
+    n_sources = 0;
     freeze_until = Int64.min_int;
+    freeze_tick = min_int;
     windows = [];
     open_freeze = None;
     total_frozen_closed = 0L;
     stopped = false;
     executed = 0;
     max_pending = 0;
+    current = Event_queue.none;
+    deferred = false;
   }
 
 let now t = t.now
 let rng t = t.rng
 
+let register_source t f =
+  let k = t.n_sources in
+  if k = Array.length t.sources then begin
+    let n = Array.make (if k = 0 then 8 else 2 * k) nop in
+    Array.blit t.sources 0 n 0 k;
+    t.sources <- n
+  end;
+  t.sources.(k) <- f;
+  t.n_sources <- k + 1;
+  k
+
 let track_depth t =
   let n = Event_queue.size t.queue in
   if n > t.max_pending then t.max_pending <- n
 
-let schedule t ~at f =
+let schedule_action t ~at a =
   if Time.(at < t.now) then
     invalid_arg
       (Format.asprintf "Engine.schedule: %a is in the past (now %a)" Time.pp at
          Time.pp t.now);
-  let h = Event_queue.add t.queue ~time:at f in
+  let h = Event_queue.add t.queue ~time:at a in
   track_depth t;
   h
 
-let schedule_after t ~after f = schedule t ~at:Time.(t.now + after) f
+let schedule_action_after t ~after a =
+  schedule_action t ~at:Time.(t.now + after) a
+
+let schedule t ~at f = schedule_action t ~at (Callback f)
+let schedule_after t ~after f = schedule_action t ~at:Time.(t.now + after) (Callback f)
 
 let cancel t h = Event_queue.cancel t.queue h
+
+let defer_current t ~at =
+  if t.current = Event_queue.none then
+    invalid_arg "Engine.defer_current: no event in flight";
+  if t.deferred then invalid_arg "Engine.defer_current: already deferred";
+  if Time.(at < t.now) then
+    invalid_arg "Engine.defer_current: time is in the past";
+  t.deferred <- true;
+  Event_queue.defer_inflight t.queue t.current ~time:at
 
 let close_open_window t =
   match t.open_freeze with
@@ -60,16 +113,26 @@ let close_open_window t =
     t.total_frozen_closed <- Time.(t.total_frozen_closed + (stop - start));
     t.open_freeze <- None
 
+(* Ticks mirror the int64 times for the run loop's unboxed comparisons;
+   see Event_queue for the range argument. *)
+let tick_of u =
+  if Int64.compare u (Int64.of_int max_int) >= 0 then max_int
+  else Int64.to_int u
+
 let freeze t ~until =
   if Time.(until <= t.now) then ()
   else begin
     (match t.open_freeze with
     | Some _ ->
       (* Extend the open window. *)
-      if Time.(until > t.freeze_until) then t.freeze_until <- until
+      if Time.(until > t.freeze_until) then begin
+        t.freeze_until <- until;
+        t.freeze_tick <- tick_of until
+      end
     | None ->
       t.open_freeze <- Some t.now;
-      t.freeze_until <- until)
+      t.freeze_until <- until;
+      t.freeze_tick <- tick_of until)
   end
 
 let frozen_overlap t a b =
@@ -99,40 +162,58 @@ let total_frozen t =
 let stop t = t.stopped <- true
 let events_executed t = t.executed
 let pending t = Event_queue.size t.queue
+let pending_events = pending
 let max_queue_depth t = t.max_pending
+
+let dispatch t a =
+  match a with
+  | Callback f -> f t
+  | Timer_fire k
+  | Soft_invoke k
+  | Complete k
+  | Wake k
+  | Smi_fire k
+  | Irq_pull k
+  | Fault_tick k ->
+    t.sources.(k) t
 
 let run ?until ?max_events t =
   t.stopped <- false;
   let budget = ref (match max_events with None -> max_int | Some n -> n) in
-  let horizon = match until with None -> Int64.max_int | Some u -> u in
+  let horizon = match until with None -> max_int | Some u -> tick_of u in
   let continue = ref true in
   while !continue && not t.stopped && !budget > 0 do
-    match Event_queue.peek_time t.queue with
-    | None -> continue := false
-    | Some tm when Time.(tm > horizon) -> continue := false
-    | Some tm -> (
-      (* Defer events that fall inside a frozen window. *)
-      if t.open_freeze <> None && Time.(tm < t.freeze_until) then begin
-        match Event_queue.pop t.queue with
-        | None -> continue := false
-        | Some (_, f) ->
-          ignore
-            (Event_queue.add t.queue ~time:t.freeze_until f
-              : callback Event_queue.entry)
-      end
-      else
-        match Event_queue.pop t.queue with
-        | None -> continue := false
-        | Some (tm, f) ->
-          if t.open_freeze <> None && Time.(tm >= t.freeze_until) then
-            close_open_window t;
-          t.now <- tm;
-          t.executed <- t.executed + 1;
-          decr budget;
-          f t)
+    let tick = Event_queue.next_tick t.queue in
+    if tick = Event_queue.no_tick || tick > horizon then continue := false
+    else if t.open_freeze <> None && tick < t.freeze_tick then begin
+      (* Defer events that fall inside a frozen window. The entry keeps
+         its identity (handle, payload) but takes a fresh sequence
+         number, exactly like the pop + re-add this replaces. *)
+      let h = Event_queue.take t.queue in
+      Event_queue.defer_inflight t.queue h ~time:t.freeze_until
+    end
+    else begin
+      let h = Event_queue.take t.queue in
+      let tick = Event_queue.inflight_tick t.queue h in
+      if t.open_freeze <> None && tick >= t.freeze_tick then
+        close_open_window t;
+      if tick <> t.now_tick then begin
+        t.now_tick <- tick;
+        t.now <- Int64.of_int tick
+      end;
+      t.executed <- t.executed + 1;
+      decr budget;
+      t.current <- h;
+      t.deferred <- false;
+      dispatch t (Event_queue.payload t.queue h);
+      t.current <- Event_queue.none;
+      if not t.deferred then Event_queue.finish t.queue h
+    end
   done;
   (match until with
-  | Some u when not t.stopped && Time.(t.now < u) -> t.now <- u
+  | Some u when not t.stopped && Time.(t.now < u) ->
+    t.now <- u;
+    t.now_tick <- tick_of u
   | _ -> ());
   if t.open_freeze <> None && Time.(t.now >= t.freeze_until) then
     close_open_window t

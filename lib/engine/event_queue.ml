@@ -1,137 +1,543 @@
-type 'a entry = {
-  time : Time.ns;
-  seq : int;
-  mutable payload : 'a option;
-  (* [None] once popped or cancelled, so the heap never retains dead
-     payloads (closures can capture large state). *)
-  mutable live : bool;
-}
+(* Hierarchical timing wheel with a free-list entry pool.
+
+   Geometry: 4 levels x 256 slots, 8 bits per level, 1 ns per level-0
+   slot. An entry whose tick shares the current cursor's 2^(8(L+1))-window
+   but not its 2^(8L)-window lives at level L; a level-0 slot therefore
+   holds exactly one tick value, so appending to the slot list keeps the
+   (time, seq) FIFO order without any per-slot sorting. Events beyond the
+   wheel's 2^32 ns horizon sit in an overflow binary heap; events added in
+   the past (the cursor only moves forward) sit in an overdue heap. The
+   three tiers never hold equal-priority elements out of order: overdue
+   ticks are strictly below the cursor, wheel ticks are at or above it,
+   and the minimum is selected by a (tick, seq) comparison across tier
+   heads, so the pop sequence is identical to a single (time, seq) heap.
+
+   Entries live in a structure-of-arrays pool recycled through a free
+   list: steady-state add/pop traffic allocates nothing. Handles pack the
+   pool index with a generation counter that is bumped whenever the slot
+   is freed or re-targeted, so a stale handle's cancel is a safe no-op.
+
+   Cancellation is O(1) and precise for wheel entries (doubly-linked slot
+   lists); entries inside either heap are cancelled lazily (marked dead,
+   reclaimed when they surface), exactly like the reference heap. *)
+
+type handle = int
+
+let none = -1
+
+(* Handle layout: low [idx_bits] bits are the pool index, the rest is the
+   generation (wrapping). 2^21 simultaneous events is far beyond any
+   simulated machine here; [add] fails hard if the pool would exceed it. *)
+let idx_bits = 21
+let idx_mask = (1 lsl idx_bits) - 1
+let gen_mask = (1 lsl (62 - idx_bits)) - 1
+
+let levels = 4
+let slot_bits = 8
+let slots_per_level = 1 lsl slot_bits (* 256 *)
+let wheel_slots = levels * slots_per_level
+
+(* [where] codes: a wheel slot id >= 0, or one of: *)
+let w_free = -1
+let w_overdue = -2 (* live, in the overdue heap *)
+let w_overflow = -3 (* live, in the overflow heap *)
+let w_dead = -4 (* cancelled, still buried in a heap *)
+let w_inflight = -5 (* taken by the engine, not yet finished *)
 
 type 'a t = {
-  mutable heap : 'a entry array;
-  mutable len : int;
+  dummy : 'a;
+  (* entry pool (structure of arrays) *)
+  mutable e_time : int array; (* tick *)
+  mutable e_seq : int array;
+  mutable e_gen : int array;
+  mutable e_prev : int array;
+  mutable e_next : int array; (* doubles as the free-list link *)
+  mutable e_where : int array;
+  mutable e_payload : 'a array;
+  mutable cap : int;
+  mutable free_head : int;
+  (* wheel *)
+  mutable cur : int; (* cursor tick: last dispatched position *)
+  head : int array; (* per-slot list head, -1 when empty *)
+  tail : int array;
+  occ : int array; (* occupancy bitmap, 32 slots per word *)
+  mutable wheel_count : int;
+  (* heaps of pool indices ordered by (tick, seq), lazily cleaned *)
+  mutable od_heap : int array;
+  mutable od_len : int;
+  mutable of_heap : int array;
+  mutable of_len : int;
   mutable next_seq : int;
-  mutable live_count : int;
-  sentinel : 'a entry;
-      (* fills vacated and never-used slots: a dead, payload-free entry *)
+  mutable live : int;
 }
 
-let create () =
-  let sentinel =
-    { time = Int64.min_int; seq = -1; payload = None; live = false }
+let no_tick = min_int
+
+(* Ticks are plain ints: engine times are int64 nanoseconds, but every
+   simulation runs far inside the 62-bit range and unboxed comparisons
+   are what make the hot path cheap. *)
+let tick_limit = 1 lsl 61
+
+let tick_of_time time =
+  let t = Int64.to_int time in
+  if
+    t >= tick_limit || t <= -tick_limit
+    || not (Int64.equal (Int64.of_int t) time)
+  then invalid_arg "Event_queue: time out of range"
+  else t
+
+let create ~dummy =
+  {
+    dummy;
+    e_time = [||];
+    e_seq = [||];
+    e_gen = [||];
+    e_prev = [||];
+    e_next = [||];
+    e_where = [||];
+    e_payload = [||];
+    cap = 0;
+    free_head = -1;
+    cur = 0;
+    head = Array.make wheel_slots (-1);
+    tail = Array.make wheel_slots (-1);
+    occ = Array.make (wheel_slots / 32) 0;
+    wheel_count = 0;
+    od_heap = [||];
+    od_len = 0;
+    of_heap = [||];
+    of_len = 0;
+    next_seq = 0;
+    live = 0;
+  }
+
+(* ---- entry pool ---- *)
+
+let grow_pool t =
+  let ncap = if t.cap = 0 then 64 else t.cap * 2 in
+  if ncap > idx_mask then failwith "Event_queue: entry pool exhausted";
+  let ext a fill =
+    let n = Array.make ncap fill in
+    Array.blit a 0 n 0 t.cap;
+    n
   in
-  { heap = [||]; len = 0; next_seq = 0; live_count = 0; sentinel }
+  t.e_time <- ext t.e_time 0;
+  t.e_seq <- ext t.e_seq 0;
+  t.e_gen <- ext t.e_gen 0;
+  t.e_prev <- ext t.e_prev (-1);
+  t.e_next <- ext t.e_next (-1);
+  t.e_where <- ext t.e_where w_free;
+  t.e_payload <- ext t.e_payload t.dummy;
+  (* Chain the new slots onto the free list, lowest index first. *)
+  for i = ncap - 1 downto t.cap do
+    t.e_next.(i) <- t.free_head;
+    t.free_head <- i
+  done;
+  t.cap <- ncap
 
-let before a b =
-  Int64.compare a.time b.time < 0
-  || (Int64.equal a.time b.time && a.seq < b.seq)
+let alloc_entry t =
+  if t.free_head < 0 then grow_pool t;
+  let i = t.free_head in
+  t.free_head <- t.e_next.(i);
+  i
 
-let grow t =
-  let cap = Array.length t.heap in
-  let ncap = if cap = 0 then 64 else cap * 2 in
-  let nheap = Array.make ncap t.sentinel in
-  Array.blit t.heap 0 nheap 0 t.len;
-  t.heap <- nheap
+let free_entry t i =
+  t.e_gen.(i) <- (t.e_gen.(i) + 1) land gen_mask;
+  t.e_payload.(i) <- t.dummy;
+  t.e_where.(i) <- w_free;
+  t.e_next.(i) <- t.free_head;
+  t.free_head <- i
 
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if before t.heap.(i) t.heap.(parent) then begin
-      let tmp = t.heap.(i) in
-      t.heap.(i) <- t.heap.(parent);
-      t.heap.(parent) <- tmp;
-      sift_up t parent
+let mk_handle t i = i lor (t.e_gen.(i) lsl idx_bits)
+
+let decode t h =
+  let i = h land idx_mask in
+  if h >= 0 && i < t.cap && t.e_gen.(i) = h lsr idx_bits then i else -1
+
+(* ---- (tick, seq) order ---- *)
+
+let earlier t i j =
+  t.e_time.(i) < t.e_time.(j)
+  || (t.e_time.(i) = t.e_time.(j) && t.e_seq.(i) < t.e_seq.(j))
+
+(* ---- int-index binary heaps (overdue / overflow) ---- *)
+
+let heap_push t heap len i =
+  let a = if Array.length heap <= len then begin
+      let ncap = if len = 0 then 16 else 2 * len in
+      let n = Array.make ncap (-1) in
+      Array.blit heap 0 n 0 len;
+      n
+    end
+    else heap
+  in
+  a.(len) <- i;
+  let pos = ref len in
+  while
+    !pos > 0
+    &&
+    let p = (!pos - 1) / 2 in
+    earlier t a.(!pos) a.(p)
+  do
+    let p = (!pos - 1) / 2 in
+    let tmp = a.(!pos) in
+    a.(!pos) <- a.(p);
+    a.(p) <- tmp;
+    pos := p
+  done;
+  a
+
+let rec heap_sift_down t a len i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let m = ref i in
+  if l < len && earlier t a.(l) a.(!m) then m := l;
+  if r < len && earlier t a.(r) a.(!m) then m := r;
+  if !m <> i then begin
+    let tmp = a.(i) in
+    a.(i) <- a.(!m);
+    a.(!m) <- tmp;
+    heap_sift_down t a len !m
+  end
+
+let od_push t i =
+  t.od_heap <- heap_push t t.od_heap t.od_len i;
+  t.od_len <- t.od_len + 1
+
+let of_push t i =
+  t.of_heap <- heap_push t t.of_heap t.of_len i;
+  t.of_len <- t.of_len + 1
+
+let od_pop_root t =
+  let i = t.od_heap.(0) in
+  t.od_len <- t.od_len - 1;
+  if t.od_len > 0 then begin
+    t.od_heap.(0) <- t.od_heap.(t.od_len);
+    heap_sift_down t t.od_heap t.od_len 0
+  end;
+  i
+
+let of_pop_root t =
+  let i = t.of_heap.(0) in
+  t.of_len <- t.of_len - 1;
+  if t.of_len > 0 then begin
+    t.of_heap.(0) <- t.of_heap.(t.of_len);
+    heap_sift_down t t.of_heap t.of_len 0
+  end;
+  i
+
+(* Drop cancelled entries off a heap top so the root is live (or the heap
+   empty). Dead entries are only reclaimed here: their pool slot must not
+   be reused while their index is still buried in the heap array. *)
+let rec od_clean t =
+  if t.od_len > 0 && t.e_where.(t.od_heap.(0)) = w_dead then begin
+    free_entry t (od_pop_root t);
+    od_clean t
+  end
+
+let rec of_clean t =
+  if t.of_len > 0 && t.e_where.(t.of_heap.(0)) = w_dead then begin
+    free_entry t (of_pop_root t);
+    of_clean t
+  end
+
+(* ---- wheel slots ---- *)
+
+let occ_set t s = t.occ.(s lsr 5) <- t.occ.(s lsr 5) lor (1 lsl (s land 31))
+
+let occ_clear t s =
+  t.occ.(s lsr 5) <- t.occ.(s lsr 5) land lnot (1 lsl (s land 31))
+
+let ntz8 =
+  (* Number of trailing zeros for each byte value 1..255. *)
+  let a = Bytes.make 256 '\000' in
+  for i = 1 to 255 do
+    let n = ref 0 in
+    while i land (1 lsl !n) = 0 do
+      incr n
+    done;
+    Bytes.set a i (Char.chr !n)
+  done;
+  a
+
+let ntz32 w =
+  if w land 0xff <> 0 then Char.code (Bytes.get ntz8 (w land 0xff))
+  else if w land 0xff00 <> 0 then
+    8 + Char.code (Bytes.get ntz8 ((w lsr 8) land 0xff))
+  else if w land 0xff0000 <> 0 then
+    16 + Char.code (Bytes.get ntz8 ((w lsr 16) land 0xff))
+  else 24 + Char.code (Bytes.get ntz8 ((w lsr 24) land 0xff))
+
+(* First occupied slot id in [lo, hi] (global slot ids), or -1. *)
+let next_occupied t lo hi =
+  if lo > hi then -1
+  else begin
+    let w0 = lo lsr 5 and whi = hi lsr 5 in
+    let first = t.occ.(w0) lsr (lo land 31) in
+    if first <> 0 then lo + ntz32 first
+    else begin
+      let rec scan w =
+        if w > whi then -1
+        else if t.occ.(w) <> 0 then
+          let s = (w lsl 5) + ntz32 t.occ.(w) in
+          if s <= hi then s else -1
+        else scan (w + 1)
+      in
+      scan (w0 + 1)
     end
   end
 
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.len && before t.heap.(l) t.heap.(!smallest) then smallest := l;
-  if r < t.len && before t.heap.(r) t.heap.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    let tmp = t.heap.(i) in
-    t.heap.(i) <- t.heap.(!smallest);
-    t.heap.(!smallest) <- tmp;
-    sift_down t !smallest
+let slot_append t s i =
+  t.e_where.(i) <- s;
+  t.e_next.(i) <- -1;
+  let tl = t.tail.(s) in
+  if tl < 0 then begin
+    t.e_prev.(i) <- -1;
+    t.head.(s) <- i;
+    t.tail.(s) <- i;
+    occ_set t s
+  end
+  else begin
+    t.e_prev.(i) <- tl;
+    t.e_next.(tl) <- i;
+    t.tail.(s) <- i
+  end;
+  t.wheel_count <- t.wheel_count + 1
+
+let slot_unlink t i =
+  let s = t.e_where.(i) in
+  let p = t.e_prev.(i) and n = t.e_next.(i) in
+  if p >= 0 then t.e_next.(p) <- n else t.head.(s) <- n;
+  if n >= 0 then t.e_prev.(n) <- p else t.tail.(s) <- p;
+  if t.head.(s) < 0 then occ_clear t s;
+  t.wheel_count <- t.wheel_count - 1
+
+(* Place a live entry relative to the cursor. Level selection is by
+   window equality (which byte of the tick differs from the cursor's), so
+   within one level indices never wrap: scans always run upward. *)
+let place t i =
+  let tick = t.e_time.(i) in
+  if tick < t.cur then begin
+    t.e_where.(i) <- w_overdue;
+    od_push t i
+  end
+  else if tick lsr slot_bits = t.cur lsr slot_bits then
+    slot_append t (tick land 0xff) i
+  else if tick lsr 16 = t.cur lsr 16 then
+    slot_append t (slots_per_level + ((tick lsr 8) land 0xff)) i
+  else if tick lsr 24 = t.cur lsr 24 then
+    slot_append t ((2 * slots_per_level) + ((tick lsr 16) land 0xff)) i
+  else if tick lsr 32 = t.cur lsr 32 then
+    slot_append t ((3 * slots_per_level) + ((tick lsr 24) land 0xff)) i
+  else begin
+    t.e_where.(i) <- w_overflow;
+    of_push t i
   end
 
-let add_entry t e =
-  if t.len = Array.length t.heap then grow t;
-  t.heap.(t.len) <- e;
-  t.len <- t.len + 1;
-  sift_up t (t.len - 1)
+(* Move every entry of a level-[lvl] slot down, after advancing the
+   cursor to the slot's window base. Iterating in list order re-appends
+   equal-tick entries in their original (seq) order. *)
+let cascade t lvl s =
+  let within = s land 0xff in
+  let mask_above = -1 lsl (8 * (lvl + 1)) in
+  let base = (t.cur land mask_above) lor (within lsl (8 * lvl)) in
+  t.cur <- base;
+  let i = ref t.head.(s) in
+  t.head.(s) <- -1;
+  t.tail.(s) <- -1;
+  occ_clear t s;
+  while !i >= 0 do
+    let n = t.e_next.(!i) in
+    t.wheel_count <- t.wheel_count - 1;
+    place t !i;
+    i := n
+  done
+
+(* Minimum live wheel entry (pool index), cascading upper-level slots as
+   needed; -1 when the wheel is empty. The cursor only ever advances to
+   window bases at or below the minimum tick, so placement of later adds
+   stays consistent. *)
+let rec wheel_min t =
+  if t.wheel_count = 0 then -1
+  else begin
+    match next_occupied t (t.cur land 0xff) (slots_per_level - 1) with
+    | s when s >= 0 -> t.head.(s)
+    | _ -> (
+      let lvl_scan lvl =
+        let base = lvl * slots_per_level in
+        let idx = (t.cur lsr (8 * lvl)) land 0xff in
+        next_occupied t (base + idx + 1) (base + slots_per_level - 1)
+      in
+      match lvl_scan 1 with
+      | s when s >= 0 ->
+        cascade t 1 s;
+        wheel_min t
+      | _ -> (
+        match lvl_scan 2 with
+        | s when s >= 0 ->
+          cascade t 2 s;
+          wheel_min t
+        | _ -> (
+          match lvl_scan 3 with
+          | s when s >= 0 ->
+            cascade t 3 s;
+            wheel_min t
+          | _ -> -1)))
+  end
+
+(* ---- minimum selection across the three tiers ---- *)
+
+(* The minimum is the (tick, seq)-least of the three tier heads. Overdue
+   ticks are always below the cursor and wheel ticks at or above it, but
+   the overflow heap needs a real comparison both ways: it keeps entries
+   whose 2^32 window the cursor has since reached (they are never
+   migrated into the wheel) and can even hold ticks the cursor has passed
+   (its page jumped over them), which must still beat a later overdue
+   entry. *)
+let find_min t =
+  od_clean t;
+  of_clean t;
+  let best = ref (wheel_min t) in
+  let consider i = if !best < 0 || earlier t i !best then best := i in
+  if t.od_len > 0 then consider t.od_heap.(0);
+  if t.of_len > 0 then consider t.of_heap.(0);
+  !best
+
+let remove_min t i =
+  (* [i] must be the entry [find_min] returned. The cursor never moves
+     backwards: a pop below it (overdue, or a passed-over overflow tick)
+     leaves it in place, so the placement of existing wheel entries stays
+     consistent with future scans. *)
+  match t.e_where.(i) with
+  | w when w >= 0 ->
+    slot_unlink t i;
+    t.cur <- t.e_time.(i)
+  | w when w = w_overdue -> ignore (od_pop_root t : int)
+  | w when w = w_overflow ->
+    ignore (of_pop_root t : int);
+    if t.e_time.(i) > t.cur then t.cur <- t.e_time.(i)
+  | _ -> assert false
+
+(* ---- public api ---- *)
+
+let size t = t.live
+let is_empty t = t.live = 0
 
 let add t ~time payload =
-  let e = { time; seq = t.next_seq; payload = Some payload; live = true } in
+  let tick = tick_of_time time in
+  let i = alloc_entry t in
+  t.e_time.(i) <- tick;
+  t.e_seq.(i) <- t.next_seq;
   t.next_seq <- t.next_seq + 1;
-  add_entry t e;
-  t.live_count <- t.live_count + 1;
-  e
+  t.e_payload.(i) <- payload;
+  place t i;
+  t.live <- t.live + 1;
+  mk_handle t i
 
-let cancel t e =
-  if e.live then begin
-    e.live <- false;
-    e.payload <- None;
-    t.live_count <- t.live_count - 1
-  end
-
-let is_live e = e.live
-let entry_time e = e.time
-
-let remove_root t =
-  t.len <- t.len - 1;
-  if t.len > 0 then begin
-    t.heap.(0) <- t.heap.(t.len);
-    t.heap.(t.len) <- t.sentinel;
-    sift_down t 0
-  end
-  else t.heap.(0) <- t.sentinel
-
-let rec pop_entry t =
-  if t.len = 0 then None
-  else begin
-    let root = t.heap.(0) in
-    remove_root t;
-    if root.live then begin
-      root.live <- false;
-      Some root
+let cancel t h =
+  let i = decode t h in
+  if i >= 0 then begin
+    let w = t.e_where.(i) in
+    if w >= 0 then begin
+      slot_unlink t i;
+      t.live <- t.live - 1;
+      free_entry t i
     end
-    else pop_entry t
+    else if w = w_overdue || w = w_overflow then begin
+      (* Lazy: the index stays buried in its heap; mark it dead, release
+         the payload now, bump the generation so the handle dies. *)
+      t.e_where.(i) <- w_dead;
+      t.e_payload.(i) <- t.dummy;
+      t.e_gen.(i) <- (t.e_gen.(i) + 1) land gen_mask;
+      t.live <- t.live - 1
+    end
+    (* w_inflight / w_dead / w_free: no-op *)
   end
+
+let is_live t h =
+  let i = decode t h in
+  i >= 0 && (t.e_where.(i) >= 0 || t.e_where.(i) = w_overdue || t.e_where.(i) = w_overflow)
+
+let entry_time t h =
+  let i = decode t h in
+  if i < 0 then invalid_arg "Event_queue.entry_time: stale handle"
+  else Int64.of_int t.e_time.(i)
+
+let requeue t h ~time =
+  if not (is_live t h) then invalid_arg "Event_queue.requeue: cancelled entry";
+  let i = h land idx_mask in
+  let tick = tick_of_time time in
+  let fresh i' =
+    (* A requeue is a fresh insertion: new sequence number, so the FIFO
+       tie-break counts from insertion into the new instant. *)
+    t.e_time.(i') <- tick;
+    t.e_seq.(i') <- t.next_seq;
+    t.next_seq <- t.next_seq + 1;
+    place t i';
+    mk_handle t i'
+  in
+  if t.e_where.(i) >= 0 then begin
+    (* Reuse the record in place; bump the generation so the old handle
+       goes stale (a requeue invalidates it, like a cancel + add). *)
+    slot_unlink t i;
+    t.e_gen.(i) <- (t.e_gen.(i) + 1) land gen_mask;
+    fresh i
+  end
+  else begin
+    (* Buried in a heap: bury the old record dead, move the payload to a
+       fresh one. *)
+    let p = t.e_payload.(i) in
+    t.e_where.(i) <- w_dead;
+    t.e_payload.(i) <- t.dummy;
+    t.e_gen.(i) <- (t.e_gen.(i) + 1) land gen_mask;
+    let i' = alloc_entry t in
+    t.e_payload.(i') <- p;
+    fresh i'
+  end
+
+let next_tick t =
+  let i = find_min t in
+  if i < 0 then no_tick else t.e_time.(i)
+
+let peek_time t =
+  let i = find_min t in
+  if i < 0 then None else Some (Int64.of_int t.e_time.(i))
+
+let take t =
+  let i = find_min t in
+  if i < 0 then none
+  else begin
+    remove_min t i;
+    t.e_where.(i) <- w_inflight;
+    t.live <- t.live - 1;
+    mk_handle t i
+  end
+
+let inflight_tick t h = t.e_time.(h land idx_mask)
+let payload t h = t.e_payload.(h land idx_mask)
+
+let finish t h =
+  let i = h land idx_mask in
+  free_entry t i
+
+let defer_inflight t h ~time =
+  (* Re-insert a taken entry (engine freeze deferral / busy-window
+     gating) with a fresh sequence number but the SAME generation: the
+     handle the owner holds stays valid, so a later precise cancel still
+     reaches the deferred event. *)
+  let i = h land idx_mask in
+  t.e_time.(i) <- tick_of_time time;
+  t.e_seq.(i) <- t.next_seq;
+  t.next_seq <- t.next_seq + 1;
+  place t i;
+  t.live <- t.live + 1
 
 let pop t =
-  match pop_entry t with
-  | None -> None
-  | Some e ->
-    t.live_count <- t.live_count - 1;
-    let p = match e.payload with Some p -> p | None -> assert false in
-    e.payload <- None;
-    Some (e.time, p)
-
-let rec peek_time t =
-  if t.len = 0 then None
+  let h = take t in
+  if h < 0 then None
   else begin
-    let root = t.heap.(0) in
-    if root.live then Some root.time
-    else begin
-      remove_root t;
-      peek_time t
-    end
+    let i = h land idx_mask in
+    let p = t.e_payload.(i) in
+    let time = Int64.of_int t.e_time.(i) in
+    finish t h;
+    Some (time, p)
   end
-
-let requeue t e ~time =
-  if not e.live then invalid_arg "Event_queue.requeue: cancelled entry";
-  let payload = match e.payload with Some p -> p | None -> assert false in
-  cancel t e;
-  (* A requeue is a fresh insertion: it takes a new sequence number so the
-     documented FIFO tie-break among same-timestamp events holds relative
-     to everything already scheduled, not to the entry's original age. *)
-  let e' = { time; seq = t.next_seq; payload = Some payload; live = true } in
-  t.next_seq <- t.next_seq + 1;
-  add_entry t e';
-  t.live_count <- t.live_count + 1;
-  e'
-
-let size t = t.live_count
-let is_empty t = t.live_count = 0

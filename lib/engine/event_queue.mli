@@ -1,35 +1,64 @@
-(** Cancellable binary-heap event queue.
+(** Hierarchical timing-wheel event queue.
 
     Events are ordered by (time, sequence number): two events at the same
-    simulated instant fire in insertion order, which is what makes the whole
-    simulation deterministic. Cancellation is lazy: a cancelled entry stays in
-    the heap until popped, then is skipped — but its payload is released
-    immediately, and popped slots are overwritten with a sentinel, so the
-    queue never retains dead payloads across long runs. *)
+    simulated instant fire in insertion order, and a {!requeue} counts as
+    a fresh insertion. The pop sequence is bit-identical to the reference
+    binary heap ({!Heap_queue}); the representation differs only in cost:
+
+    - 4 levels x 256 slots, 1 ns per level-0 slot, so add / cancel /
+      requeue of anything within 2^32 ns of the cursor is O(1). Events
+      beyond the horizon wait in an overflow heap; events scheduled below
+      the cursor (the engine permits past adds at queue level) in an
+      overdue heap.
+    - Entries live in a structure-of-arrays pool recycled through a free
+      list, so steady-state traffic performs no heap allocation. Handles
+      are immediate ints packing the pool index with a generation
+      counter; cancelling a stale handle is a safe no-op.
+
+    The engine drives the queue through the zero-allocation hot-path API
+    ({!next_tick} / {!take} / {!finish} / {!defer_inflight}); [add],
+    [pop] and friends are the classic interface, used by tests and
+    lower-traffic callers. *)
 
 type 'a t
 
-type 'a entry
-(** Handle to a scheduled event, usable for cancellation. *)
+type handle = int
+(** Handle to a scheduled event. Handles are immediate (no allocation)
+    and generation-checked: once the event fires, is cancelled, or is
+    requeued, the old handle goes stale and {!cancel} on it is a no-op. *)
 
-val create : unit -> 'a t
+val none : handle
+(** A handle that never names a live event ([-1]). *)
 
-val add : 'a t -> time:Time.ns -> 'a -> 'a entry
-(** Schedule a payload. [time] may be in the past relative to previously
-    popped events; the caller (the engine) enforces monotonicity. *)
+val create : dummy:'a -> 'a t
+(** [create ~dummy] makes an empty queue. [dummy] fills vacated payload
+    slots so the pool never retains dead payloads (closures can capture
+    large state). *)
 
-val cancel : 'a t -> 'a entry -> unit
-(** Idempotent. A cancelled event is never returned by {!pop}. *)
+val add : 'a t -> time:Time.ns -> 'a -> handle
+(** Schedule a payload. [time] may be below the cursor (the caller — the
+    engine — enforces monotonicity of dispatch times). Raises
+    [Invalid_argument] if [time] exceeds the +-2^61 ns tick range. *)
 
-val is_live : 'a entry -> bool
-val entry_time : 'a entry -> Time.ns
+val cancel : 'a t -> handle -> unit
+(** Idempotent; a no-op on stale handles. A cancelled event is never
+    returned by {!pop} or {!take}, and its payload slot is released
+    immediately. *)
 
-val requeue : 'a t -> 'a entry -> time:Time.ns -> 'a entry
-(** [requeue q e ~time] cancels [e] and re-adds its payload at [time] with
-    a {e fresh} sequence number: a requeue counts as a new insertion, so it
-    fires after events already scheduled at the same instant (the FIFO
-    tie-break documented above). Returns the new handle. Raises
-    [Invalid_argument] if [e] is cancelled. *)
+val is_live : 'a t -> handle -> bool
+(** Whether the handle still names a scheduled (not fired, not cancelled,
+    not in-flight) event. *)
+
+val entry_time : 'a t -> handle -> Time.ns
+(** Scheduled time behind a live handle. Raises [Invalid_argument] on a
+    stale one. *)
+
+val requeue : 'a t -> handle -> time:Time.ns -> handle
+(** [requeue q h ~time] cancels [h] and re-adds its payload at [time]
+    with a {e fresh} sequence number: a requeue counts as a new
+    insertion, so it fires after events already scheduled at the same
+    instant. Returns the new handle; the old one goes stale. Raises
+    [Invalid_argument] if [h] is stale. *)
 
 val pop : 'a t -> (Time.ns * 'a) option
 (** Remove and return the earliest live event. *)
@@ -38,6 +67,41 @@ val peek_time : 'a t -> Time.ns option
 (** Time of the earliest live event without removing it. *)
 
 val size : 'a t -> int
-(** Number of live events. *)
+(** Number of live events, O(1). *)
 
 val is_empty : 'a t -> bool
+
+(** {1 Zero-allocation hot path}
+
+    The engine's run loop avoids every boxed intermediate: times are
+    compared as int ticks, the minimum is taken while staying pooled
+    ("in flight"), its payload is read in place, and the entry is either
+    released ({!finish}) or re-inserted at a later time
+    ({!defer_inflight}) without a fresh allocation. *)
+
+val no_tick : int
+(** Sentinel returned by {!next_tick} on an empty queue ([min_int]). *)
+
+val next_tick : 'a t -> int
+(** Tick (int nanoseconds) of the earliest live event, or {!no_tick}. *)
+
+val take : 'a t -> handle
+(** Remove the earliest live event from the queue but keep its entry
+    pooled in-flight; returns {!none} if the queue is empty. The entry
+    MUST subsequently be released with {!finish} or re-inserted with
+    {!defer_inflight}. In-flight entries are invisible to {!size},
+    {!cancel} and the ordering scans. *)
+
+val inflight_tick : 'a t -> handle -> int
+(** Tick of an in-flight entry (undefined on anything else). *)
+
+val payload : 'a t -> handle -> 'a
+(** Payload of an in-flight entry (undefined on anything else). *)
+
+val finish : 'a t -> handle -> unit
+(** Release an in-flight entry back to the pool. *)
+
+val defer_inflight : 'a t -> handle -> time:Time.ns -> unit
+(** Re-insert an in-flight entry at [time] with a fresh sequence number
+    but the {e same} generation: the handle its owner holds stays valid,
+    so a later precise {!cancel} still reaches the deferred event. *)

@@ -1,0 +1,273 @@
+open Hrt_engine
+
+type sample = {
+  name : string;
+  events : int;
+  seconds : float;
+  events_per_sec : float;
+  minor_words_per_event : float;
+}
+
+type crossover = { size : int; wheel_ns_per_op : float; heap_ns_per_op : float }
+
+type result = {
+  events : int;
+  sources : int;
+  samples : sample list;
+  speedup : float; (* wheel+actions vs heap baseline, events/sec *)
+  crossovers : crossover list;
+}
+
+(* One timed run: settle the heap first so the measurement window only sees
+   the workload's own allocation, then read wall time and minor words. *)
+let timed f =
+  Gc.full_major ();
+  let mw0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let seconds = Unix.gettimeofday () -. t0 in
+  (seconds, Gc.minor_words () -. mw0)
+
+let mk_sample name ~events (seconds, minor_words) =
+  {
+    name;
+    events;
+    seconds;
+    events_per_sec = (if seconds > 0. then float_of_int events /. seconds else 0.);
+    minor_words_per_event = minor_words /. float_of_int events;
+  }
+
+(* Per-source reschedule stride: small, deterministic, and co-prime-ish so
+   the wheel sees a realistic spread of near-future slots rather than one
+   hot slot. *)
+let stride i = Int64.of_int (1 + (i * 7 mod 97))
+
+(* The engine as the scheduler core uses it: every source schedules one
+   cached action value, so steady state allocates nothing but the advancing
+   clock's boxed int64s. *)
+let run_wheel_actions ~events ~sources =
+  let eng = Engine.create () in
+  let remaining = ref events in
+  let actions = Array.make sources (Engine.Callback (fun _ -> ())) in
+  for i = 0 to sources - 1 do
+    let after = stride i in
+    let key =
+      Engine.register_source eng (fun eng ->
+          if !remaining > 0 then begin
+            decr remaining;
+            ignore (Engine.schedule_action_after eng ~after actions.(i))
+          end)
+    in
+    actions.(i) <- Engine.Timer_fire key
+  done;
+  for i = 0 to sources - 1 do
+    ignore (Engine.schedule_action eng ~at:(Int64.of_int (i + 1)) actions.(i))
+  done;
+  mk_sample "wheel+actions" ~events (timed (fun () -> Engine.run eng))
+
+(* Same wheel-backed engine, but every reschedule allocates a fresh closure
+   (the pre-refactor calling convention). Isolates the dispatch win from
+   the queue win. *)
+let run_wheel_closures ~events ~sources =
+  let eng = Engine.create () in
+  let remaining = ref events in
+  let rec step after eng =
+    if !remaining > 0 then begin
+      decr remaining;
+      ignore (Engine.schedule_after eng ~after (step after))
+    end
+  in
+  for i = 0 to sources - 1 do
+    ignore (Engine.schedule eng ~at:(Int64.of_int (i + 1)) (step (stride i)))
+  done;
+  mk_sample "wheel+closures" ~events (timed (fun () -> Engine.run eng))
+
+(* The original core, reconstructed: a binary heap of closure payloads
+   driven by pop, one record + one closure + one option/tuple per event. *)
+let run_heap_baseline ~events ~sources =
+  let q : (unit -> unit) Heap_queue.t = Heap_queue.create () in
+  let now = ref 0L in
+  let remaining = ref events in
+  let rec step after () =
+    if !remaining > 0 then begin
+      decr remaining;
+      ignore (Heap_queue.add q ~time:(Int64.add !now after) (step after))
+    end
+  in
+  for i = 0 to sources - 1 do
+    ignore (Heap_queue.add q ~time:(Int64.of_int (i + 1)) (step (stride i)))
+  done;
+  let drain () =
+    let continue = ref true in
+    while !continue do
+      match Heap_queue.pop q with
+      | Some (t, f) ->
+        now := t;
+        f ()
+      | None -> continue := false
+    done
+  in
+  mk_sample "heap+closures" ~events (timed drain)
+
+(* Queue-structure churn at a fixed population: each op removes the
+   earliest entry and re-inserts it [4 * size] ns later, each structure
+   through its engine-facing hot path (wheel: take / defer_inflight;
+   heap: pop / add). ns/op as a function of population locates the
+   crossover between O(1) wheel traffic and O(log n) sifting. *)
+let churn_sizes = [ 16; 64; 256; 1024; 4096; 16384 ]
+
+let churn_wheel ~size ~ops =
+  let q = Event_queue.create ~dummy:0 in
+  let span = Int64.of_int (4 * size) in
+  for i = 0 to size - 1 do
+    ignore (Event_queue.add q ~time:(Int64.of_int (1 + (i * 13 mod (4 * size)))) 0)
+  done;
+  let seconds, _ =
+    timed (fun () ->
+        for _ = 1 to ops do
+          let h = Event_queue.take q in
+          let t = Int64.of_int (Event_queue.inflight_tick q h) in
+          Event_queue.defer_inflight q h ~time:(Int64.add t span)
+        done)
+  in
+  seconds *. 1e9 /. float_of_int ops
+
+let churn_heap ~size ~ops =
+  let q : int Heap_queue.t = Heap_queue.create () in
+  let span = Int64.of_int (4 * size) in
+  for i = 0 to size - 1 do
+    ignore (Heap_queue.add q ~time:(Int64.of_int (1 + (i * 13 mod (4 * size)))) 0)
+  done;
+  let seconds, _ =
+    timed (fun () ->
+        for _ = 1 to ops do
+          match Heap_queue.pop q with
+          | Some (t, v) -> ignore (Heap_queue.add q ~time:(Int64.add t span) v)
+          | None -> assert false
+        done)
+  in
+  seconds *. 1e9 /. float_of_int ops
+
+let measure ~events ~sources ~churn_ops =
+  let wheel = run_wheel_actions ~events ~sources in
+  let wheel_cl = run_wheel_closures ~events ~sources in
+  let heap = run_heap_baseline ~events ~sources in
+  let crossovers =
+    List.map
+      (fun size ->
+        {
+          size;
+          wheel_ns_per_op = churn_wheel ~size ~ops:churn_ops;
+          heap_ns_per_op = churn_heap ~size ~ops:churn_ops;
+        })
+      churn_sizes
+  in
+  {
+    events;
+    sources;
+    samples = [ wheel; wheel_cl; heap ];
+    speedup =
+      (if heap.events_per_sec > 0. then
+         wheel.events_per_sec /. heap.events_per_sec
+       else 0.);
+    crossovers;
+  }
+
+(* ---- JSON artifact ---- *)
+
+(* Hand-rolled, flat JSON (the repo deliberately has no JSON dependency).
+   The headline numbers are duplicated at top level so the CI regression
+   gate can read them with a string scan instead of a parser. *)
+let to_json r =
+  let b = Buffer.create 1024 in
+  let wheel = List.hd r.samples in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"hrt-engine-bench/1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"events\": %d,\n" r.events);
+  Buffer.add_string b (Printf.sprintf "  \"sources\": %d,\n" r.sources);
+  Buffer.add_string b
+    (Printf.sprintf "  \"wheel_events_per_sec\": %.0f,\n" wheel.events_per_sec);
+  Buffer.add_string b (Printf.sprintf "  \"speedup_vs_heap\": %.3f,\n" r.speedup);
+  Buffer.add_string b "  \"samples\": [";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n    { \"name\": \"%s\", \"events\": %d, \"seconds\": %.6f, \
+            \"events_per_sec\": %.0f, \"minor_words_per_event\": %.2f }"
+           s.name s.events s.seconds s.events_per_sec s.minor_words_per_event))
+    r.samples;
+  Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b "  \"crossover\": [";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n    { \"size\": %d, \"wheel_ns_per_op\": %.1f, \
+            \"heap_ns_per_op\": %.1f }"
+           c.size c.wheel_ns_per_op c.heap_ns_per_op))
+    r.crossovers;
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b
+
+let write r ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json r))
+
+(* Read one top-level numeric field out of a committed artifact. *)
+let scan_field text key =
+  let needle = Printf.sprintf "\"%s\":" key in
+  let nlen = String.length needle in
+  let len = String.length text in
+  let rec find from =
+    if from + nlen > len then None
+    else if String.sub text from nlen = needle then Some (from + nlen)
+    else find (from + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    let stop = ref start in
+    while
+      !stop < len
+      && (match text.[!stop] with
+         | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' | ' ' -> true
+         | _ -> false)
+    do
+      incr stop
+    done;
+    float_of_string_opt (String.trim (String.sub text start (!stop - start)))
+
+let baseline_events_per_sec ~path =
+  if not (Sys.file_exists path) then Error (path ^ ": no such baseline")
+  else begin
+    let ic = open_in_bin path in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match scan_field text "wheel_events_per_sec" with
+    | Some v when v > 0. -> Ok v
+    | _ -> Error (path ^ ": no wheel_events_per_sec field")
+  end
+
+(* CI gate: the measured wheel throughput may not fall more than
+   [tolerance] below the committed baseline. *)
+let check_against r ~path ~tolerance =
+  match baseline_events_per_sec ~path with
+  | Error _ as e -> e
+  | Ok base ->
+    let wheel = (List.hd r.samples).events_per_sec in
+    let floor = base *. (1. -. tolerance) in
+    if wheel >= floor then Ok base
+    else
+      Error
+        (Printf.sprintf
+           "events/sec regression: measured %.0f < %.0f (baseline %.0f, \
+            tolerance %.0f%%)"
+           wheel floor base (100. *. tolerance))

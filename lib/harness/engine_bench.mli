@@ -1,0 +1,48 @@
+(** Engine-core microbenchmark behind [hrt_sim enginebench].
+
+    Three workloads of self-rescheduling event sources measure the
+    zero-allocation refactor end to end:
+
+    - ["wheel+actions"] — the current core: timing-wheel queue, cached
+      monomorphic {!Hrt_engine.Engine.action} values;
+    - ["wheel+closures"] — wheel queue, but a fresh closure per event
+      (isolates the dispatch win from the queue win);
+    - ["heap+closures"] — the original binary-heap core, reconstructed
+      over {!Hrt_engine.Heap_queue}.
+
+    A separate churn pass measures ns/op for each queue structure at fixed
+    populations to locate the wheel-vs-heap crossover. Results serialize
+    to a flat JSON artifact ([BENCH_engine.json]) whose headline
+    [wheel_events_per_sec] field backs the CI regression gate. *)
+
+type sample = {
+  name : string;
+  events : int;
+  seconds : float;
+  events_per_sec : float;
+  minor_words_per_event : float;
+}
+
+type crossover = { size : int; wheel_ns_per_op : float; heap_ns_per_op : float }
+
+type result = {
+  events : int;
+  sources : int;
+  samples : sample list;  (** wheel+actions, wheel+closures, heap+closures *)
+  speedup : float;  (** wheel+actions over heap+closures, events/sec *)
+  crossovers : crossover list;
+}
+
+val measure : events:int -> sources:int -> churn_ops:int -> result
+
+val to_json : result -> string
+val write : result -> path:string -> unit
+
+val baseline_events_per_sec : path:string -> (float, string) Result.t
+(** The [wheel_events_per_sec] field of a committed artifact. *)
+
+val check_against : result -> path:string -> tolerance:float -> (float, string) Result.t
+(** [check_against r ~path ~tolerance] compares [r]'s wheel throughput to
+    the committed baseline at [path]: [Ok baseline] when within
+    [tolerance] (a fraction, e.g. [0.2]), [Error message] on regression
+    or unreadable baseline. *)

@@ -3,7 +3,7 @@ open Hrt_engine
 let sched_prio = 15
 let rt_ppr = 14
 
-type pending = { prio : int; seq : int; handler : Engine.t -> unit }
+type pending = { prio : int; seq : int; action : Engine.action }
 
 type t = {
   engine : Engine.t;
@@ -14,38 +14,58 @@ type t = {
   ghz : float;
   mutable ppr : int;
   mutable timer_handler : Engine.t -> unit;
-  mutable timer_ev : Engine.handle option;
+  mutable timer_ev : Engine.handle;
   mutable timer_at : Time.ns option;
   mutable timer_gen : int;
       (* Bumped on every arm/cancel. A one-shot timer holds exactly one
          shot in flight; the fire event validates its generation at
-         delivery so a reprogrammed-away shot is dropped even when the
-         engine detached it from its cancellation handle (events deferred
-         past a frozen window are re-queued as fresh entries). *)
+         delivery so a reprogrammed-away shot is dropped even if its
+         queue entry could not be cancelled precisely. *)
+  mutable armed_gen : int; (* generation of the armed shot, if any *)
+  mutable fire_action : Engine.action;
+      (* The single cached timer-expiry action: every arm schedules this
+         same value, so reprogramming the one-shot allocates no closure. *)
   mutable pending : pending list; (* unsorted; flushed by priority *)
   mutable pending_seq : int;
   mutable extra_jitter_ns : Time.ns; (* fault-injected latency, uniform max *)
   mutable extra_rng : Rng.t option;
 }
 
+(* Timer expiry: drop stale generations (reprogrammed or cancelled shots
+   whose queue entry outlived them), otherwise disarm and enter the
+   installed vector. *)
+let fire t eng =
+  if t.armed_gen = t.timer_gen && t.timer_at <> None then begin
+    t.timer_ev <- Engine.no_handle;
+    t.timer_at <- None;
+    t.timer_handler eng
+  end
+
 let create ~engine ~rng ~tick_ns ~tsc_deadline ~jitter_max_cycles ~ghz =
-  {
-    engine;
-    rng;
-    tick_ns;
-    tsc_deadline;
-    jitter_max_cycles;
-    ghz;
-    ppr = 0;
-    timer_handler = (fun _ -> ());
-    timer_ev = None;
-    timer_at = None;
-    timer_gen = 0;
-    pending = [];
-    pending_seq = 0;
-    extra_jitter_ns = 0L;
-    extra_rng = None;
-  }
+  let t =
+    {
+      engine;
+      rng;
+      tick_ns;
+      tsc_deadline;
+      jitter_max_cycles;
+      ghz;
+      ppr = 0;
+      timer_handler = (fun _ -> ());
+      timer_ev = Engine.no_handle;
+      timer_at = None;
+      timer_gen = 0;
+      armed_gen = -1;
+      fire_action = Engine.Timer_fire 0;
+      pending = [];
+      pending_seq = 0;
+      extra_jitter_ns = 0L;
+      extra_rng = None;
+    }
+  in
+  t.fire_action <-
+    Engine.Timer_fire (Engine.register_source engine (fun eng -> fire t eng));
+  t
 
 let set_timer_handler t f = t.timer_handler <- f
 
@@ -70,10 +90,8 @@ let delivery_latency t =
 
 let cancel_timer t =
   t.timer_gen <- t.timer_gen + 1;
-  (match t.timer_ev with
-  | None -> ()
-  | Some ev -> Engine.cancel t.engine ev);
-  t.timer_ev <- None;
+  Engine.cancel t.engine t.timer_ev;
+  t.timer_ev <- Engine.no_handle;
   t.timer_at <- None
 
 let arm t ~at =
@@ -91,16 +109,8 @@ let arm t ~at =
   in
   let fire_at = Time.(fire_at + delivery_latency t) in
   t.timer_at <- Some fire_at;
-  let gen = t.timer_gen in
-  let ev =
-    Engine.schedule t.engine ~at:fire_at (fun eng ->
-        if gen = t.timer_gen then begin
-          t.timer_ev <- None;
-          t.timer_at <- None;
-          t.timer_handler eng
-        end)
-  in
-  t.timer_ev <- Some ev
+  t.armed_gen <- t.timer_gen;
+  t.timer_ev <- Engine.schedule_action t.engine ~at:fire_at t.fire_action
 
 let timer_armed_at t = t.timer_at
 
@@ -118,7 +128,7 @@ let flush t eng =
       deliverable
   in
   List.iter
-    (fun p -> ignore (Engine.schedule_after eng ~after:0L p.handler))
+    (fun p -> ignore (Engine.schedule_action_after eng ~after:0L p.action))
     ordered
 
 let set_ppr t eng prio =
@@ -126,11 +136,11 @@ let set_ppr t eng prio =
   t.ppr <- prio;
   if prio < old then flush t eng
 
-let deliver t eng ~prio handler =
+let deliver t eng ~prio action =
   if prio > t.ppr then
-    ignore (Engine.schedule_after eng ~after:(delivery_latency t) handler)
+    ignore (Engine.schedule_action_after eng ~after:(delivery_latency t) action)
   else begin
-    t.pending <- { prio; seq = t.pending_seq; handler } :: t.pending;
+    t.pending <- { prio; seq = t.pending_seq; action } :: t.pending;
     t.pending_seq <- t.pending_seq + 1
   end
 

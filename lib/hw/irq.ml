@@ -10,6 +10,8 @@ type device = {
   mutable running : bool;
   mutable delivered : int;
   rng : Rng.t;
+  mutable pull_action : Engine.action;
+      (* Cached action for the device's recurring arrival event. *)
 }
 
 type t = {
@@ -24,6 +26,37 @@ let create ~engine ~apic_of =
 
 let set_dispatch t f = t.dispatch <- f
 
+let steer _t d ~cpus =
+  if cpus = [] then invalid_arg "Irq.steer: empty CPU list";
+  d.targets <- cpus;
+  d.next_target <- 0
+
+let pick_target d =
+  let n = List.length d.targets in
+  let cpu = List.nth d.targets (d.next_target mod n) in
+  d.next_target <- (d.next_target + 1) mod n;
+  cpu
+
+(* An arrival: steer to the next target CPU and present the interrupt to
+   its APIC, then draw the gap to the next arrival. The dispatch closure
+   captures the chosen CPU, so it is allocated per delivery; the recurring
+   arrival event itself reuses the device's cached action. *)
+let rec pull t d eng =
+  if d.running then begin
+    let cpu = pick_target d in
+    d.delivered <- d.delivered + 1;
+    Apic.deliver (t.apic_of cpu) eng ~prio:d.prio
+      (Engine.Callback (fun eng -> t.dispatch ~cpu d eng));
+    arm t d
+  end
+
+and arm t d =
+  let gap =
+    Int64.of_float
+      (Float.max 1. (Rng.exponential d.rng ~mean:(Int64.to_float d.mean_interval)))
+  in
+  ignore (Engine.schedule_action_after t.engine ~after:gap d.pull_action)
+
 let add_device t ~name ~prio ~mean_interval ~handler_cost =
   let d =
     {
@@ -36,36 +69,13 @@ let add_device t ~name ~prio ~mean_interval ~handler_cost =
       running = false;
       delivered = 0;
       rng = Rng.split (Engine.rng t.engine);
+      pull_action = Engine.Irq_pull 0;
     }
   in
+  d.pull_action <-
+    Engine.Irq_pull (Engine.register_source t.engine (fun eng -> pull t d eng));
   t.devices <- d :: t.devices;
   d
-
-let steer _t d ~cpus =
-  if cpus = [] then invalid_arg "Irq.steer: empty CPU list";
-  d.targets <- cpus;
-  d.next_target <- 0
-
-let pick_target d =
-  let n = List.length d.targets in
-  let cpu = List.nth d.targets (d.next_target mod n) in
-  d.next_target <- (d.next_target + 1) mod n;
-  cpu
-
-let rec arm t d =
-  let gap =
-    Int64.of_float
-      (Float.max 1. (Rng.exponential d.rng ~mean:(Int64.to_float d.mean_interval)))
-  in
-  ignore
-    (Engine.schedule_after t.engine ~after:gap (fun eng ->
-         if d.running then begin
-           let cpu = pick_target d in
-           d.delivered <- d.delivered + 1;
-           Apic.deliver (t.apic_of cpu) eng ~prio:d.prio (fun eng ->
-               t.dispatch ~cpu d eng);
-           arm t d
-         end))
 
 let start t d =
   if not d.running then begin

@@ -16,6 +16,9 @@ type t = {
   mutable stopped : bool;
   mutable count : int;
   mutable stolen : Time.ns;
+  mutable fire_action : Engine.action;
+      (* One registered source per generator: the self-rescheduling expiry
+         event reuses this cached action, so a storm allocates nothing. *)
 }
 
 let draw_interval t =
@@ -49,8 +52,8 @@ let rec fire t eng =
 
 and schedule_next t =
   ignore
-    (Engine.schedule_after t.engine ~after:(draw_interval t) (fun eng ->
-         fire t eng))
+    (Engine.schedule_action_after t.engine ~after:(draw_interval t)
+       t.fire_action)
 
 let install ?rng engine config =
   let t =
@@ -61,8 +64,11 @@ let install ?rng engine config =
       stopped = false;
       count = 0;
       stolen = 0L;
+      fire_action = Engine.Smi_fire 0;
     }
   in
+  t.fire_action <-
+    Engine.Smi_fire (Engine.register_source engine (fun eng -> fire t eng));
   schedule_next t;
   t
 

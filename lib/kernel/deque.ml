@@ -28,18 +28,25 @@ let peek_front t =
 let to_list t = t.front @ List.rev t.back
 
 let remove t pred =
-  let all = to_list t in
+  (* First match in logical (front-to-back) order. Only the half holding
+     the match is rebuilt, and only up to the match: removing from the
+     front list leaves the back list untouched and vice versa. *)
   let rec go acc = function
     | [] -> None
-    | x :: rest ->
-      if pred x then begin
-        t.front <- List.rev_append acc rest;
-        t.back <- [];
-        Some x
-      end
-      else go (x :: acc) rest
+    | x :: rest -> if pred x then Some (acc, x, rest) else go (x :: acc) rest
   in
-  go [] all
+  match go [] t.front with
+  | Some (acc, x, rest) ->
+    t.front <- List.rev_append acc rest;
+    Some x
+  | None -> (
+    (* [back] is stored newest-first; scan it in logical order and store
+       the survivors back reversed. *)
+    match go [] (List.rev t.back) with
+    | Some (acc, x, rest) ->
+      t.back <- List.rev_append rest acc;
+      Some x
+    | None -> None)
 
 let length t = List.length t.front + List.length t.back
 let is_empty t = t.front = [] && t.back = []

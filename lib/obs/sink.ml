@@ -1,16 +1,24 @@
 open Hrt_engine
 
 type subscriber = time:Time.ns -> cpu:int -> Event.t -> unit
+type probe = { p_name : string; read : unit -> float }
 
 type t = {
   enabled : bool;
   metrics : Metrics.t;
   trace : Tracer.t option;
   mutable subscribers : subscriber list;
+  mutable probes : probe list; (* registration order, oldest first *)
 }
 
 let null =
-  { enabled = false; metrics = Metrics.create (); trace = None; subscribers = [] }
+  {
+    enabled = false;
+    metrics = Metrics.create ();
+    trace = None;
+    subscribers = [];
+    probes = [];
+  }
 
 let create ?(trace = true) () =
   {
@@ -18,12 +26,22 @@ let create ?(trace = true) () =
     metrics = Metrics.create ();
     trace = (if trace then Some (Tracer.create ()) else None);
     subscribers = [];
+    probes = [];
   }
 
 let enabled t = t.enabled
 let metrics t = t.metrics
 let tracer t = t.trace
 let subscribe t f = t.subscribers <- f :: t.subscribers
+
+let add_probe t ~name read =
+  if t.enabled then t.probes <- t.probes @ [ { p_name = name; read } ]
+
+let sample_probes t =
+  if t.enabled then
+    List.iter
+      (fun p -> Metrics.set (Metrics.gauge t.metrics p.p_name) (p.read ()))
+      t.probes
 
 let us ns = Int64.to_float ns /. 1_000.
 
@@ -103,6 +121,9 @@ let child t =
            Some (Tracer.create ())
          else None);
       subscribers = [];
+      (* Probes read live state owned by the parent's domain (e.g. an
+         engine queue); a job's child sink never samples them. *)
+      probes = [];
     }
 
 let absorb t ch =

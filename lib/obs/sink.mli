@@ -32,6 +32,16 @@ val subscribe : t -> subscriber -> unit
 (** Add a callback invoked synchronously on every event (enabled sinks
     only). Used for legacy probe shims and custom harness instruments. *)
 
+val add_probe : t -> name:string -> (unit -> float) -> unit
+(** Register a pull gauge: [sample_probes] reads the callback and stores
+    the value in the metrics registry under [name]. Used for state that is
+    cheap to read but wasteful to push on every change — e.g. the engine's
+    pending-event count. No-op on a disabled sink. *)
+
+val sample_probes : t -> unit
+(** Read every registered probe into its gauge, in registration order.
+    Called by the scheduler at snapshot points (end of run, trace flush). *)
+
 val child : t -> t
 (** A fresh sink for one parallel job. Disabled parents yield {!null};
     enabled parents yield an enabled sink with its own metrics registry

@@ -127,6 +127,44 @@ let test_determinism () =
   in
   Alcotest.(check (list int64)) "identical traces" (trace 99L) (trace 99L)
 
+let test_steady_state_allocation () =
+  (* The zero-allocation contract: a steady-state run driven by a cached
+     action must not grow the major heap. The only per-event allocations
+     allowed are the boxed int64s for the advancing clock, which die in the
+     minor heap; the queue itself (pool + wheel) recycles entries in place.
+     Bound the total allocation rate and the words promoted by minor GCs. *)
+  let eng = Engine.create () in
+  let remaining = ref 10_000 in
+  let action = ref (Engine.Callback (fun _ -> ())) in
+  let key =
+    Engine.register_source eng (fun eng ->
+        if !remaining > 0 then begin
+          decr remaining;
+          ignore (Engine.schedule_action_after eng ~after:3L !action)
+        end)
+  in
+  action := Engine.Timer_fire key;
+  ignore (Engine.schedule_action eng ~at:1L !action);
+  (* Warm-up: let the entry pool and wheel reach steady state. *)
+  Engine.run ~until:2_000L eng;
+  let measured = !remaining in
+  Alcotest.(check bool) "warm-up ran" true (measured > 0 && measured < 10_000);
+  Gc.full_major ();
+  let stat0 = Gc.quick_stat () in
+  let bytes0 = Gc.allocated_bytes () in
+  Engine.run eng;
+  let bytes1 = Gc.allocated_bytes () in
+  let stat1 = Gc.quick_stat () in
+  Alcotest.(check int) "all events ran" 0 !remaining;
+  let per_event = (bytes1 -. bytes0) /. float_of_int measured in
+  if per_event > 64. then
+    Alcotest.failf "allocation regression: %.1f bytes/event (bound 64)"
+      per_event;
+  let promoted = stat1.Gc.promoted_words -. stat0.Gc.promoted_words in
+  if promoted > 256. then
+    Alcotest.failf "steady-state run promoted %.0f words to the major heap"
+      promoted
+
 let suite =
   [
     Alcotest.test_case "schedule order" `Quick test_schedule_order;
@@ -141,4 +179,6 @@ let suite =
     Alcotest.test_case "frozen overlap accounting" `Quick test_frozen_overlap;
     Alcotest.test_case "freeze extension merges" `Quick test_freeze_extension;
     Alcotest.test_case "determinism per seed" `Quick test_determinism;
+    Alcotest.test_case "steady-state allocation bound" `Quick
+      test_steady_state_allocation;
   ]

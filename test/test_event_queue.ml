@@ -1,7 +1,7 @@
 open Hrt_engine
 
 let test_order () =
-  let q = Event_queue.create () in
+  let q = Event_queue.create ~dummy:"" in
   ignore (Event_queue.add q ~time:30L "c");
   ignore (Event_queue.add q ~time:10L "a");
   ignore (Event_queue.add q ~time:20L "b");
@@ -12,7 +12,7 @@ let test_order () =
   Alcotest.(check bool) "empty" true (Event_queue.pop q = None)
 
 let test_fifo_ties () =
-  let q = Event_queue.create () in
+  let q = Event_queue.create ~dummy:"" in
   for i = 0 to 9 do
     ignore (Event_queue.add q ~time:5L (string_of_int i))
   done;
@@ -22,24 +22,36 @@ let test_fifo_ties () =
   done
 
 let test_cancel () =
-  let q = Event_queue.create () in
+  let q = Event_queue.create ~dummy:"" in
   let a = Event_queue.add q ~time:1L "a" in
   ignore (Event_queue.add q ~time:2L "b");
   Event_queue.cancel q a;
-  Alcotest.(check bool) "cancelled not live" false (Event_queue.is_live a);
+  Alcotest.(check bool) "cancelled not live" false (Event_queue.is_live q a);
   Alcotest.(check int) "size excludes cancelled" 1 (Event_queue.size q);
   let _, v = Option.get (Event_queue.pop q) in
   Alcotest.(check string) "skips cancelled" "b" v
 
 let test_cancel_idempotent () =
-  let q = Event_queue.create () in
+  let q = Event_queue.create ~dummy:() in
   let a = Event_queue.add q ~time:1L () in
   Event_queue.cancel q a;
   Event_queue.cancel q a;
   Alcotest.(check int) "size stays 0" 0 (Event_queue.size q)
 
+let test_stale_handle_after_pop () =
+  (* Once an event fires its handle must go stale: a slot recycled for a
+     later event must not be cancellable through the old handle. *)
+  let q = Event_queue.create ~dummy:"" in
+  let a = Event_queue.add q ~time:1L "a" in
+  ignore (Event_queue.pop q);
+  Alcotest.(check bool) "fired handle dead" false (Event_queue.is_live q a);
+  let b = Event_queue.add q ~time:2L "b" in
+  Event_queue.cancel q a;
+  Alcotest.(check bool) "recycled slot untouched" true (Event_queue.is_live q b);
+  Alcotest.(check int) "size" 1 (Event_queue.size q)
+
 let test_peek () =
-  let q = Event_queue.create () in
+  let q = Event_queue.create ~dummy:() in
   Alcotest.(check bool) "empty peek" true (Event_queue.peek_time q = None);
   let a = Event_queue.add q ~time:7L () in
   ignore (Event_queue.add q ~time:9L ());
@@ -49,7 +61,7 @@ let test_peek () =
     (Event_queue.peek_time q)
 
 let test_requeue_is_reinsertion () =
-  let q = Event_queue.create () in
+  let q = Event_queue.create ~dummy:"" in
   let a = Event_queue.add q ~time:1L "a" in
   let b = Event_queue.add q ~time:2L "b" in
   (* Defer both to the same instant; each requeue is a fresh insertion, so
@@ -66,7 +78,7 @@ let test_requeue_no_queue_jumping () =
      already has later-scheduled events must fire AFTER them (FIFO at equal
      times counts from insertion into that instant). The seed reused the
      original seq, letting the requeued event jump the queue. *)
-  let q = Event_queue.create () in
+  let q = Event_queue.create ~dummy:"" in
   let e1 = Event_queue.add q ~time:10L "early" in
   ignore (Event_queue.add q ~time:50L "settled");
   ignore (Event_queue.requeue q e1 ~time:50L);
@@ -75,14 +87,26 @@ let test_requeue_no_queue_jumping () =
   Alcotest.(check string) "already-scheduled event keeps its turn" "settled" v1;
   Alcotest.(check string) "requeued event goes behind" "early" v2
 
-(* The heap must not retain popped/cancelled payloads: attach a finalizer
+let test_requeue_invalidates_old_handle () =
+  let q = Event_queue.create ~dummy:"" in
+  let a = Event_queue.add q ~time:1L "a" in
+  let a' = Event_queue.requeue q a ~time:5L in
+  Alcotest.(check bool) "old handle stale" false (Event_queue.is_live q a);
+  (* Cancelling through the stale handle must not touch the requeued
+     event, even though it may share the same pool slot. *)
+  Event_queue.cancel q a;
+  Alcotest.(check bool) "requeued event survives" true
+    (Event_queue.is_live q a');
+  let _, v = Option.get (Event_queue.pop q) in
+  Alcotest.(check string) "fires" "a" v
+
+(* The pool must not retain popped/cancelled payloads: attach a finalizer
    to a heap-allocated payload, drop every reference, and check the GC can
    actually reclaim it while the queue itself stays live (the queue must
-   outlive the GC check, or the collector frees the whole heap array and
-   hides the leak). On the seed code the vacated heap slots (and the grow
-   filler) kept payloads reachable for the life of the queue. *)
+   outlive the GC check, or the collector frees the whole pool and hides
+   the leak). *)
 let test_pop_releases_payload () =
-  let q = Event_queue.create () in
+  let q = Event_queue.create ~dummy:(ref 0) in
   let freed = ref false in
   (let payload = ref 42 in
    Gc.finalise (fun _ -> freed := true) payload;
@@ -94,25 +118,24 @@ let test_pop_releases_payload () =
   Alcotest.(check int) "queue still live and empty" 0 (Event_queue.size q)
 
 let test_cancel_releases_payload () =
-  let q = Event_queue.create () in
+  let q = Event_queue.create ~dummy:(ref 0) in
   let freed = ref false in
   (let payload = ref 7 in
    Gc.finalise (fun _ -> freed := true) payload;
    let e = Event_queue.add q ~time:1L payload in
    ignore (Event_queue.add q ~time:2L (ref 0));
    Event_queue.cancel q e);
-  (* The cancelled entry is still sitting in the heap (lazy deletion), but
-     its payload must already be unreachable. *)
+  (* Even where cancellation is lazy the payload must be released
+     eagerly. *)
   Gc.full_major ();
   Gc.full_major ();
   Alcotest.(check bool) "cancelled payload is collectable" true !freed;
   Alcotest.(check int) "live size" 1 (Event_queue.size q)
 
 let test_grow_does_not_duplicate_payloads () =
-  (* Force several grows, drain, and make sure every payload can be
-     reclaimed: the seed used heap.(0) as the grow filler, pinning one
-     payload into every unused slot. *)
-  let q = Event_queue.create () in
+  (* Force several pool grows, drain, and make sure every payload can be
+     reclaimed: vacated and never-used slots must hold only the dummy. *)
+  let q = Event_queue.create ~dummy:(ref 0) in
   let n = 300 in
   let freed = ref 0 in
   for i = 1 to n do
@@ -130,7 +153,7 @@ let test_grow_does_not_duplicate_payloads () =
   Alcotest.(check int) "queue still live and empty" 0 (Event_queue.size q)
 
 let test_requeue_cancelled_rejected () =
-  let q = Event_queue.create () in
+  let q = Event_queue.create ~dummy:() in
   let a = Event_queue.add q ~time:1L () in
   Event_queue.cancel q a;
   Alcotest.check_raises "requeue cancelled"
@@ -138,7 +161,7 @@ let test_requeue_cancelled_rejected () =
       ignore (Event_queue.requeue q a ~time:2L))
 
 let test_large_volume () =
-  let q = Event_queue.create () in
+  let q = Event_queue.create ~dummy:() in
   let r = Rng.create 3L in
   for _ = 1 to 10_000 do
     ignore (Event_queue.add q ~time:(Int64.of_int (Rng.int r 1_000_000)) ())
@@ -157,17 +180,78 @@ let test_large_volume () =
   drain ();
   Alcotest.(check int) "all popped" 10_000 !count
 
+let test_overflow_horizon () =
+  (* Events beyond the wheel's 2^32 ns horizon live in the overflow heap;
+     they must interleave correctly with near events, including events
+     added into the far page after the cursor reaches it. *)
+  let q = Event_queue.create ~dummy:"" in
+  let far = Int64.shift_left 1L 33 in
+  ignore (Event_queue.add q ~time:(Int64.add far 5L) "far2");
+  ignore (Event_queue.add q ~time:10L "near");
+  ignore (Event_queue.add q ~time:far "far1");
+  let t1, v1 = Option.get (Event_queue.pop q) in
+  Alcotest.(check (pair int64 string)) "near first" (10L, "near") (t1, v1);
+  (* Cursor is now at tick 10; an add just above the far events still
+     sorts after them even though they never migrate into the wheel. *)
+  ignore (Event_queue.add q ~time:(Int64.add far 7L) "far3");
+  let vs = List.init 3 (fun _ -> snd (Option.get (Event_queue.pop q))) in
+  Alcotest.(check (list string)) "far events in order" [ "far1"; "far2"; "far3" ]
+    vs
+
+let test_past_adds () =
+  (* The queue itself accepts times below the cursor (the engine layers
+     its own monotonicity check); they fire before everything at or above
+     the cursor, in (time, seq) order. *)
+  let q = Event_queue.create ~dummy:"" in
+  ignore (Event_queue.add q ~time:100L "now");
+  ignore (Event_queue.pop q);
+  ignore (Event_queue.add q ~time:50L "late-b");
+  ignore (Event_queue.add q ~time:40L "late-a");
+  ignore (Event_queue.add q ~time:120L "next");
+  let vs = List.init 3 (fun _ -> snd (Option.get (Event_queue.pop q))) in
+  Alcotest.(check (list string)) "past adds first, ordered"
+    [ "late-a"; "late-b"; "next" ] vs
+
+let test_take_finish_defer () =
+  (* The engine's hot-path protocol: take detaches the minimum but keeps
+     the entry pooled; defer_inflight re-inserts it behind existing
+     same-instant events; finish releases it. *)
+  let q = Event_queue.create ~dummy:"" in
+  let h0 = Event_queue.add q ~time:10L "deferred" in
+  ignore (Event_queue.add q ~time:50L "settled");
+  let h = Event_queue.take q in
+  Alcotest.(check bool) "took the min" true (h = h0);
+  Alcotest.(check int) "in-flight not counted" 1 (Event_queue.size q);
+  Alcotest.(check int) "inflight tick" 10 (Event_queue.inflight_tick q h);
+  Alcotest.(check string) "inflight payload" "deferred"
+    (Event_queue.payload q h);
+  Event_queue.defer_inflight q h ~time:50L;
+  Alcotest.(check bool) "handle survives a defer" true
+    (Event_queue.is_live q h);
+  let _, v1 = Option.get (Event_queue.pop q) in
+  Alcotest.(check string) "settled keeps its turn" "settled" v1;
+  let h2 = Event_queue.take q in
+  Alcotest.(check string) "deferred fires behind" "deferred"
+    (Event_queue.payload q h2);
+  Event_queue.finish q h2;
+  Alcotest.(check bool) "no_tick when empty" true
+    (Event_queue.next_tick q = Event_queue.no_tick)
+
 let suite =
   [
     Alcotest.test_case "time order" `Quick test_order;
     Alcotest.test_case "FIFO within equal times" `Quick test_fifo_ties;
     Alcotest.test_case "cancellation" `Quick test_cancel;
     Alcotest.test_case "cancel idempotent" `Quick test_cancel_idempotent;
+    Alcotest.test_case "stale handle after pop" `Quick
+      test_stale_handle_after_pop;
     Alcotest.test_case "peek" `Quick test_peek;
     Alcotest.test_case "requeue is a fresh insertion" `Quick
       test_requeue_is_reinsertion;
     Alcotest.test_case "requeue cannot jump same-time FIFO" `Quick
       test_requeue_no_queue_jumping;
+    Alcotest.test_case "requeue invalidates old handle" `Quick
+      test_requeue_invalidates_old_handle;
     Alcotest.test_case "requeue cancelled rejected" `Quick test_requeue_cancelled_rejected;
     Alcotest.test_case "pop releases payload" `Quick test_pop_releases_payload;
     Alcotest.test_case "cancel releases payload" `Quick
@@ -175,4 +259,9 @@ let suite =
     Alcotest.test_case "grow retains no payloads" `Quick
       test_grow_does_not_duplicate_payloads;
     Alcotest.test_case "10k random events sorted" `Quick test_large_volume;
+    Alcotest.test_case "overflow horizon interleaving" `Quick
+      test_overflow_horizon;
+    Alcotest.test_case "past adds fire first" `Quick test_past_adds;
+    Alcotest.test_case "take/defer/finish protocol" `Quick
+      test_take_finish_defer;
   ]

@@ -123,7 +123,7 @@ let prop_eq_sorted_with_cancels =
   QCheck.Test.make ~name:"event_queue sorted despite cancellations" ~count:200
     QCheck.(list (pair (int_bound 10_000) bool))
     (fun entries ->
-      let q = Event_queue.create () in
+      let q = Event_queue.create ~dummy:0 in
       let live = ref 0 in
       List.iter
         (fun (t, keep) ->
@@ -139,6 +139,100 @@ let prop_eq_sorted_with_cancels =
         in
         drain Int64.min_int 0
       end)
+
+(* ---- Timing wheel vs reference heap (differential) ----
+
+   The engine's determinism guarantee rests on the wheel producing the
+   exact (time, seq, payload) pop sequence of the original binary heap.
+   Drive both implementations with one random operation stream — adds
+   (including same-instant FIFO ties, past-time adds once pops have
+   advanced the cursor, and far adds beyond the wheel's 2^32 ns horizon),
+   cancels and requeues through stored handles, and pops — and demand
+   they agree on every observation. *)
+
+type eq_op =
+  | Eq_add of int
+  | Eq_far of int
+  | Eq_cancel of int
+  | Eq_requeue of int * int
+  | Eq_pop
+
+let eq_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (* Times from a tiny range so ties and past adds are common. *)
+        (6, map (fun t -> Eq_add t) (int_bound 12));
+        (2, map (fun t -> Eq_far t) (int_bound 12));
+        (2, map (fun i -> Eq_cancel i) (int_bound 200));
+        (2, map (fun (i, t) -> Eq_requeue (i, t)) (pair (int_bound 200) (int_bound 12)));
+        (5, return Eq_pop);
+      ])
+
+let prop_eq_wheel_matches_heap =
+  QCheck.Test.make ~name:"timing wheel matches reference heap" ~count:400
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 150) eq_op_gen))
+    (fun ops ->
+      let w = Event_queue.create ~dummy:(-1) in
+      let h = Heap_queue.create () in
+      (* Handle pairs for every insertion, newest first. *)
+      let hs = ref [] in
+      let n = ref 0 in
+      let far = Int64.shift_left 1L 33 in
+      let pick i = List.nth !hs (i mod !n) in
+      let add time =
+        let id = !n in
+        hs := (Event_queue.add w ~time id, Heap_queue.add h ~time id) :: !hs;
+        incr n
+      in
+      let step op =
+        match op with
+        | Eq_add t ->
+          add (Int64.of_int t);
+          true
+        | Eq_far t ->
+          add (Int64.add far (Int64.of_int t));
+          true
+        | Eq_cancel i ->
+          !n = 0
+          ||
+          let wh, he = pick i in
+          (* Liveness must agree even through fired / already-cancelled /
+             requeued handles (generation checks vs lazy marks). *)
+          let agree = Event_queue.is_live w wh = Heap_queue.is_live he in
+          Event_queue.cancel w wh;
+          Heap_queue.cancel h he;
+          agree
+        | Eq_requeue (i, t) ->
+          !n = 0
+          ||
+          let wh, he = pick i in
+          let lw = Event_queue.is_live w wh and lh = Heap_queue.is_live he in
+          lw = lh
+          && (if lw then begin
+                let time = Int64.of_int t in
+                hs :=
+                  ( Event_queue.requeue w wh ~time,
+                    Heap_queue.requeue h he ~time )
+                  :: !hs;
+                incr n
+              end;
+              true)
+        | Eq_pop -> Event_queue.pop w = Heap_queue.pop h
+      in
+      List.for_all
+        (fun op ->
+          step op
+          && Event_queue.size w = Heap_queue.size h
+          && Event_queue.peek_time w = Heap_queue.peek_time h)
+        ops
+      &&
+      (* Drain both to the end: the tails must be identical too. *)
+      let rec drain () =
+        let pw = Event_queue.pop w and ph = Heap_queue.pop h in
+        pw = ph && (pw = None || drain ())
+      in
+      drain ())
 
 (* ---- Summary ---- *)
 
@@ -208,7 +302,7 @@ let prop_rng_int_bounds =
 
 (* ---- Deque vs list model ---- *)
 
-type dq_op = Push_front of int | Push_back of int | Pop
+type dq_op = Push_front of int | Push_back of int | Pop | Remove of int
 
 let dq_op_gen =
   QCheck.Gen.(
@@ -217,6 +311,10 @@ let dq_op_gen =
         (3, map (fun x -> Push_front x) (int_bound 100));
         (3, map (fun x -> Push_back x) (int_bound 100));
         (2, return Pop);
+        (* Values in a residue class so the predicate hits the middle of
+           either half (or misses entirely), exercising the half-rebuild
+           removal paths. *)
+        (2, map (fun x -> Remove x) (int_bound 100));
       ])
 
 let prop_deque_model =
@@ -242,7 +340,18 @@ let prop_deque_model =
             | [] -> got = None
             | x :: rest ->
               model := rest;
-              got = Some x))
+              got = Some x)
+          | Remove target -> (
+            let pred v = v mod 7 = target mod 7 in
+            let got = Hrt_kernel.Deque.remove d pred in
+            let rec take acc = function
+              | [] -> (None, !model)
+              | x :: rest when pred x -> (Some x, List.rev_append acc rest)
+              | x :: rest -> take (x :: acc) rest
+            in
+            let expect, rest = take [] !model in
+            model := rest;
+            got = expect))
         ops
       && Hrt_kernel.Deque.to_list d = !model)
 
@@ -331,6 +440,7 @@ let suite =
       prop_pq_remove_keeps_order;
       prop_pq_model;
       prop_eq_sorted_with_cancels;
+      prop_eq_wheel_matches_heap;
       prop_summary_bounds;
       prop_summary_merge_commutes;
       prop_histogram_conservation;
