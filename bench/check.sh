@@ -11,6 +11,9 @@ dune build @check
 echo "== dune runtest =="
 dune runtest
 
+echo "== hrt_lint (zero unwaived findings) =="
+dune exec hrt_lint -- --root . lib bin
+
 echo "== observability overhead gate =="
 dune exec bench/overhead_check.exe
 

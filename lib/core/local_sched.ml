@@ -166,7 +166,7 @@ let rt_active (th : Thread.t) =
   | Constraints.Periodic _ | Constraints.Sporadic _ -> true
   | Constraints.Aperiodic _ -> false
 
-let charge_current t now =
+let[@hrt.hot] charge_current t now =
   match t.current with
   | Some th when th.Thread.state = Thread.Running ->
     let start = th.Thread.run_since in
@@ -196,7 +196,7 @@ let cancel_completion t =
    the RT run queue, keyed by the policy's run key, and flag deadline
    misses the policy detects. *)
 
-let process_arrival t (th : Thread.t) now =
+let[@hrt.hot] process_arrival t (th : Thread.t) now =
   th.arrivals <- th.arrivals + 1;
   Account.record_arrival t.account;
   (match th.constr with
@@ -251,12 +251,12 @@ let release_jitter t (th : Thread.t) =
 
 (* The one way into the pending queue: keyed by the (possibly jittered)
    release instant. *)
-let pend t (th : Thread.t) =
+let[@hrt.hot] pend t (th : Thread.t) =
   let key = Time.(th.Thread.next_arrival + release_jitter t th) in
   if not (Prio_queue.add t.pending ~key th) then
     failwith "local_sched: pending queue overflow"
 
-let rec pump t now =
+let[@hrt.hot] rec pump t now =
   match Prio_queue.peek t.pending with
   | Some (k, _) when Time.(k <= now) -> (
     match Prio_queue.pop t.pending with
@@ -829,6 +829,7 @@ and settle_current t now =
         (* else: advance already placed/parked it *)
       end
     end
+[@@hrt.hot]
 
 (* ------------------------------------------------------------------ *)
 (* Size-tagged task execution (only when no RT thread wants the CPU, and
@@ -876,20 +877,24 @@ and take_best_aper t =
   (* Highest priority wins; FIFO (deque order) within a priority. The scan
      is bounded by the compile-time thread limit, preserving the bounded-
      pass-cost argument. *)
-  let best = ref None in
-  Deque.iter t.aper_run (fun th ->
-      match !best with
-      | None -> best := Some th
-      | Some b -> if Thread.aper_prio th > Thread.aper_prio b then best := Some th);
-  match !best with
-  | None -> None
-  | Some th ->
-    let found = Deque.remove t.aper_run (fun x -> x == th) in
-    assert (found != None);
-    aper_taken t;
-    Some th
+  (let best = ref None in
+   Deque.iter t.aper_run (fun th ->
+       match !best with
+       | None -> best := Some th
+       | Some b -> if Thread.aper_prio th > Thread.aper_prio b then best := Some th);
+   match !best with
+   | None -> None
+   | Some th ->
+     let found = Deque.remove t.aper_run (fun x -> x == th) in
+     assert (found != None);
+     aper_taken t;
+     Some th)
+  [@hrt.alloc_ok "bounded aperiodic scan, once per scheduler decision \
+                  (not per event): two iteration closures and a boxed \
+                  result"]
+[@@hrt.hot]
 
-and pick t now = pick_bounded t now 0
+and pick t now = pick_bounded t now 0 [@@hrt.hot]
 
 and pick_bounded t now depth =
   if depth > (2 * (config t).Config.max_threads) + 16 then
@@ -897,17 +902,18 @@ and pick_bounded t now depth =
       "local_sched: livelock: a thread body re-issues a non-Compute op \
        without making progress (use Program.of_thunks for one-shot ops)";
   let rt_candidate =
-    match Prio_queue.peek t.rt_run with
-    | None -> None
-    | Some (_, th) -> (
-      match (config t).Config.dispatch with
-      | Config.Eager -> Some th
-      | Config.Lazy ->
-        let latest =
-          Policy.latest_start (policy t)
-            ~slack:(config t).Config.lazy_slack th
-        in
-        if Time.(now >= latest) || th.missed_current then Some th else None)
+    (match Prio_queue.peek t.rt_run with
+     | None -> None
+     | Some (_, th) -> (
+       match (config t).Config.dispatch with
+       | Config.Eager -> Some th
+       | Config.Lazy ->
+         let latest =
+           Policy.latest_start (policy t)
+             ~slack:(config t).Config.lazy_slack th
+         in
+         if Time.(now >= latest) || th.missed_current then Some th else None)
+     [@hrt.alloc_ok "one boxed candidate per scheduler decision"])
   in
   match rt_candidate with
   | Some _ -> (
@@ -918,11 +924,14 @@ and pick_bounded t now depth =
     match take_best_aper t with
     | Some th -> prepare t th now depth
     | None -> None)
+[@@hrt.hot]
 
 and prepare t (th : Thread.t) now depth =
-  if th.has_op then Some th
-  else if advance t th now then Some th
-  else pick_bounded t now (depth + 1)
+  (if th.has_op then Some th
+   else if advance t th now then Some th
+   else pick_bounded t now (depth + 1))
+  [@hrt.alloc_ok "one boxed pick result per scheduler decision"]
+[@@hrt.hot]
 
 (* ------------------------------------------------------------------ *)
 (* Pipeline stage 5 — program-timer: one one-shot armed at the earliest
@@ -933,38 +942,43 @@ and prepare t (th : Thread.t) now depth =
 
 and program_timer t now resume_at =
   let cfg = config t in
-  let abs_targets = ref [] in
-  let rel_targets = ref [] in
-  (match Prio_queue.peek t.pending with
-  | Some (k, _) -> abs_targets := k :: !abs_targets
-  | None -> ());
-  (match t.current with
-  | Some th when rt_active th ->
-    rel_targets := th.slice_left :: !rel_targets;
-    abs_targets := th.deadline :: !abs_targets
-  | Some th ->
-    if not (Deque.is_empty t.aper_run) then
-      rel_targets := th.Thread.quantum_left :: !rel_targets
-  | None -> ());
-  (match (cfg.Config.dispatch, Prio_queue.peek t.rt_run) with
-  | Config.Lazy, Some (_, th) ->
-    abs_targets :=
-      Policy.latest_start (policy t) ~slack:cfg.Config.lazy_slack th
-      :: !abs_targets
-  | (Config.Eager | Config.Lazy), _ -> ());
-  (* Absolute targets already in the past were handled by this very
+  (* Fold the candidate targets straight into a running minimum: this
+     runs once per scheduler decision and builds no intermediate lists.
+     Absolute targets already in the past were handled by this very
      invocation (arrivals pumped, misses flagged); arming for them again
-     would only re-enter the scheduler without letting the thread run. *)
-  let abs_live = List.filter (fun a -> Time.(a > now)) !abs_targets in
-  let candidates =
-    List.map (fun a -> Time.(a - t.clock_skew)) abs_live
-    @ List.map (fun r -> Time.(resume_at + r)) !rel_targets
+     would only re-enter the scheduler without letting the thread run.
+     Absolute wall-clock targets are skew-adjusted; durations are not. *)
+  let best = Int64.max_int in
+  let best =
+    match Prio_queue.peek t.pending with
+    | Some (k, _) when Time.(k > now) -> Time.min best Time.(k - t.clock_skew)
+    | Some _ | None -> best
   in
-  match candidates with
-  | [] -> Apic.cancel_timer t.cpu.Machine.apic
-  | c :: rest ->
-    let target = List.fold_left Time.min c rest in
-    Apic.arm t.cpu.Machine.apic ~at:(Time.max target Time.(now + 1L))
+  let best =
+    match t.current with
+    | Some th when rt_active th ->
+      let best =
+        if Time.(th.deadline > now) then
+          Time.min best Time.(th.deadline - t.clock_skew)
+        else best
+      in
+      Time.min best Time.(resume_at + th.slice_left)
+    | Some th ->
+      if not (Deque.is_empty t.aper_run) then
+        Time.min best Time.(resume_at + th.Thread.quantum_left)
+      else best
+    | None -> best
+  in
+  let best =
+    match (cfg.Config.dispatch, Prio_queue.peek t.rt_run) with
+    | Config.Lazy, Some (_, th) ->
+      let a = Policy.latest_start (policy t) ~slack:cfg.Config.lazy_slack th in
+      if Time.(a > now) then Time.min best Time.(a - t.clock_skew) else best
+    | (Config.Eager | Config.Lazy), _ -> best
+  in
+  if Int64.equal best Int64.max_int then Apic.cancel_timer t.cpu.Machine.apic
+  else Apic.arm t.cpu.Machine.apic ~at:(Time.max best Time.(now + 1L))
+[@@hrt.hot]
 
 and schedule_completion t resume_at =
   match t.current with
@@ -974,6 +988,7 @@ and schedule_completion t resume_at =
     t.completion_armed_gen <- t.completion_gen;
     t.completion_ev <- Engine.schedule_action (engine t) ~at t.complete_action
   | Some _ | None -> ()
+[@@hrt.hot]
 
 (* The registered handler behind [t.complete_action]: gate first, then
    drop the fire if a cancel/re-schedule happened while it sat deferred
@@ -985,6 +1000,7 @@ and complete_entry t eng =
     t.completion_ev <- Engine.no_handle;
     on_completion t eng
   end
+[@@hrt.hot]
 
 (* Op completion is a thread-level transition, not an interrupt. When the
    thread simply continues computing (the common BSP inner loop) no
@@ -1015,11 +1031,14 @@ and on_completion t eng =
           schedule_completion t now
         | op ->
           (* Anything else goes through the scheduler proper. *)
-          th.stashed_op <- Some op;
+          th.stashed_op <-
+            (Some op [@hrt.alloc_ok "stashes the non-compute op for the \
+                                     pass; one box per kernel entry"]);
           invoke t eng ~irq_ns:0L ~handler_ns:0L
       end
     end
   | Some _ | None -> invoke t eng ~irq_ns:0L ~handler_ns:0L
+[@@hrt.hot]
 
 (* ------------------------------------------------------------------ *)
 (* Work stealing (the idle thread's job, §3.4). *)
@@ -1174,7 +1193,7 @@ and invoke t eng ~irq_ns ~handler_ns =
   | Some th ->
     th.state <- Thread.Running;
     th.run_since <- resume_at;
-    t.current <- Some th;
+    t.current <- (Some th [@hrt.alloc_ok "one box per dispatch"]);
     (match t.idle_since with
     | Some s ->
       t.idle_total <- Time.(t.idle_total + (now - s));
@@ -1185,7 +1204,8 @@ and invoke t eng ~irq_ns ~handler_ns =
     | None -> ())
   | None ->
     t.current <- None;
-    if t.idle_since = None then t.idle_since <- Some resume_at;
+    if t.idle_since = None then
+      t.idle_since <- (Some resume_at [@hrt.alloc_ok "one box per idle transition"]);
     arm_steal t);
   Apic.set_ppr t.cpu.Machine.apic eng
     (match next with
@@ -1194,11 +1214,12 @@ and invoke t eng ~irq_ns ~handler_ns =
   schedule_completion t resume_at;
   (* program-timer *)
   program_timer t now resume_at
+[@@hrt.hot]
 
 (* ------------------------------------------------------------------ *)
 (* Entry points. *)
 
-let on_timer t eng =
+let[@hrt.hot] on_timer t eng =
   (* A one-shot APIC holds exactly one shot in flight. If the timer is
      armed again by the time a fire is delivered, this fire left the APIC
      before a re-program and then sat deferred behind a busy window — on
@@ -1206,7 +1227,7 @@ let on_timer t eng =
      a slice remainder smaller than the pass overhead livelocks: each
      stale fire lands at the next dispatch instant, charges zero
      progress, and re-arms at the same relative offset. *)
-  if Apic.timer_armed_at t.cpu.Machine.apic = None then begin
+  if not (Apic.timer_armed t.cpu.Machine.apic) then begin
     let irq_ns = sample t (platform t).Platform.irq_dispatch in
     invoke t eng ~irq_ns ~handler_ns:0L
   end

@@ -36,11 +36,16 @@ and t = {
 
 type handle = Event_queue.handle
 
+(* Event scheduling and the run loop are the per-event hot path; the
+   allocating pieces (construction, freeze-window bookkeeping, error
+   formatting) are cold or explicitly waived. *)
+[@@@hrt.hot]
+
 let no_handle = Event_queue.none
 
 let nop (_ : t) = ()
 
-let create ?(seed = 42L) () =
+let[@hrt.cold] create ?(seed = 42L) () =
   {
     now = 0L;
     now_tick = 0;
@@ -63,7 +68,7 @@ let create ?(seed = 42L) () =
 let now t = t.now
 let rng t = t.rng
 
-let register_source t f =
+let[@hrt.cold] register_source t f =
   let k = t.n_sources in
   if k = Array.length t.sources then begin
     let n = Array.make (if k = 0 then 8 else 2 * k) nop in
@@ -78,11 +83,14 @@ let track_depth t =
   let n = Event_queue.size t.queue in
   if n > t.max_pending then t.max_pending <- n
 
+(* Out-of-line so the scheduling fast path performs no formatting. *)
+let[@hrt.cold] schedule_past_error at now =
+  invalid_arg
+    (Format.asprintf "Engine.schedule: %a is in the past (now %a)" Time.pp at
+       Time.pp now)
+
 let schedule_action t ~at a =
-  if Time.(at < t.now) then
-    invalid_arg
-      (Format.asprintf "Engine.schedule: %a is in the past (now %a)" Time.pp at
-         Time.pp t.now);
+  if Time.(at < t.now) then schedule_past_error at t.now;
   let h = Event_queue.add t.queue ~time:at a in
   track_depth t;
   h
@@ -109,7 +117,9 @@ let close_open_window t =
   | None -> ()
   | Some start ->
     let stop = t.freeze_until in
-    t.windows <- (start, stop) :: t.windows;
+    t.windows <-
+      ((start, stop) :: t.windows
+      [@hrt.alloc_ok "one window record per freeze window, not per event"]);
     t.total_frozen_closed <- Time.(t.total_frozen_closed + (stop - start));
     t.open_freeze <- None
 
@@ -130,12 +140,13 @@ let freeze t ~until =
         t.freeze_tick <- tick_of until
       end
     | None ->
-      t.open_freeze <- Some t.now;
+      t.open_freeze <-
+        (Some t.now [@hrt.alloc_ok "one option per freeze window open"]);
       t.freeze_until <- until;
       t.freeze_tick <- tick_of until)
   end
 
-let frozen_overlap t a b =
+let[@hrt.cold] frozen_overlap t a b =
   if Time.(b <= a) then 0L
   else begin
     let overlap (s, e) =
@@ -150,7 +161,7 @@ let frozen_overlap t a b =
     | Some s -> Time.(closed + overlap (s, t.freeze_until))
   end
 
-let total_frozen t =
+let[@hrt.cold] total_frozen t =
   (* An open window is committed through [freeze_until]: count all of it. *)
   let open_part =
     match t.open_freeze with

@@ -21,6 +21,11 @@
    lists); entries inside either heap are cancelled lazily (marked dead,
    reclaimed when they surface), exactly like the reference heap. *)
 
+(* The whole module is engine hot path: steady-state add/take/requeue
+   traffic must stay allocation-free (see DESIGN.md section 10). The few
+   allocating conveniences are marked [@@hrt.cold]. *)
+[@@@hrt.hot]
+
 type handle = int
 
 let none = -1
@@ -86,7 +91,7 @@ let tick_of_time time =
   then invalid_arg "Event_queue: time out of range"
   else t
 
-let create ~dummy =
+let[@hrt.cold] create ~dummy =
   {
     dummy;
     e_time = [||];
@@ -113,7 +118,7 @@ let create ~dummy =
 
 (* ---- entry pool ---- *)
 
-let grow_pool t =
+let[@hrt.cold] grow_pool t =
   let ncap = if t.cap = 0 then 64 else t.cap * 2 in
   if ncap > idx_mask then failwith "Event_queue: entry pool exhausted";
   let ext a fill =
@@ -258,6 +263,9 @@ let ntz8 =
     Bytes.set a i (Char.chr !n)
   done;
   a
+[@@hrt.unsynchronized
+  "write-once lookup table, fully initialized at module load before any \
+   domain is spawned; read-only afterwards"]
 
 let ntz32 w =
   if w land 0xff <> 0 then Char.code (Bytes.get ntz8 (w land 0xff))
@@ -267,6 +275,15 @@ let ntz32 w =
     16 + Char.code (Bytes.get ntz8 ((w lsr 16) land 0xff))
   else 24 + Char.code (Bytes.get ntz8 ((w lsr 24) land 0xff))
 
+(* Word-scan helper for [next_occupied], toplevel so the hot path builds
+   no closure. *)
+let rec scan_words t whi hi w =
+  if w > whi then -1
+  else if t.occ.(w) <> 0 then
+    let s = (w lsl 5) + ntz32 t.occ.(w) in
+    if s <= hi then s else -1
+  else scan_words t whi hi (w + 1)
+
 (* First occupied slot id in [lo, hi] (global slot ids), or -1. *)
 let next_occupied t lo hi =
   if lo > hi then -1
@@ -274,16 +291,7 @@ let next_occupied t lo hi =
     let w0 = lo lsr 5 and whi = hi lsr 5 in
     let first = t.occ.(w0) lsr (lo land 31) in
     if first <> 0 then lo + ntz32 first
-    else begin
-      let rec scan w =
-        if w > whi then -1
-        else if t.occ.(w) <> 0 then
-          let s = (w lsl 5) + ntz32 t.occ.(w) in
-          if s <= hi then s else -1
-        else scan (w + 1)
-      in
-      scan (w0 + 1)
-    end
+    else scan_words t whi hi (w0 + 1)
   end
 
 let slot_append t s i =
@@ -356,28 +364,30 @@ let cascade t lvl s =
    needed; -1 when the wheel is empty. The cursor only ever advances to
    window bases at or below the minimum tick, so placement of later adds
    stays consistent. *)
+(* First occupied slot strictly after the cursor's position at [lvl],
+   toplevel so [wheel_min] builds no closure. *)
+let lvl_scan t lvl =
+  let base = lvl * slots_per_level in
+  let idx = (t.cur lsr (8 * lvl)) land 0xff in
+  next_occupied t (base + idx + 1) (base + slots_per_level - 1)
+
 let rec wheel_min t =
   if t.wheel_count = 0 then -1
   else begin
     match next_occupied t (t.cur land 0xff) (slots_per_level - 1) with
     | s when s >= 0 -> t.head.(s)
     | _ -> (
-      let lvl_scan lvl =
-        let base = lvl * slots_per_level in
-        let idx = (t.cur lsr (8 * lvl)) land 0xff in
-        next_occupied t (base + idx + 1) (base + slots_per_level - 1)
-      in
-      match lvl_scan 1 with
+      match lvl_scan t 1 with
       | s when s >= 0 ->
         cascade t 1 s;
         wheel_min t
       | _ -> (
-        match lvl_scan 2 with
+        match lvl_scan t 2 with
         | s when s >= 0 ->
           cascade t 2 s;
           wheel_min t
         | _ -> (
-          match lvl_scan 3 with
+          match lvl_scan t 3 with
           | s when s >= 0 ->
             cascade t 3 s;
             wheel_min t
@@ -396,11 +406,15 @@ let rec wheel_min t =
 let find_min t =
   od_clean t;
   of_clean t;
-  let best = ref (wheel_min t) in
-  let consider i = if !best < 0 || earlier t i !best then best := i in
-  if t.od_len > 0 then consider t.od_heap.(0);
-  if t.of_len > 0 then consider t.of_heap.(0);
-  !best
+  let best = wheel_min t in
+  let best =
+    if t.od_len > 0 && (best < 0 || earlier t t.od_heap.(0) best) then
+      t.od_heap.(0)
+    else best
+  in
+  if t.of_len > 0 && (best < 0 || earlier t t.of_heap.(0) best) then
+    t.of_heap.(0)
+  else best
 
 let remove_min t i =
   (* [i] must be the entry [find_min] returned. The cursor never moves
@@ -462,25 +476,25 @@ let entry_time t h =
   if i < 0 then invalid_arg "Event_queue.entry_time: stale handle"
   else Int64.of_int t.e_time.(i)
 
+(* A requeue is a fresh insertion: new sequence number, so the FIFO
+   tie-break counts from insertion into the new instant. *)
+let requeue_fresh t i' tick =
+  t.e_time.(i') <- tick;
+  t.e_seq.(i') <- t.next_seq;
+  t.next_seq <- t.next_seq + 1;
+  place t i';
+  mk_handle t i'
+
 let requeue t h ~time =
   if not (is_live t h) then invalid_arg "Event_queue.requeue: cancelled entry";
   let i = h land idx_mask in
   let tick = tick_of_time time in
-  let fresh i' =
-    (* A requeue is a fresh insertion: new sequence number, so the FIFO
-       tie-break counts from insertion into the new instant. *)
-    t.e_time.(i') <- tick;
-    t.e_seq.(i') <- t.next_seq;
-    t.next_seq <- t.next_seq + 1;
-    place t i';
-    mk_handle t i'
-  in
   if t.e_where.(i) >= 0 then begin
     (* Reuse the record in place; bump the generation so the old handle
        goes stale (a requeue invalidates it, like a cancel + add). *)
     slot_unlink t i;
     t.e_gen.(i) <- (t.e_gen.(i) + 1) land gen_mask;
-    fresh i
+    requeue_fresh t i tick
   end
   else begin
     (* Buried in a heap: bury the old record dead, move the payload to a
@@ -491,14 +505,14 @@ let requeue t h ~time =
     t.e_gen.(i) <- (t.e_gen.(i) + 1) land gen_mask;
     let i' = alloc_entry t in
     t.e_payload.(i') <- p;
-    fresh i'
+    requeue_fresh t i' tick
   end
 
 let next_tick t =
   let i = find_min t in
   if i < 0 then no_tick else t.e_time.(i)
 
-let peek_time t =
+let[@hrt.cold] peek_time t =
   let i = find_min t in
   if i < 0 then None else Some (Int64.of_int t.e_time.(i))
 
@@ -531,7 +545,7 @@ let defer_inflight t h ~time =
   place t i;
   t.live <- t.live + 1
 
-let pop t =
+let[@hrt.cold] pop t =
   let h = take t in
   if h < 0 then None
   else begin

@@ -78,9 +78,16 @@ let measure (ctx : Exp.Ctx.t) n =
       Scheduler.wake sys th)
     (Group.members group);
   Scheduler.run ~until:(Time.sec 2) sys;
-  (* Collect per-thread step durations (cycles). *)
-  Hashtbl.iter
-    (fun _ entries ->
+  (* Collect per-thread step durations (cycles), in thread-id order so
+     the float accumulation in each Summary is independent of hash
+     order. *)
+  let per_thread =
+    (Hashtbl.fold (fun id entries acc -> (id, entries) :: acc) marks []
+     [@hrt.nondet "entries are sorted by thread id before accumulation"])
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  List.iter
+    (fun (_, entries) ->
       let find name = List.assoc_opt name entries in
       let span a b acc =
         match (find a, find b) with
@@ -93,7 +100,7 @@ let measure (ctx : Exp.Ctx.t) n =
       span "start" "done" t.admission;
       span "reduced" "done" t.barrier_phase;
       span "attached" "admitted" t.local)
-    marks;
+    per_thread;
   t
 
 let run ?ctx () =

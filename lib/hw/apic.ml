@@ -1,9 +1,18 @@
 open Hrt_engine
 
+(* Interrupt delivery and one-shot timer reprogramming run once per
+   scheduler decision: hot. Masked-delivery queueing and the pending
+   flush are the cold slow path. *)
+[@@@hrt.hot]
+
 let sched_prio = 15
 let rt_ppr = 14
 
 type pending = { prio : int; seq : int; action : Engine.action }
+
+(* Sentinel for "timer disarmed": arming the one-shot then stores a plain
+   int64 deadline, no option box per reprogram. *)
+let no_deadline = Int64.min_int
 
 type t = {
   engine : Engine.t;
@@ -15,7 +24,7 @@ type t = {
   mutable ppr : int;
   mutable timer_handler : Engine.t -> unit;
   mutable timer_ev : Engine.handle;
-  mutable timer_at : Time.ns option;
+  mutable timer_at : Time.ns; (* [no_deadline] when disarmed *)
   mutable timer_gen : int;
       (* Bumped on every arm/cancel. A one-shot timer holds exactly one
          shot in flight; the fire event validates its generation at
@@ -35,13 +44,13 @@ type t = {
    whose queue entry outlived them), otherwise disarm and enter the
    installed vector. *)
 let fire t eng =
-  if t.armed_gen = t.timer_gen && t.timer_at <> None then begin
+  if t.armed_gen = t.timer_gen && t.timer_at <> no_deadline then begin
     t.timer_ev <- Engine.no_handle;
-    t.timer_at <- None;
+    t.timer_at <- no_deadline;
     t.timer_handler eng
   end
 
-let create ~engine ~rng ~tick_ns ~tsc_deadline ~jitter_max_cycles ~ghz =
+let[@hrt.cold] create ~engine ~rng ~tick_ns ~tsc_deadline ~jitter_max_cycles ~ghz =
   let t =
     {
       engine;
@@ -53,7 +62,7 @@ let create ~engine ~rng ~tick_ns ~tsc_deadline ~jitter_max_cycles ~ghz =
       ppr = 0;
       timer_handler = (fun _ -> ());
       timer_ev = Engine.no_handle;
-      timer_at = None;
+      timer_at = no_deadline;
       timer_gen = 0;
       armed_gen = -1;
       fire_action = Engine.Timer_fire 0;
@@ -92,7 +101,7 @@ let cancel_timer t =
   t.timer_gen <- t.timer_gen + 1;
   Engine.cancel t.engine t.timer_ev;
   t.timer_ev <- Engine.no_handle;
-  t.timer_at <- None
+  t.timer_at <- no_deadline
 
 let arm t ~at =
   cancel_timer t;
@@ -108,15 +117,20 @@ let arm t ~at =
     end
   in
   let fire_at = Time.(fire_at + delivery_latency t) in
-  t.timer_at <- Some fire_at;
+  t.timer_at <- fire_at;
   t.armed_gen <- t.timer_gen;
   t.timer_ev <- Engine.schedule_action t.engine ~at:fire_at t.fire_action
 
-let timer_armed_at t = t.timer_at
+let timer_armed t = t.timer_at <> no_deadline
+
+(* Option-building accessor for tests and diagnostics; the scheduler's
+   per-decision check is [timer_armed]. *)
+let[@hrt.cold] timer_armed_at t =
+  if t.timer_at = no_deadline then None else Some t.timer_at
 
 let ppr t = t.ppr
 
-let flush t eng =
+let[@hrt.cold] flush t eng =
   let deliverable, still =
     List.partition (fun p -> p.prio > t.ppr) t.pending
   in
@@ -140,7 +154,10 @@ let deliver t eng ~prio action =
   if prio > t.ppr then
     ignore (Engine.schedule_action_after eng ~after:(delivery_latency t) action)
   else begin
-    t.pending <- { prio; seq = t.pending_seq; action } :: t.pending;
+    t.pending <-
+      ({ prio; seq = t.pending_seq; action } :: t.pending
+      [@hrt.alloc_ok "masked delivery is the slow path; one record per \
+                      deferred interrupt"]);
     t.pending_seq <- t.pending_seq + 1
   end
 

@@ -53,9 +53,14 @@ val arm : t -> at:Time.ns -> unit
 
 val cancel_timer : t -> unit
 
+val timer_armed : t -> bool
+(** Whether a one-shot is currently programmed. Allocation-free; this is
+    the check scheduler hot paths use. *)
+
 val timer_armed_at : t -> Time.ns option
 (** The wall-clock instant the one-shot will fire (post-quantization,
-    pre-latency), if armed. *)
+    pre-latency), if armed. Builds an option: tests and diagnostics
+    only. *)
 
 val ppr : t -> int
 

@@ -1,5 +1,10 @@
 open Hrt_engine
 
+(* Device arrivals run inside the event loop; the recurring arrival event
+   reuses a cached action, but per-delivery dispatch legitimately
+   allocates one closure (see [pull]). *)
+[@@@hrt.hot]
+
 type device = {
   name : string;
   prio : int;
@@ -21,7 +26,7 @@ type t = {
   mutable devices : device list;
 }
 
-let create ~engine ~apic_of =
+let[@hrt.cold] create ~engine ~apic_of =
   { engine; apic_of; dispatch = (fun ~cpu:_ _ _ -> ()); devices = [] }
 
 let set_dispatch t f = t.dispatch <- f
@@ -46,7 +51,10 @@ let rec pull t d eng =
     let cpu = pick_target d in
     d.delivered <- d.delivered + 1;
     Apic.deliver (t.apic_of cpu) eng ~prio:d.prio
-      (Engine.Callback (fun eng -> t.dispatch ~cpu d eng));
+      (Engine.Callback
+         (fun eng -> t.dispatch ~cpu d eng)
+       [@hrt.alloc_ok "one closure per delivery: the handler must capture \
+                       the steered CPU"]);
     arm t d
   end
 
@@ -57,7 +65,7 @@ and arm t d =
   in
   ignore (Engine.schedule_action_after t.engine ~after:gap d.pull_action)
 
-let add_device t ~name ~prio ~mean_interval ~handler_cost =
+let[@hrt.cold] add_device t ~name ~prio ~mean_interval ~handler_cost =
   let d =
     {
       name;

@@ -1,5 +1,10 @@
 open Hrt_engine
 
+(* SMI storms are the paper's worst-case interference: generation,
+   stealing, and rescheduling run inside the event loop and must not
+   allocate. *)
+[@@@hrt.hot]
+
 type config = {
   mean_interval : Time.ns;
   duration_mean : Time.ns;
@@ -55,7 +60,7 @@ and schedule_next t =
     (Engine.schedule_action_after t.engine ~after:(draw_interval t)
        t.fire_action)
 
-let install ?rng engine config =
+let[@hrt.cold] install ?rng engine config =
   let t =
     {
       engine;

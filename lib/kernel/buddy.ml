@@ -30,15 +30,19 @@ let level_for t size =
   if size > t.total then None else Some (go 0)
 
 let pop_free t level =
-  let found = ref None in
-  (try
-     Hashtbl.iter
-       (fun off () ->
-         found := Some off;
-         raise Exit)
-       t.free_lists.(level)
-   with Exit -> ());
-  match !found with
+  (* Take the lowest-offset free block rather than whichever the hash
+     table yields first: allocation placement is then a pure function of
+     the alloc/free history, independent of hash order. *)
+  let lowest =
+    (Hashtbl.fold
+       (fun off () best ->
+         match best with
+         | Some b when b <= off -> best
+         | Some _ | None -> Some off)
+       t.free_lists.(level) None
+     [@hrt.nondet "min over all entries; result is iteration-order-independent"])
+  in
+  match lowest with
   | Some off ->
     Hashtbl.remove t.free_lists.(level) off;
     Some off
@@ -124,11 +128,13 @@ let check t =
   let blocks = ref [] in
   Array.iteri
     (fun level lst ->
-      Hashtbl.iter (fun off () -> blocks := (off, size_of_level t level) :: !blocks) lst)
+      (Hashtbl.iter (fun off () -> blocks := (off, size_of_level t level) :: !blocks) lst
+       [@hrt.nondet "collected blocks are sorted before verification"]))
     t.free_lists;
-  Hashtbl.iter
-    (fun off level -> blocks := (off, size_of_level t level) :: !blocks)
-    t.allocated;
+  (Hashtbl.iter
+     (fun off level -> blocks := (off, size_of_level t level) :: !blocks)
+     t.allocated
+   [@hrt.nondet "collected blocks are sorted before verification"]);
   let blocks = List.sort compare !blocks in
   let rec verify expected = function
     | [] ->

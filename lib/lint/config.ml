@@ -1,0 +1,132 @@
+(* Parser for the committed [.hrt-lint] file.
+
+   Line-oriented format, comments with [#]:
+
+     waiver-budget unsynchronized 8     # global, before any section
+     [domain]
+     include lib/core
+     include lib/engine
+     exclude lib/engine/heap_queue.ml
+     allow det-wallclock lib/harness    # turn one rule off under a prefix
+
+   Paths are '/'-separated prefixes relative to the repository root (the
+   directory holding [.hrt-lint]). A family with no [include] line scans
+   nothing, so an empty config is a no-op lint. *)
+
+type family = Domain | Determinism | Alloc
+
+type scope = {
+  includes : string list;
+  excludes : string list;
+  rule_off : (string * string) list; (* rule id, path prefix *)
+}
+
+let empty_scope = { includes = []; excludes = []; rule_off = [] }
+
+type t = {
+  budgets : (string * int) list; (* waiver family keyword -> max waivers *)
+  domain : scope;
+  determinism : scope;
+  alloc : scope;
+}
+
+let empty = { budgets = []; domain = empty_scope; determinism = empty_scope; alloc = empty_scope }
+
+(* Everything on, no budget caps: what fixture tests use. *)
+let all_on =
+  let s = { empty_scope with includes = [ "" ] } in
+  { budgets = []; domain = s; determinism = s; alloc = s }
+
+let scope t = function
+  | Domain -> t.domain
+  | Determinism -> t.determinism
+  | Alloc -> t.alloc
+
+let budget t kind = List.assoc_opt kind t.budgets
+
+(* Prefix match on whole path components: "lib/core" matches
+   "lib/core/x.ml" and "lib/core" but not "lib/core2/x.ml". "" matches
+   everything. *)
+let prefix_matches ~prefix path =
+  prefix = "" || prefix = path
+  || String.length path > String.length prefix
+     && String.sub path 0 (String.length prefix) = prefix
+     && path.[String.length prefix] = '/'
+
+let in_scope s ~path =
+  List.exists (fun p -> prefix_matches ~prefix:p path) s.includes
+  && not (List.exists (fun p -> prefix_matches ~prefix:p path) s.excludes)
+
+let rule_enabled s ~rule ~path =
+  not
+    (List.exists
+       (fun (r, p) -> r = rule && prefix_matches ~prefix:p path)
+       s.rule_off)
+
+(* ---- parsing ---- *)
+
+let split_ws line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | None -> line
+  | Some i -> String.sub line 0 i
+
+let parse_string src =
+  let lines = String.split_on_char '\n' src in
+  let cur = ref None in
+  let cfg = ref empty in
+  let update f =
+    match !cur with
+    | None -> Error "directive outside any [section]"
+    | Some Domain ->
+      cfg := { !cfg with domain = f (!cfg).domain };
+      Ok ()
+    | Some Determinism ->
+      cfg := { !cfg with determinism = f (!cfg).determinism };
+      Ok ()
+    | Some Alloc ->
+      cfg := { !cfg with alloc = f (!cfg).alloc };
+      Ok ()
+  in
+  let err = ref None in
+  List.iteri
+    (fun i line ->
+      if !err = None then
+        let fail msg = err := Some (Printf.sprintf "line %d: %s" (i + 1) msg) in
+        match split_ws (strip_comment line) with
+        | [] -> ()
+        | [ "[domain]" ] -> cur := Some Domain
+        | [ "[determinism]" ] -> cur := Some Determinism
+        | [ "[alloc]" ] -> cur := Some Alloc
+        | [ "waiver-budget"; kind; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n >= 0 ->
+            cfg := { !cfg with budgets = (kind, n) :: (!cfg).budgets }
+          | _ -> fail "waiver-budget needs a non-negative integer")
+        | [ "include"; p ] -> (
+          match update (fun s -> { s with includes = p :: s.includes }) with
+          | Ok () -> ()
+          | Error m -> fail m)
+        | [ "exclude"; p ] -> (
+          match update (fun s -> { s with excludes = p :: s.excludes }) with
+          | Ok () -> ()
+          | Error m -> fail m)
+        | [ "allow"; rule; p ] -> (
+          match update (fun s -> { s with rule_off = (rule, p) :: s.rule_off }) with
+          | Ok () -> ()
+          | Error m -> fail m)
+        | w :: _ -> fail (Printf.sprintf "unknown directive %S" w))
+    lines;
+  match !err with None -> Ok !cfg | Some m -> Error m
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | src -> (
+    match parse_string src with
+    | Ok c -> Ok c
+    | Error m -> Error (Printf.sprintf "%s: %s" path m))
+  | exception Sys_error m -> Error m

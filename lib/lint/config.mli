@@ -1,0 +1,35 @@
+(** The committed [.hrt-lint] configuration: which directories each rule
+    family scans, per-directory rule opt-outs, and waiver budgets. *)
+
+type family = Domain | Determinism | Alloc
+
+type scope = {
+  includes : string list;
+  excludes : string list;
+  rule_off : (string * string) list;
+}
+
+type t = {
+  budgets : (string * int) list;
+  domain : scope;
+  determinism : scope;
+  alloc : scope;
+}
+
+(** Scans nothing. *)
+val empty : t
+
+(** Every family scans every path, no budget caps (fixture tests). *)
+val all_on : t
+
+val scope : t -> family -> scope
+
+(** Waiver budget for a family keyword ([unsynchronized] / [nondet] /
+    [alloc_ok]); [None] means unlimited. *)
+val budget : t -> string -> int option
+
+val in_scope : scope -> path:string -> bool
+val rule_enabled : scope -> rule:string -> path:string -> bool
+
+val parse_string : string -> (t, string) result
+val load : string -> (t, string) result

@@ -1,0 +1,55 @@
+(* A single lint finding. [waiver] is [Some reason] when an explicit
+   waiver attribute covers the finding: it is still reported (and counted
+   against the configured budget) but does not fail the run. *)
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  msg : string;
+  waiver : string option;
+}
+
+let v ?waiver ~file ~line ~col ~rule msg = { file; line; col; rule; msg; waiver }
+
+let of_loc ?waiver ~file ~rule (loc : Location.t) msg =
+  let p = loc.Location.loc_start in
+  {
+    file;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    rule;
+    msg;
+    waiver;
+  }
+
+let waived d = d.waiver <> None
+
+(* The family a rule belongs to is encoded in its id prefix; the waiver
+   budget is tracked per family keyword. *)
+let family d =
+  if String.length d.rule >= 4 && String.sub d.rule 0 4 = "dom-" then
+    "unsynchronized"
+  else if String.length d.rule >= 4 && String.sub d.rule 0 4 = "det-" then
+    "nondet"
+  else if String.length d.rule >= 6 && String.sub d.rule 0 6 = "alloc-" then
+    "alloc_ok"
+  else "other"
+
+let compare_diag a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let to_string d =
+  match d.waiver with
+  | None -> Printf.sprintf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.msg
+  | Some reason ->
+    Printf.sprintf "%s:%d:%d: [%s] (waived: %s) %s" d.file d.line d.col d.rule
+      reason d.msg

@@ -1,0 +1,34 @@
+(** A single lint finding: location, rule id, message, optional waiver. *)
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  msg : string;
+  waiver : string option;
+}
+
+val v :
+  ?waiver:string ->
+  file:string ->
+  line:int ->
+  col:int ->
+  rule:string ->
+  string ->
+  t
+
+val of_loc :
+  ?waiver:string -> file:string -> rule:string -> Location.t -> string -> t
+
+val waived : t -> bool
+
+(** Waiver-budget family keyword for a rule id: ["unsynchronized"] for
+    [dom-*], ["nondet"] for [det-*], ["alloc_ok"] for [alloc-*]. *)
+val family : t -> string
+
+val compare_diag : t -> t -> int
+
+(** [file:line:col: [rule-id] message], with the waiver reason inlined
+    when present. *)
+val to_string : t -> string

@@ -1,0 +1,143 @@
+(* Orchestration: file discovery, parsing, rule scoping, waiver budgets,
+   rendering. Paths handed to [run] are relative to [root] (the directory
+   holding [.hrt-lint]); the relative form is what appears in diagnostics
+   and what config scoping matches against. *)
+
+type report = {
+  diags : Diag.t list; (* sorted by file/line/col/rule *)
+  files : int;
+}
+
+let unwaived r = List.filter (fun d -> not (Diag.waived d)) r.diags
+let waived r = List.filter Diag.waived r.diags
+let clean r = unwaived r = []
+
+let summary_line r =
+  Printf.sprintf "hrt-lint: files=%d findings=%d waived=%d status=%s" r.files
+    (List.length (unwaived r))
+    (List.length (waived r))
+    (if clean r then "clean" else "dirty")
+
+(* ---- parsing ---- *)
+
+let parse ~file src =
+  let lexbuf = Lexing.from_string src in
+  Location.init lexbuf file;
+  Location.input_name := file;
+  match Parse.implementation lexbuf with
+  | ast -> Ok ast
+  | exception exn ->
+    let loc, msg =
+      match Location.error_of_exn exn with
+      | Some (`Ok (e : Location.error)) ->
+        ( e.main.loc,
+          Format.asprintf "%t" (fun fmt -> e.main.txt fmt)
+          |> String.split_on_char '\n' |> List.hd )
+      | _ -> (Location.in_file file, Printexc.to_string exn)
+    in
+    Error (Diag.of_loc ~file ~rule:"parse-error" loc msg)
+
+let rule_family rule =
+  if String.length rule >= 4 && String.sub rule 0 4 = "dom-" then
+    Some Config.Domain
+  else if String.length rule >= 4 && String.sub rule 0 4 = "det-" then
+    Some Config.Determinism
+  else if String.length rule >= 6 && String.sub rule 0 6 = "alloc-" then
+    Some Config.Alloc
+  else None
+
+let rule_on config ~path rule =
+  match rule_family rule with
+  | None -> true
+  | Some fam ->
+    let s = Config.scope config fam in
+    Config.in_scope s ~path && Config.rule_enabled s ~rule ~path
+
+(* [scan_string] is the test entry point: lint one source text under a
+   config, as if it lived at [path] relative to the root. *)
+let scan_string ~config ~path src =
+  match parse ~file:path src with
+  | Error d -> [ d ]
+  | Ok ast -> Rules.check ~file:path ~rule_on:(rule_on config ~path) ast
+
+(* ---- file discovery ---- *)
+
+let is_ml path = Filename.check_suffix path ".ml"
+
+let rec collect_files ~root acc rel =
+  let abs = Filename.concat root rel in
+  if Sys.file_exists abs && Sys.is_directory abs then
+    Sys.readdir abs |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+           if name = "" || name.[0] = '.' || name.[0] = '_' then acc
+           else collect_files ~root acc (Filename.concat rel name))
+         acc
+  else if Sys.file_exists abs && is_ml rel then rel :: acc
+  else acc
+
+(* ---- budgets ---- *)
+
+let budget_diags config diags =
+  let counts = Hashtbl.create 4 in
+  List.iter
+    (fun d ->
+      if Diag.waived d then begin
+        let fam = Diag.family d in
+        Hashtbl.replace counts fam
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts fam))
+      end)
+    diags;
+  List.filter_map
+    (fun fam ->
+      let used = Option.value ~default:0 (Hashtbl.find_opt counts fam) in
+      match Config.budget config fam with
+      | Some cap when used > cap ->
+        Some
+          (Diag.v ~file:".hrt-lint" ~line:0 ~col:0 ~rule:"waiver-budget"
+             (Printf.sprintf
+                "%d %s waivers in tree, budget allows %d: fix findings or \
+                 raise the budget deliberately"
+                used fam cap))
+      | _ -> None)
+    [ "unsynchronized"; "nondet"; "alloc_ok" ]
+
+(* ---- main entry ---- *)
+
+let run ~config ~root paths =
+  let files =
+    List.fold_left (fun acc p -> collect_files ~root acc p) [] paths
+    |> List.sort_uniq String.compare
+  in
+  let diags =
+    List.concat_map
+      (fun rel ->
+        let src =
+          In_channel.with_open_text (Filename.concat root rel)
+            In_channel.input_all
+        in
+        scan_string ~config ~path:rel src)
+      files
+  in
+  let diags = List.sort Diag.compare_diag (budget_diags config diags @ diags) in
+  { diags; files = List.length files }
+
+(* Walk up from [start] looking for a directory with a [.hrt-lint]; that
+   directory is the repo root all paths are relative to. *)
+let find_root start =
+  let rec up dir n =
+    if n > 16 then None
+    else if Sys.file_exists (Filename.concat dir ".hrt-lint") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else up parent (n + 1)
+  in
+  up start 0
+
+let render ?(verbose = false) oc r =
+  List.iter
+    (fun d ->
+      if verbose || not (Diag.waived d) then
+        Printf.fprintf oc "%s\n" (Diag.to_string d))
+    r.diags;
+  Printf.fprintf oc "%s\n" (summary_line r)

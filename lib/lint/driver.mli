@@ -1,0 +1,34 @@
+(** Lint orchestration: discovery, parsing, scoping, budgets, rendering. *)
+
+type report = {
+  diags : Diag.t list; (* sorted by file, line, col, rule *)
+  files : int;
+}
+
+val unwaived : report -> Diag.t list
+val waived : report -> Diag.t list
+
+(** True when there are no unwaived findings (exit status 0). *)
+val clean : report -> bool
+
+(** [hrt-lint: files=N findings=N waived=N status=clean|dirty] — the
+    machine-readable trailer CI greps for. *)
+val summary_line : report -> string
+
+(** Lint one source text as if it lived at [path] under the root; the
+    entry point fixture and mutation tests use. A parse failure yields a
+    single unwaivable [parse-error] finding. *)
+val scan_string : config:Config.t -> path:string -> string -> Diag.t list
+
+(** [run ~config ~root paths] lints every [.ml] under the given
+    root-relative paths (directories or files; ['.']/['_'] prefixed
+    directory entries are skipped), appending waiver-budget findings when
+    a family exceeds its cap. *)
+val run : config:Config.t -> root:string -> string list -> report
+
+(** Nearest ancestor of [start] containing a [.hrt-lint] file. *)
+val find_root : string -> string option
+
+(** Print unwaived findings (all findings with [verbose]) and the summary
+    line. *)
+val render : ?verbose:bool -> out_channel -> report -> unit

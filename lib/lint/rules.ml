@@ -1,0 +1,473 @@
+(* The three rule families, all purely syntactic over [Parsetree]:
+
+   Domain-safety ([dom-*]): module-toplevel bindings that create mutable
+   state ([ref], [Hashtbl.create], arrays, ...) in modules reachable from
+   [Par.map] jobs must be [Atomic.make], live next to a [Mutex.create] in
+   the same structure, or carry [@hrt.unsynchronized "reason"].
+
+   Determinism ([det-*]): wall-clock and entropy escapes
+   ([Unix.gettimeofday], [Random.*]), unordered [Hashtbl]
+   iteration/hashing, and polymorphic [compare]/[min]/[max] on float
+   operands. Waivable with [@hrt.nondet "reason"].
+
+   Hot-path allocation ([alloc-*]): inside [[@@@hrt.hot]] modules or
+   [[@@hrt.hot]] bindings (minus [[@@hrt.cold]] opt-outs), flag closure
+   literals, under-saturated applications of known stdlib functions,
+   tuple/option/list construction, [Printf]/[Format] calls, and
+   [@]/[List.map]-style list builders. Waivable with
+   [@hrt.alloc_ok "reason"]. Statically-allocated constants
+   ([Some 3], [(1, 2)]) are not flagged. *)
+
+open Parsetree
+
+type ctx = {
+  file : string;
+  on : string -> bool; (* rule id enabled for this file *)
+  mutable out : Diag.t list;
+}
+
+let emit ctx ?waiver ~rule loc msg =
+  if ctx.on rule then
+    ctx.out <- Diag.of_loc ?waiver ~file:ctx.file ~rule loc msg :: ctx.out
+
+(* ---- attribute helpers ---- *)
+
+let attr_name (a : attribute) = a.attr_name.Location.txt
+let find_attr name attrs = List.find_opt (fun a -> attr_name a = name) attrs
+let has_attr name attrs = find_attr name attrs <> None
+
+let string_payload (a : attribute) =
+  match a.attr_payload with
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+    Some s
+  | _ -> None
+
+(* A waiver attribute must carry its safety argument as a string payload;
+   a bare one is itself a finding. *)
+let waiver_reason ctx ~rule name attrs =
+  match find_attr name attrs with
+  | None -> None
+  | Some a -> (
+    match string_payload a with
+    | Some reason -> Some reason
+    | None ->
+      emit ctx ~rule a.attr_loc
+        (Printf.sprintf "[@%s] waiver without a reason string" name);
+      None)
+
+let lid_to_string l = String.concat "." (Longident.flatten l)
+
+let head_ident e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (lid_to_string txt)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Domain safety *)
+
+let mutable_creators =
+  [
+    "ref";
+    "Stdlib.ref";
+    "Hashtbl.create";
+    "Buffer.create";
+    "Queue.create";
+    "Stack.create";
+    "Bytes.create";
+    "Bytes.make";
+    "Array.make";
+    "Array.create_float";
+    "Array.init";
+    "Weak.create";
+    "Dynarray.create";
+  ]
+
+let rec is_function_spine e =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ | Pexp_newtype _ -> true
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) -> is_function_spine e
+  | _ -> false
+
+(* Scan a toplevel value RHS for mutable-state creators, without entering
+   function bodies (state created inside a function is not toplevel
+   state). *)
+let rec scan_toplevel_value ctx ~guarded ~waiver e =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ | Pexp_newtype _ -> ()
+  | Pexp_apply (f, args) ->
+    (match head_ident f with
+    | Some "Atomic.make" -> () (* safe by construction *)
+    | Some name when List.mem name mutable_creators ->
+      if not guarded then
+        emit ctx ?waiver ~rule:"dom-mutable-global" e.pexp_loc
+          (Printf.sprintf
+             "module-toplevel mutable state (%s): use Atomic.t, guard it \
+              with a Mutex.t created in the same structure, or waive with \
+              [@hrt.unsynchronized \"reason\"]"
+             name)
+    | _ -> ());
+    (match head_ident f with
+    | Some "Atomic.make" -> ()
+    | _ ->
+      scan_toplevel_value ctx ~guarded ~waiver f;
+      List.iter (fun (_, a) -> scan_toplevel_value ctx ~guarded ~waiver a) args)
+  | Pexp_array _ ->
+    if not guarded then
+      emit ctx ?waiver ~rule:"dom-mutable-global" e.pexp_loc
+        "module-toplevel mutable state (array literal): use Atomic.t, guard \
+         it with a Mutex.t created in the same structure, or waive with \
+         [@hrt.unsynchronized \"reason\"]"
+  | _ -> iter_children ctx ~guarded ~waiver e
+
+and iter_children ctx ~guarded ~waiver e =
+  (* Generic one-level descent: the collector iterator does not recurse
+     itself, so [default_iterator.expr] hands it exactly the direct
+     subexpressions, and [scan_toplevel_value] drives further descent
+     (stopping at function boundaries). *)
+  let collector =
+    {
+      Ast_iterator.default_iterator with
+      expr = (fun _ child -> scan_toplevel_value ctx ~guarded ~waiver child);
+    }
+  in
+  Ast_iterator.default_iterator.expr collector e
+
+(* Does this binding's RHS create a Mutex.t (making sibling mutable state
+   "provably mutex-guarded")? *)
+let rec creates_mutex e =
+  match e.pexp_desc with
+  | Pexp_apply (f, _) -> head_ident f = Some "Mutex.create"
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) -> creates_mutex e
+  | Pexp_let (_, _, body) | Pexp_sequence (_, body) | Pexp_open (_, body) ->
+    creates_mutex body
+  | _ -> false
+
+let domain_check_structure ctx items =
+  let has_mutex =
+    List.exists
+      (fun item ->
+        match item.pstr_desc with
+        | Pstr_value (_, vbs) -> List.exists (fun vb -> creates_mutex vb.pvb_expr) vbs
+        | _ -> false)
+      items
+  in
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+        List.iter
+          (fun vb ->
+            if not (is_function_spine vb.pvb_expr) then begin
+              let waiver =
+                match
+                  waiver_reason ctx ~rule:"dom-waiver-reason"
+                    "hrt.unsynchronized" vb.pvb_attributes
+                with
+                | Some r -> Some r
+                | None ->
+                  waiver_reason ctx ~rule:"dom-waiver-reason"
+                    "hrt.unsynchronized" vb.pvb_expr.pexp_attributes
+              in
+              scan_toplevel_value ctx ~guarded:has_mutex ~waiver vb.pvb_expr
+            end)
+          vbs
+      | _ -> ())
+    items
+
+(* ------------------------------------------------------------------ *)
+(* Determinism *)
+
+let wallclock_idents =
+  [
+    "Unix.gettimeofday";
+    "Unix.time";
+    "Unix.localtime";
+    "Unix.gmtime";
+    "Unix.clock_gettime";
+    "Sys.time";
+  ]
+
+let hashtbl_order_idents = [ "Hashtbl.iter"; "Hashtbl.fold"; "Hashtbl.hash" ]
+
+let poly_cmp_idents =
+  [ "compare"; "min"; "max"; "Stdlib.compare"; "Stdlib.min"; "Stdlib.max" ]
+
+let is_random_ident name =
+  name = "Random"
+  || (String.length name > 7 && String.sub name 0 7 = "Random.")
+
+let rec is_float_operand e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_constraint (inner, { ptyp_desc = Ptyp_constr ({ txt; _ }, []); _ }) ->
+    lid_to_string txt = "float" || is_float_operand inner
+  | Pexp_constraint (inner, _) -> is_float_operand inner
+  | Pexp_apply
+      ({ pexp_desc = Pexp_ident { txt = Longident.Lident ("~-." | "~+."); _ }; _ }, [ (_, a) ])
+    ->
+    is_float_operand a
+  | _ -> false
+
+let determinism_iterator ctx =
+  let stack = ref [] in
+  let top () = match !stack with [] -> None | r :: _ -> Some r in
+  let with_waiver attrs f =
+    match waiver_reason ctx ~rule:"det-waiver-reason" "hrt.nondet" attrs with
+    | Some r ->
+      stack := r :: !stack;
+      f ();
+      stack := List.tl !stack
+    | None -> f ()
+  in
+  let expr it e =
+    with_waiver e.pexp_attributes (fun () ->
+        (match e.pexp_desc with
+        | Pexp_ident { txt; _ } ->
+          let name = lid_to_string txt in
+          if List.mem name wallclock_idents then
+            emit ctx ?waiver:(top ()) ~rule:"det-wallclock" e.pexp_loc
+              (name
+             ^ ": wall-clock in the deterministic core; use the engine \
+                clock (Engine.now / Time)")
+          else if is_random_ident name then
+            emit ctx ?waiver:(top ()) ~rule:"det-entropy" e.pexp_loc
+              (name ^ ": ambient entropy; draw from the seeded Rng instead")
+          else if List.mem name hashtbl_order_idents then
+            emit ctx ?waiver:(top ()) ~rule:"det-hashtbl-order" e.pexp_loc
+              (name
+             ^ ": hash-order iteration can feed ordered output; iterate \
+                sorted keys or waive with [@hrt.nondet \"reason\"]")
+        | Pexp_apply (f, args) -> (
+          match head_ident f with
+          | Some name
+            when List.mem name poly_cmp_idents
+                 && List.exists (fun (_, a) -> is_float_operand a) args ->
+            emit ctx ?waiver:(top ()) ~rule:"det-float-polycmp" e.pexp_loc
+              (name
+             ^ " on float operands: use Float.compare / Float.min / \
+                Float.max (NaN-total, no polymorphic dispatch)")
+          | _ -> ())
+        | _ -> ());
+        Ast_iterator.default_iterator.expr it e)
+  in
+  let value_binding it vb =
+    with_waiver vb.pvb_attributes (fun () ->
+        Ast_iterator.default_iterator.value_binding it vb)
+  in
+  { Ast_iterator.default_iterator with expr; value_binding }
+
+(* ------------------------------------------------------------------ *)
+(* Hot-path allocation *)
+
+let format_prefixes = [ "Printf."; "Format."; "Fmt." ]
+
+let is_format_ident name =
+  List.exists
+    (fun p ->
+      String.length name > String.length p
+      && String.sub name 0 (String.length p) = p)
+    format_prefixes
+
+let append_idents =
+  [
+    "@";
+    "^";
+    "List.append";
+    "List.map";
+    "List.mapi";
+    "List.rev_map";
+    "List.concat";
+    "List.concat_map";
+    "List.rev_append";
+    "List.filter";
+    "String.concat";
+    "Array.append";
+    "Array.to_list";
+  ]
+
+(* Known arities for partial-application detection: applying one of these
+   to fewer arguments builds a closure at runtime. *)
+let known_arity =
+  [
+    ("List.map", 2);
+    ("List.mapi", 2);
+    ("List.iter", 2);
+    ("List.iter2", 3);
+    ("List.fold_left", 3);
+    ("List.fold_right", 3);
+    ("List.filter", 2);
+    ("List.exists", 2);
+    ("Array.map", 2);
+    ("Array.iter", 2);
+    ("Array.fold_left", 3);
+    ("Hashtbl.fold", 3);
+    ("Hashtbl.iter", 2);
+    ("Option.map", 2);
+    ("Option.iter", 2);
+  ]
+
+let rec is_static_const e =
+  match e.pexp_desc with
+  | Pexp_constant _ -> true
+  | Pexp_construct (_, None) -> true
+  | Pexp_construct (_, Some a) -> is_static_const a
+  | Pexp_tuple es -> List.for_all is_static_const es
+  | Pexp_variant (_, None) -> true
+  | Pexp_variant (_, Some a) -> is_static_const a
+  | _ -> false
+
+let alloc_iterator ctx =
+  let stack = ref [] in
+  let top () = match !stack with [] -> None | r :: _ -> Some r in
+  let with_waiver attrs f =
+    match waiver_reason ctx ~rule:"alloc-waiver-reason" "hrt.alloc_ok" attrs with
+    | Some r ->
+      stack := r :: !stack;
+      f ();
+      stack := List.tl !stack
+    | None -> f ()
+  in
+  (* One diagnostic per cons spine, not one per cell, and none for the
+     internal (head, tail) tuples of the cells themselves. *)
+  let skip = Hashtbl.create 16 in
+  let mark e =
+    Hashtbl.replace skip
+      (e.pexp_loc.Location.loc_start, e.pexp_loc.Location.loc_end)
+      ()
+  in
+  let skipped e =
+    Hashtbl.mem skip (e.pexp_loc.Location.loc_start, e.pexp_loc.Location.loc_end)
+  in
+  let expr it e =
+    if has_attr "hrt.cold" e.pexp_attributes then ()
+    else
+      with_waiver e.pexp_attributes (fun () ->
+          (match e.pexp_desc with
+          | Pexp_match ({ pexp_desc = Pexp_tuple _; _ } as scrut, _) ->
+            (* [match (a, b) with] compiles without building the tuple. *)
+            mark scrut
+          | Pexp_fun _ | Pexp_function _ ->
+            emit ctx ?waiver:(top ()) ~rule:"alloc-closure" e.pexp_loc
+              "closure literal in a hot path (allocates unless capture-free)"
+          | Pexp_tuple _ when not (is_static_const e) && not (skipped e) ->
+            emit ctx ?waiver:(top ()) ~rule:"alloc-tuple" e.pexp_loc
+              "tuple construction in a hot path"
+          | Pexp_construct ({ txt = Longident.Lident "Some"; _ }, Some _)
+            when not (is_static_const e) ->
+            emit ctx ?waiver:(top ()) ~rule:"alloc-option" e.pexp_loc
+              "option construction in a hot path"
+          | Pexp_construct ({ txt = Longident.Lident "::"; _ }, Some arg)
+            when not (is_static_const e) ->
+            if not (skipped e) then
+              emit ctx ?waiver:(top ()) ~rule:"alloc-list" e.pexp_loc
+                "list construction in a hot path";
+            (match arg.pexp_desc with
+            | Pexp_tuple [ _; tl ] ->
+              mark arg;
+              (match tl.pexp_desc with
+              | Pexp_construct ({ txt = Longident.Lident "::"; _ }, _) ->
+                mark tl
+              | _ -> ())
+            | _ -> ())
+          | Pexp_apply (f, args) -> (
+            match head_ident f with
+            | Some name -> (
+              match List.assoc_opt name known_arity with
+              | Some ar when List.length args < ar ->
+                emit ctx ?waiver:(top ()) ~rule:"alloc-partial" e.pexp_loc
+                  (Printf.sprintf
+                     "partial application of %s (%d of %d arguments) builds \
+                      a closure in a hot path"
+                     name (List.length args) ar)
+              | _ ->
+                if is_format_ident name then
+                  emit ctx ?waiver:(top ()) ~rule:"alloc-format" e.pexp_loc
+                    (name ^ ": formatting allocates in a hot path")
+                else if List.mem name append_idents then
+                  emit ctx ?waiver:(top ()) ~rule:"alloc-append" e.pexp_loc
+                    (name ^ ": list/string building allocates in a hot path"))
+            | None -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e)
+  in
+  let value_binding it vb =
+    if has_attr "hrt.cold" vb.pvb_attributes then ()
+    else
+      with_waiver vb.pvb_attributes (fun () ->
+          Ast_iterator.default_iterator.value_binding it vb)
+  in
+  { Ast_iterator.default_iterator with expr; value_binding }
+
+(* Peel the definition spine of a binding (the leading fun chain and
+   constraints): those funs are the function's own definition, not
+   closure literals. *)
+let rec peel_spine e =
+  match e.pexp_desc with
+  | Pexp_fun (_, _, _, body) | Pexp_newtype (_, body) -> peel_spine body
+  | Pexp_constraint (body, _) | Pexp_coerce (body, _, _) -> peel_spine body
+  | _ -> e
+
+let hot_check_binding ctx vb =
+  let it = alloc_iterator ctx in
+  let body = peel_spine vb.pvb_expr in
+  it.Ast_iterator.expr it body
+
+(* ------------------------------------------------------------------ *)
+(* Structure walk: domain at each structure level, alloc wherever a hot
+   annotation is in force, determinism over the whole file. *)
+
+let structure_is_hot items =
+  List.exists
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_attribute a -> attr_name a = "hrt.hot"
+      | _ -> false)
+    items
+
+let binding_is_hot vb =
+  has_attr "hrt.hot" vb.pvb_attributes
+  || has_attr "hrt.hot" vb.pvb_expr.pexp_attributes
+
+let binding_is_cold vb =
+  has_attr "hrt.cold" vb.pvb_attributes
+  || has_attr "hrt.cold" vb.pvb_expr.pexp_attributes
+
+let rec walk_structure ctx ~hot items =
+  domain_check_structure ctx items;
+  let hot = hot || structure_is_hot items in
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+        List.iter
+          (fun vb ->
+            if (hot || binding_is_hot vb) && not (binding_is_cold vb) then
+              hot_check_binding ctx vb)
+          vbs
+      | Pstr_module mb -> walk_module ctx ~hot mb.pmb_expr
+      | Pstr_recmodule mbs ->
+        List.iter (fun mb -> walk_module ctx ~hot mb.pmb_expr) mbs
+      | _ -> ())
+    items
+
+and walk_module ctx ~hot me =
+  match me.pmod_desc with
+  | Pmod_structure items -> walk_structure ctx ~hot items
+  | Pmod_functor (_, body) -> walk_module ctx ~hot body
+  | Pmod_constraint (me, _) -> walk_module ctx ~hot me
+  | _ -> ()
+
+let check ~file ~rule_on ast =
+  let ctx = { file; on = rule_on; out = [] } in
+  walk_structure ctx ~hot:false ast;
+  let det = determinism_iterator ctx in
+  det.Ast_iterator.structure det ast;
+  List.sort Diag.compare_diag ctx.out

@@ -1,0 +1,12 @@
+(** The three rule families: domain-safety ([dom-*]), determinism
+    ([det-*]), hot-path allocation ([alloc-*]). Purely syntactic over the
+    parse tree; waivers are the [@hrt.unsynchronized] / [@hrt.nondet] /
+    [@hrt.alloc_ok] attributes, hot regions are marked with
+    [[@@@hrt.hot]] (module) or [[@@hrt.hot]] (binding) and excluded with
+    [[@@hrt.cold]]. *)
+
+(** [check ~file ~rule_on ast] returns the findings for one compilation
+    unit, sorted by position. [rule_on] is consulted per rule id (scoping
+    and per-directory opt-outs are the driver's concern). *)
+val check :
+  file:string -> rule_on:(string -> bool) -> Parsetree.structure -> Diag.t list

@@ -72,13 +72,14 @@ let metadata_lines tr =
   Tracer.iter tr (fun r ->
       if not (Hashtbl.mem cpus r.Tracer.cpu) then
         Hashtbl.replace cpus r.Tracer.cpu ());
-  Hashtbl.fold
-    (fun cpu () acc ->
-      Printf.sprintf
-        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"CPU %d\"}}"
-        cpu cpu
-      :: acc)
-    cpus []
+  (Hashtbl.fold
+     (fun cpu () acc ->
+       Printf.sprintf
+         "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"CPU %d\"}}"
+         cpu cpu
+       :: acc)
+     cpus []
+   [@hrt.nondet "lines are sorted immediately after the fold"])
   |> List.sort compare
 
 (* One JSON value per line inside a valid JSON array: both line-oriented

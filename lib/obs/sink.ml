@@ -145,6 +145,6 @@ let absorb t ch =
    so out-of-tree callers of Sink.set_default / Sink.get_default get a
    compile-time alert instead of a silent break. In-tree, the sink is
    threaded explicitly (Hrt_harness.Exp.Ctx / Scheduler ~obs). *)
-let default = ref null
-let set_default t = default := t
-let get_default () = !default
+let default = Atomic.make null
+let set_default t = Atomic.set default t
+let get_default () = Atomic.get default

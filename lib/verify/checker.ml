@@ -189,21 +189,27 @@ let check_dispatch t ~index ~time ~cpu st tid thread =
   | (Edf | Rm), Some arr ->
     let k = conformance_key t arr in
     let offender = ref None in
-    Hashtbl.iter
-      (fun tid' arr' ->
-        if
-          tid' <> tid && arr'.a_cpu = cpu
-          && (not (Hashtbl.mem t.blocked tid'))
-          && (match Hashtbl.find_opt t.where tid' with
-             | Some c -> c = cpu
-             | None -> true)
-          && Int64.compare (conformance_key t arr') k < 0
-        then
-          let k' = conformance_key t arr' in
-          match !offender with
-          | Some (_, kb) when Int64.compare kb k' <= 0 -> ()
-          | Some _ | None -> offender := Some (tid', k'))
-      t.active;
+    (* Report the minimal (key, tid) offender: ties on key break toward
+       the smaller thread id, so the diagnostic does not depend on hash
+       order. *)
+    (Hashtbl.iter
+       (fun tid' arr' ->
+         if
+           tid' <> tid && arr'.a_cpu = cpu
+           && (not (Hashtbl.mem t.blocked tid'))
+           && (match Hashtbl.find_opt t.where tid' with
+              | Some c -> c = cpu
+              | None -> true)
+           && Int64.compare (conformance_key t arr') k < 0
+         then
+           let k' = conformance_key t arr' in
+           match !offender with
+           | Some (tb, kb)
+             when Int64.compare kb k' < 0
+                  || (Int64.compare kb k' = 0 && tb <= tid') -> ()
+           | Some _ | None -> offender := Some (tid', k'))
+       t.active
+     [@hrt.nondet "minimal (key, tid) selection is iteration-order-independent"]);
     (match !offender with
     | Some (tid', k') ->
       violate t Rules.Policy_conformance ~index ~time ~cpu
@@ -432,6 +438,8 @@ let feed t ~time ~cpu event =
 let events_seen t = t.index
 let segments t = t.segment + 1
 let violations t = List.rev t.violations
-let total_violations t = Hashtbl.fold (fun _ n acc -> acc + n) t.counts 0
+let total_violations t =
+  (Hashtbl.fold (fun _ n acc -> acc + n) t.counts 0
+   [@hrt.nondet "commutative integer sum"])
 let rule_counts t = List.map (fun r -> (r, count t r)) Rules.all
 let clean t = total_violations t = 0

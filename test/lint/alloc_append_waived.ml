@@ -1,0 +1,3 @@
+[@@@hrt.hot]
+
+let join a b = ((a @ b) [@hrt.alloc_ok "fixture"])

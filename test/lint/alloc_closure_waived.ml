@@ -1,0 +1,3 @@
+[@@@hrt.hot]
+
+let scale k xs = Array.map ((fun x -> x * k) [@hrt.alloc_ok "fixture"]) xs

@@ -1,0 +1,3 @@
+[@@@hrt.hot]
+
+let label x = Printf.sprintf "t%d" x

@@ -1,0 +1,3 @@
+[@@@hrt.hot]
+
+let widen x = [ x; x + 1 ]

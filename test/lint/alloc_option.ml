@@ -1,0 +1,3 @@
+[@@@hrt.hot]
+
+let boxed x = Some (x + 1)

@@ -1,0 +1,3 @@
+[@@@hrt.hot]
+
+let bump = List.map succ

@@ -1,0 +1,3 @@
+[@@@hrt.hot]
+
+let bump = (List.map succ [@hrt.alloc_ok "fixture"])

@@ -1,0 +1,3 @@
+[@@@hrt.hot]
+
+let pair x = (x, x + 1)

@@ -1,0 +1,1 @@
+let draw () = Random.int 10

@@ -1,0 +1,1 @@
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []

@@ -1,0 +1,3 @@
+let keys tbl =
+  (Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+   [@hrt.nondet "fixture: sorted by caller"])

@@ -1,0 +1,1 @@
+let clamp x = min x 1.5

@@ -1,0 +1,1 @@
+let clamp x = (min x 1.5 [@hrt.nondet "fixture: NaN-free domain"])

@@ -1,0 +1,2 @@
+let table = Hashtbl.create 16
+let lookup k = Hashtbl.find_opt table k

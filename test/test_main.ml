@@ -27,4 +27,5 @@ let () =
       ("nesl", Test_nesl.suite);
       ("verify", Test_verify.suite);
       ("fault", Test_fault.suite);
+      ("lint", Test_lint.suite);
     ]
