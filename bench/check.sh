@@ -22,4 +22,15 @@ echo "== engine core smoke bench (quick) =="
 # reference heap; the full-size regression gate is CI's enginebench job.
 dune exec bin/hrt_sim.exe -- enginebench --quick --out /tmp/BENCH_engine_quick.json
 
+echo "== analytical admission smoke =="
+# A feasible set must be admitted (exit 0) with a certificate that
+# replays, and the overloaded one rejected (exit 1) with a witness; the
+# full cross-validation corpus is CI's admit job.
+dune exec bin/hrt_sim.exe -- admit query P:1000:300 P:2000:400 S:50:1000
+if dune exec bin/hrt_sim.exe -- admit query P:100:90; then
+  echo "check.sh: overloaded set was admitted" >&2
+  exit 1
+fi
+dune exec bin/hrt_sim.exe -- admitbench --quick --out /tmp/BENCH_admit_quick.json
+
 echo "check.sh: all gates passed"

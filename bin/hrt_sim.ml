@@ -11,6 +11,10 @@
      verify <trace.json>      replay a recorded trace through the verifier
      faults                   list the named fault-injection plans
      lint [paths...]          run the source-level invariant checker
+     admit query <specs...>   analytical schedulability verdict + certificate
+     admit batch <file>       memoized batch analysis of many task sets
+     admit cross-validate     oracle vs simulator corpus agreement
+     admitbench               admission-service throughput, emit JSON
 
    Every workload runs inside an explicit Exp.Ctx.t built from the common
    flags (--full, --policy, --jobs, --inject/--intensity/--no-degrade)
@@ -718,6 +722,344 @@ let lint_cmd =
     (Cmd.info "lint" ~doc ~man)
     Term.(const run $ config_file $ root $ verbose $ summary_file $ paths)
 
+(* ---- admit ---- *)
+
+(* Task specs on the admit command line: P:<period_us>:<slice_us> for a
+   periodic task, S:<size_us>:<deadline_us> for a sporadic one (deadline
+   relative to its arrival), A for an aperiodic filler. *)
+let parse_spec s =
+  let pos name v =
+    match int_of_string_opt v with
+    | Some n when n > 0 -> Ok (Time.us n)
+    | _ -> Error (`Msg (Printf.sprintf "%s: %s must be a positive integer" s name))
+  in
+  let ( let* ) = Result.bind in
+  match String.split_on_char ':' (String.uppercase_ascii s) with
+  | [ "A" ] -> Ok (Constraints.aperiodic ())
+  | [ "P"; period; slice ] ->
+    let* period = pos "period_us" period in
+    let* slice = pos "slice_us" slice in
+    Ok (Constraints.periodic ~period ~slice ())
+  | [ "S"; size; deadline ] ->
+    let* size = pos "size_us" size in
+    let* deadline = pos "deadline_us" deadline in
+    Ok (Constraints.sporadic ~size ~deadline ())
+  | _ ->
+    Error
+      (`Msg
+        (s
+       ^ ": expected P:<period_us>:<slice_us>, S:<size_us>:<deadline_us>, \
+          or A"))
+
+let spec_conv =
+  Arg.conv ((fun s -> parse_spec s), fun fmt c -> Constraints.pp fmt c)
+
+let platform_term =
+  Arg.(
+    value
+    & opt (enum [ ("phi", Hrt_hw.Platform.phi); ("r415", Hrt_hw.Platform.r415) ])
+        Hrt_hw.Platform.phi
+    & info [ "platform" ] ~docv:"NAME"
+        ~doc:
+          "Platform whose measured scheduler costs are charged per arrival \
+           ($(b,phi) or $(b,r415)).")
+
+let raw_term =
+  Arg.(
+    value & flag
+    & info [ "raw" ]
+        ~doc:
+          "Analyze raw feasibility instead of the production admission \
+           view: full CPU (util limit 1.0, reservations off) and zero \
+           scheduler overhead. A rejection under $(b,--raw) with an exact \
+           certificate means no schedule exists at all.")
+
+(* The Taskset a query analyzes: the production view mirrors the ledger
+   the scheduler boots with (79% periodic capacity, platform overhead). *)
+let admit_taskset ~policy ~platform ~raw tasks =
+  if raw then
+    let config =
+      {
+        Config.default with
+        Config.policy;
+        util_limit = 1.0;
+        strict_reservations = false;
+        sporadic_reservation = 1.0;
+      }
+    in
+    Hrt_analysis.Taskset.make ~config ~overhead_ns:0L tasks
+  else
+    Hrt_analysis.Taskset.make
+      ~config:{ Config.default with Config.policy }
+      ~overhead_ns:(Hrt_analysis.Taskset.overhead_of_platform platform)
+      tasks
+
+let print_result r =
+  Format.printf "%a@." Hrt_analysis.Oracle.pp_result r
+
+let admit_query_cmd =
+  let doc = "Analyze one task set: verdict, headroom, and certificate." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the exact schedulability test for the chosen policy — \
+         processor-demand analysis over the hyperperiod for $(b,edf), the \
+         Lehoczky-Sha-Ding scheduling-point criterion for $(b,rm), plus \
+         the density test for sporadic specs — and prints the verdict \
+         with the certificate that proves it. The certificate is replayed \
+         through the independent checker before the command returns.";
+      `P
+        "Exit status is 0 when the set is admitted, 1 when it is \
+         rejected, and 3 if the certificate fails to replay (an oracle \
+         bug).";
+    ]
+  in
+  let specs =
+    Arg.(
+      non_empty & pos_all spec_conv []
+      & info [] ~docv:"SPEC"
+          ~doc:
+            "Task specs: $(b,P:period_us:slice_us), \
+             $(b,S:size_us:deadline_us), or $(b,A).")
+  in
+  let run policy platform raw specs =
+    let ts = admit_taskset ~policy ~platform ~raw specs in
+    let r = Hrt_analysis.Oracle.analyze ts in
+    print_result r;
+    (match Hrt_analysis.Oracle.check ts r with
+    | Ok () -> Printf.printf "certificate: replays ok\n"
+    | Error msg ->
+      Printf.eprintf "admit: certificate failed to replay: %s\n" msg;
+      exit 3);
+    if not (Admission.admitted r.Hrt_analysis.Oracle.verdict) then exit 1
+  in
+  Cmd.v (Cmd.info "query" ~doc ~man)
+    Term.(const run $ policy_term $ platform_term $ raw_term $ specs)
+
+let admit_batch_cmd =
+  let doc = "Analyze many task sets through the memoized service." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Reads one task set per line (whitespace-separated SPECs, \
+         $(b,#) comments and blank lines skipped) and answers each line \
+         with its verdict. Queries go through the sharded memo cache — \
+         permutations of an already-analyzed set are hits — and fan \
+         across $(b,--jobs) domains; the answers are byte-identical for \
+         any job count. Cache hit/miss/eviction counters are printed at \
+         the end (and exported as $(b,admit.cache.*) metrics with \
+         $(b,--metrics-out)).";
+    ]
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Task-set file ($(b,-) for stdin).")
+  in
+  let run policy platform raw jobs metrics_out file =
+    let ic = if file = "-" then stdin else open_in file in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> if file <> "-" then close_in ic);
+    let sets =
+      List.rev_map String.trim !lines
+      |> List.filter (fun line -> line <> "" && line.[0] <> '#')
+      |> List.mapi (fun i line ->
+             let specs =
+               String.split_on_char ' ' line
+               |> List.filter (fun t -> t <> "")
+               |> List.map (fun t ->
+                      match parse_spec t with
+                      | Ok c -> c
+                      | Error (`Msg m) ->
+                        Printf.eprintf "admit batch: set %d: %s\n" (i + 1) m;
+                        exit 2)
+             in
+             admit_taskset ~policy ~platform ~raw specs)
+    in
+    let svc = Hrt_analysis.Service.create () in
+    with_obs ~trace_out:None ~metrics_out (fun sink ->
+        if Hrt_obs.Sink.enabled sink then
+          Hrt_analysis.Service.register_probes svc sink;
+        let results =
+          if jobs > 1 then
+            Hrt_analysis.Service.batch
+              ~pool:(Hrt_par.Par.Pool.create ~jobs)
+              svc sets
+          else Hrt_analysis.Service.batch svc sets
+        in
+        List.iteri
+          (fun i r ->
+            Format.printf "set %d: %a@." (i + 1) Admission.pp_verdict
+              r.Hrt_analysis.Oracle.verdict)
+          results;
+        let s = Hrt_analysis.Service.stats svc in
+        Printf.printf "cache: %d hits / %d misses / %d evictions (%d entries)\n"
+          s.Hrt_analysis.Service.hits s.Hrt_analysis.Service.misses
+          s.Hrt_analysis.Service.evictions s.Hrt_analysis.Service.entries;
+        if Hrt_obs.Sink.enabled sink then Hrt_obs.Sink.sample_probes sink)
+  in
+  Cmd.v (Cmd.info "batch" ~doc ~man)
+    Term.(
+      const run $ policy_term $ platform_term $ raw_term $ jobs_term
+      $ metrics_out_term $ file)
+
+let admit_xval_cmd =
+  let doc = "Cross-validate the oracle against the simulator." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs randomized periodic task sets through both the analytical \
+         oracle and the discrete-event simulator (synchronous release, \
+         admission control off) and asserts the feasibility corridor: \
+         oracle-admitted sets never miss a deadline, and sets the oracle \
+         proves infeasible always do. Every certificate is replayed \
+         through the independent checker, and the EDF oracle is compared \
+         verdict-for-verdict against the runtime Hyperperiod_sim ledger.";
+      `P "Exit status is 2 when any disagreement is found.";
+    ]
+  in
+  let sets =
+    Arg.(
+      value & opt int 200
+      & info [ "sets" ] ~docv:"N" ~doc:"Randomized task sets per policy.")
+  in
+  let policies =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("both", [ Config.Edf; Config.Rm ]);
+               ("edf", [ Config.Edf ]);
+               ("rm", [ Config.Rm ]);
+             ])
+          [ Config.Edf; Config.Rm ]
+      & info [ "policies" ] ~docv:"WHICH"
+          ~doc:"Policies to validate: $(b,both) (default), $(b,edf), $(b,rm).")
+  in
+  let run scale jobs sets policies =
+    let failed = ref false in
+    List.iter
+      (fun policy ->
+        let ctx = Exp.Ctx.make ~scale ~policy ~jobs () in
+        let o = Admit_xval.run ~ctx ~sets ~policy () in
+        Format.printf "%s: %a@." (Config.policy_name policy)
+          Admit_xval.pp_outcome o;
+        if o.Admit_xval.disagreements <> [] then failed := true)
+      policies;
+    if !failed then begin
+      Printf.eprintf "admit cross-validate: oracle/simulator disagreement\n";
+      exit 2
+    end
+  in
+  Cmd.v (Cmd.info "cross-validate" ~doc ~man)
+    Term.(const run $ scale_term $ jobs_term $ sets $ policies)
+
+let admit_cmd =
+  let doc = "Analytical admission: exact schedulability with certificates." in
+  Cmd.group
+    (Cmd.info "admit" ~doc)
+    [ admit_query_cmd; admit_batch_cmd; admit_xval_cmd ]
+
+(* ---- admitbench ---- *)
+
+let admitbench_cmd =
+  let doc = "Benchmark the admission service: cold vs warm cache, jobs=1 vs N." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Analyzes a randomized corpus once cold (every query runs the \
+         exact test), then repeatedly warm (every query is a fingerprint \
+         plus a cache hit), sequentially and fanned across $(b,--jobs) \
+         domains, reporting queries/sec for each regime. The result is \
+         written as JSON to $(b,--out).";
+      `P
+        "With $(b,--check-against), the measured warm-cache throughput is \
+         compared to a committed baseline artifact and the exit status is \
+         2 when it regresses by more than $(b,--tolerance) — or when the \
+         parallel batch output diverges from the sequential one.";
+    ]
+  in
+  let sets =
+    Arg.(
+      value & opt int 256
+      & info [ "sets" ] ~docv:"N" ~doc:"Distinct task sets in the corpus.")
+  in
+  let repeats =
+    Arg.(
+      value & opt int 40
+      & info [ "repeats" ] ~docv:"N" ~doc:"Warm passes over the corpus.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_admit.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the JSON artifact.")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Small sizes for smoke-testing the harness (CI check.sh).")
+  in
+  let check_against =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "check-against" ] ~docv:"FILE"
+          ~doc:"Committed baseline artifact to gate against.")
+  in
+  let tolerance =
+    Arg.(
+      value
+      & opt float 0.2
+      & info [ "tolerance" ] ~docv:"FRAC"
+          ~doc:"Allowed fractional warm-q/s regression (default 0.2).")
+  in
+  let run jobs sets repeats out quick check_against tolerance =
+    let sets, repeats = if quick then (48, 6) else (sets, repeats) in
+    let jobs = if jobs > 1 then jobs else 4 in
+    let r = Admit_bench.measure ~sets ~repeats ~jobs () in
+    Printf.printf
+      "cold  %9.0f queries/s  (%d sets, exact analysis)\n\
+       warm  %9.0f queries/s  (%dx speedup, %d hits / %d misses)\n\
+       par   %9.0f queries/s  (jobs=%d, identical=%b)\n"
+      r.Admit_bench.cold_qps r.Admit_bench.sets r.Admit_bench.warm_qps
+      (int_of_float r.Admit_bench.warm_speedup)
+      r.Admit_bench.hits r.Admit_bench.misses r.Admit_bench.par_qps
+      r.Admit_bench.jobs r.Admit_bench.identical;
+    Admit_bench.write r ~path:out;
+    Printf.printf "wrote %s\n" out;
+    if not r.Admit_bench.identical then begin
+      Printf.eprintf
+        "admitbench: parallel batch diverges from sequential output\n";
+      exit 2
+    end;
+    match check_against with
+    | None -> ()
+    | Some path -> (
+      match Admit_bench.check_against r ~path ~tolerance with
+      | Ok base ->
+        Printf.printf "baseline %s: %.0f queries/s, within tolerance\n" path
+          base
+      | Error msg ->
+        Printf.eprintf "admitbench: %s\n" msg;
+        exit 2)
+  in
+  Cmd.v (Cmd.info "admitbench" ~doc ~man)
+    Term.(
+      const run $ jobs_term $ sets $ repeats $ out $ quick $ check_against
+      $ tolerance)
+
 let () =
   let doc = "Hard real-time scheduling for parallel run-time systems (HPDC'18 reproduction)." in
   let info = Cmd.info "hrt_sim" ~version:"1.0.0" ~doc in
@@ -735,4 +1077,6 @@ let () =
             verify_cmd;
             faults_cmd;
             lint_cmd;
+            admit_cmd;
+            admitbench_cmd;
           ]))

@@ -26,7 +26,7 @@ let () =
            Program.of_steps
              (Scheduler.admission_ops sys
                 (Constraints.periodic ~period:(Time.us 250) ~slice:(Time.us 50) ())
-                ~on_result:(fun ok -> assert ok));
+                ~on_result:(fun v -> assert (Admission.admitted v)));
            Program.forever (fun _ ->
                incr control_iterations;
                Thread.Compute (Time.us 10));
@@ -59,7 +59,7 @@ let () =
                   Thread.Set_constraints
                     ( Constraints.sporadic ~size:(Time.us 800) ~deadline
                         ~aper_prio:5 (),
-                      fun ok -> assert ok ));
+                      fun v -> assert (Admission.admitted v) ));
               ];
             Program.of_steps [ Thread.Compute (Time.us 800) ];
             Program.of_thunks

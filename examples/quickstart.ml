@@ -15,17 +15,19 @@ let () =
      partition, so we put our thread on CPU 1. *)
   let sys = Scheduler.create ~num_cpus:4 Hrt_hw.Platform.phi in
 
-  let admitted = ref false in
+  let verdict = ref None in
   let constraints =
     Constraints.periodic ~period:(Time.us 100) ~slice:(Time.us 25) ()
   in
   let body =
     Program.seq
       [
-        (* Charge the admission-control cost, then request the change. *)
+        (* Charge the admission-control cost, then request the change. The
+           callback receives a typed verdict: headroom on success, the
+           failed test on rejection. *)
         Program.of_steps
-          (Scheduler.admission_ops sys constraints ~on_result:(fun ok ->
-               admitted := ok));
+          (Scheduler.admission_ops sys constraints ~on_result:(fun v ->
+               verdict := Some v));
         (* ... and from the first arrival on, burn CPU forever: the
            scheduler throttles us to slice/period = 25%. *)
         Program.compute_forever (Time.ms 1);
@@ -37,7 +39,10 @@ let () =
   Scheduler.run ~until:(Time.ms 20) sys;
 
   let account = Local_sched.account (Scheduler.sched sys 1) in
-  Printf.printf "admitted:            %b\n" !admitted;
+  Printf.printf "admission:           %s\n"
+    (match !verdict with
+    | None -> "never ran"
+    | Some v -> Format.asprintf "%a" Admission.pp_verdict v);
   Printf.printf "arrivals:            %d (one per 100us period)\n"
     (Account.arrivals account);
   Printf.printf "deadline misses:     %d\n" (Account.misses account);

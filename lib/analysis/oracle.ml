@@ -1,0 +1,596 @@
+open Hrt_engine
+open Hrt_core
+
+type rm_response = {
+  period : Time.ns;
+  slice : Time.ns;
+  point : Time.ns;
+  demand : Time.ns;
+}
+
+type blocking_link = { hp_period : Time.ns; hp_cost : Time.ns; jobs : int64 }
+
+type cert =
+  | Edf_demand of { horizon : Time.ns; interval : Time.ns; demand : Time.ns }
+  | Util of { util : float; bound : float }
+  | Rm_points of rm_response list
+  | Rm_blocking of {
+      period : Time.ns;
+      slice : Time.ns;
+      chain : blocking_link list;
+    }
+  | Density of { density : float; bound : float }
+
+type result = { verdict : Admission.verdict; certs : cert list }
+
+(* ---- shared arithmetic ---- *)
+
+let rec gcd64 a b = if Int64.equal b 0L then a else gcd64 b (Int64.rem a b)
+
+(* Hyperperiod capped at 1 s, matching the runtime ledger: the sentinel
+   routes pathological period combinations to the utilization test. *)
+let hyperperiod set =
+  let lcm_capped acc p =
+    let l = Int64.div (Int64.mul acc p) (gcd64 acc p) in
+    if Int64.compare l 1_000_000_000L > 0 then Int64.min_int else l
+  in
+  List.fold_left
+    (fun acc (p, _) ->
+      if Int64.equal acc Int64.min_int then acc else lcm_capped acc p)
+    1L set
+
+let edf_demand_at ~ovh set d =
+  List.fold_left
+    (fun acc (p, s) ->
+      let jobs = Int64.div d p in
+      Time.(acc + Int64.mul jobs Time.(s + ovh)))
+    0L set
+
+let deadline_cap = 4096
+
+let edf_deadlines ~h set =
+  let per_task =
+    List.concat_map
+      (fun (p, _) ->
+        let count = Int64.to_int (Int64.div h p) in
+        if count > deadline_cap then []
+        else List.init count (fun k -> Int64.mul p (Int64.of_int (k + 1))))
+      set
+  in
+  List.sort_uniq Int64.compare (h :: per_task)
+
+let effective_util ~ovh set =
+  List.fold_left
+    (fun acc (p, s) -> acc +. (Int64.to_float Time.(s + ovh) /. Int64.to_float p))
+    0. set
+
+let liu_layland n =
+  if n <= 0 then 1.
+  else begin
+    let fn = float_of_int n in
+    fn *. ((2. ** (1. /. fn)) -. 1.)
+  end
+
+let ceil_div a b = Int64.div (Int64.add a (Int64.sub b 1L)) b
+
+let slack ~capacity ~demand d =
+  ((Int64.to_float d *. capacity) -. Int64.to_float demand) /. Int64.to_float d
+
+(* ---- task extraction ---- *)
+
+let periodics tasks =
+  List.filter_map
+    (function
+      | Constraints.Periodic { period; slice; _ } -> Some (period, slice)
+      | _ -> None)
+    tasks
+
+(* Sporadic (size, laxity window) pairs, anchored at analysis time zero. *)
+let sporadics tasks =
+  List.filter_map
+    (function
+      | Constraints.Sporadic { phase; size; deadline; _ } ->
+        Some (size, Time.(deadline - phase))
+      | _ -> None)
+    tasks
+
+let structural_failure (ts : Taskset.t) =
+  let cfg = ts.Taskset.config in
+  let rec go = function
+    | [] -> None
+    | c :: rest -> (
+      match Constraints.validate c with
+      | Error msg -> Some (Admission.Rejection.Invalid { msg })
+      | Ok () -> (
+        match c with
+        | Constraints.Periodic { period; slice; _ }
+          when Time.(period < cfg.Config.min_period)
+               || Time.(slice < cfg.Config.min_slice) ->
+          Some (Admission.Rejection.Granularity { period; slice })
+        | Constraints.Sporadic { phase; deadline; _ }
+          when Time.(deadline <= phase) ->
+          Some (Admission.Rejection.Past_deadline { arrival = phase; deadline })
+        | _ -> go rest))
+  in
+  go ts.Taskset.tasks
+
+(* ---- EDF: processor-demand criterion ---- *)
+
+let edf_analysis ~ovh ~capacity set =
+  let h = hyperperiod set in
+  let util = effective_util ~ovh set in
+  if Int64.equal h Int64.min_int then begin
+    let cert = Util { util; bound = capacity } in
+    if util <= capacity then Ok (capacity -. util, cert)
+    else
+      Error
+        ( Admission.Rejection.Utilization_bound { util; bound = capacity },
+          cert )
+  end
+  else begin
+    let rec scan min_slack witness = function
+      | [] -> Ok (min_slack, witness)
+      | d :: rest ->
+        let demand = edf_demand_at ~ovh set d in
+        if Int64.to_float demand <= Int64.to_float d *. capacity then begin
+          let s = slack ~capacity ~demand d in
+          if s < min_slack then
+            scan s (Edf_demand { horizon = h; interval = d; demand }) rest
+          else scan min_slack witness rest
+        end
+        else
+          Error
+            ( Admission.Rejection.Hyperperiod_demand { interval = d; demand },
+              Edf_demand { horizon = h; interval = d; demand } )
+    in
+    let first = Edf_demand { horizon = h; interval = h; demand = 0L } in
+    scan infinity first (edf_deadlines ~h set)
+  end
+
+(* ---- RM: Lehoczky-Sha-Ding scheduling-point criterion ---- *)
+
+(* [hp_of arr i] — every other task whose period is <= task [i]'s: with
+   equal periods each peer counts as higher priority for both tasks,
+   which is conservative under any dispatcher tie-break. *)
+let hp_of arr i =
+  let p_i, _ = arr.(i) in
+  let hp = ref [] in
+  for j = Array.length arr - 1 downto 0 do
+    let p_j, _ = arr.(j) in
+    if j <> i && Int64.compare p_j p_i <= 0 then hp := arr.(j) :: !hp
+  done;
+  !hp
+
+let rm_points ~p hp =
+  let per_task =
+    List.concat_map
+      (fun (pj, _) ->
+        let count = Int64.to_int (Int64.div p pj) in
+        List.init count (fun k -> Int64.mul pj (Int64.of_int (k + 1))))
+      hp
+  in
+  List.sort_uniq Int64.compare (p :: per_task)
+
+let rm_demand_at ~ovh ~slice hp t =
+  List.fold_left
+    (fun acc (pj, sj) -> Time.(acc + Int64.mul (ceil_div t pj) Time.(sj + ovh)))
+    Time.(slice + ovh) hp
+
+let rm_chain ~ovh ~period hp =
+  List.map
+    (fun (pj, sj) ->
+      { hp_period = pj; hp_cost = Time.(sj + ovh); jobs = ceil_div period pj })
+    hp
+
+let rm_over_cap arr =
+  let n = Array.length arr in
+  let over = ref false in
+  for i = 0 to n - 1 do
+    let p_i, _ = arr.(i) in
+    for j = 0 to n - 1 do
+      let p_j, _ = arr.(j) in
+      if Int64.compare (Int64.div p_i p_j) (Int64.of_int deadline_cap) > 0 then
+        over := true
+    done
+  done;
+  !over
+
+let rm_analysis ~ovh ~capacity set =
+  let arr =
+    Array.of_list
+      (List.sort
+         (fun (p1, s1) (p2, s2) ->
+           match Int64.compare p1 p2 with
+           | 0 -> Int64.compare s1 s2
+           | c -> c)
+         set)
+  in
+  if rm_over_cap arr then begin
+    (* Scheduling-point set too large to enumerate exactly: Liu-Layland
+       sufficient bound, scaled by the capacity. *)
+    let util = effective_util ~ovh set in
+    let bound = liu_layland (Array.length arr) *. capacity in
+    let cert = Util { util; bound } in
+    if util <= bound then Ok (bound -. util, cert)
+    else Error (Admission.Rejection.Utilization_bound { util; bound }, cert)
+  end
+  else begin
+    let n = Array.length arr in
+    let responses = ref [] in
+    let min_slack = ref infinity in
+    let blocked = ref None in
+    let i = ref 0 in
+    while !blocked = None && !i < n do
+      let p_i, s_i = arr.(!i) in
+      let hp = hp_of arr !i in
+      let best = ref None in
+      List.iter
+        (fun t ->
+          let demand = rm_demand_at ~ovh ~slice:s_i hp t in
+          if Int64.to_float demand <= Int64.to_float t *. capacity then begin
+            let s = slack ~capacity ~demand t in
+            match !best with
+            | Some (_, _, s') when s' >= s -> ()
+            | _ -> best := Some (t, demand, s)
+          end)
+        (rm_points ~p:p_i hp);
+      (match !best with
+      | Some (point, demand, s) ->
+        responses := { period = p_i; slice = s_i; point; demand } :: !responses;
+        if s < !min_slack then min_slack := s
+      | None ->
+        let demand = rm_demand_at ~ovh ~slice:s_i hp p_i in
+        blocked := Some (p_i, s_i, demand, hp));
+      incr i
+    done;
+    match !blocked with
+    | Some (period, slice, demand, hp) ->
+      Error
+        ( Admission.Rejection.Hyperperiod_demand { interval = period; demand },
+          Rm_blocking { period; slice; chain = rm_chain ~ovh ~period hp } )
+    | None -> Ok (!min_slack, Rm_points (List.rev !responses))
+  end
+
+(* ---- sporadic: density against the reservation ---- *)
+
+let density_bound (cfg : Config.t) =
+  cfg.Config.sporadic_reservation *. cfg.Config.util_limit
+
+let total_density sp =
+  List.fold_left
+    (fun acc (size, window) ->
+      acc +. (Int64.to_float size /. Int64.to_float window))
+    0. sp
+
+let density_analysis ~cfg sp =
+  let bound = density_bound cfg in
+  let density = total_density sp in
+  let cert = Density { density; bound } in
+  if density <= bound then Ok (bound -. density, cert)
+  else Error (Admission.Rejection.Density_bound { density; bound }, cert)
+
+(* ---- analyze ---- *)
+
+let analyze (ts : Taskset.t) =
+  let cfg = ts.Taskset.config in
+  let ovh = ts.Taskset.overhead_ns in
+  match structural_failure ts with
+  | Some reason ->
+    { verdict = Admission.Rejected { reason }; certs = [] }
+  | None ->
+    let capacity = Config.periodic_capacity cfg in
+    let periodic = periodics ts.Taskset.tasks in
+    let sporadic = sporadics ts.Taskset.tasks in
+    let sp = if sporadic = [] then None else Some (density_analysis ~cfg sporadic) in
+    let pe =
+      if periodic = [] then None
+      else
+        Some
+          (match cfg.Config.policy with
+          | Config.Edf -> edf_analysis ~ovh ~capacity periodic
+          | Config.Rm -> rm_analysis ~ovh ~capacity periodic)
+    in
+    let cert_of = function Ok (_, c) | Error (_, c) -> c in
+    let certs = List.filter_map (Option.map cert_of) [ sp; pe ] in
+    let verdict =
+      match (sp, pe) with
+      | Some (Error (reason, _)), _ | _, Some (Error (reason, _)) ->
+        Admission.Rejected { reason }
+      | _ ->
+        let headroom_of = function
+          | Some (Ok (h, _)) -> h
+          | _ -> infinity
+        in
+        let h = Float.min (headroom_of sp) (headroom_of pe) in
+        let h = if h = infinity then capacity else h in
+        Admission.Admitted { headroom = h }
+    in
+    { verdict; certs }
+
+(* ---- certificate checking ---- *)
+
+exception Check_failed of string
+
+let failf fmt = Printf.ksprintf (fun s -> raise (Check_failed s)) fmt
+
+let feq a b = Float.abs (a -. b) <= 1e-9
+
+(* Re-derive one certificate from the task set and report whether it
+   witnesses feasibility ([true]) or infeasibility ([false]). Stored
+   arithmetic that does not reproduce raises. *)
+let check_cert ~cfg ~ovh ~capacity ~periodic ~sporadic = function
+  | Util { util; bound } ->
+    let u = effective_util ~ovh periodic in
+    if not (feq u util) then
+      failf "util certificate: stored %.9f, recomputed %.9f" util u;
+    let expected =
+      match cfg.Config.policy with
+      | Config.Edf -> capacity
+      | Config.Rm -> liu_layland (List.length periodic) *. capacity
+    in
+    if not (feq bound expected) then
+      failf "util certificate: stored bound %.9f, expected %.9f" bound expected;
+    util <= bound
+  | Edf_demand { horizon; interval; demand } ->
+    if cfg.Config.policy <> Config.Edf then
+      failf "EDF demand certificate under non-EDF policy";
+    let h = hyperperiod periodic in
+    if not (Int64.equal h horizon) then
+      failf "EDF certificate: stored horizon %Ld, recomputed %Ld" horizon h;
+    let d = edf_demand_at ~ovh periodic interval in
+    if not (Int64.equal d demand) then
+      failf "EDF certificate: demand at %Ld stored %Ld, recomputed %Ld"
+        interval demand d;
+    Int64.to_float demand <= Int64.to_float interval *. capacity
+  | Rm_points responses ->
+    if cfg.Config.policy <> Config.Rm then
+      failf "RM points certificate under non-RM policy";
+    let key (p, s) = (p, s) in
+    let claimed =
+      List.sort compare (List.map (fun r -> key (r.period, r.slice)) responses)
+    in
+    let actual = List.sort compare (List.map key periodic) in
+    if claimed <> actual then
+      failf "RM certificate does not cover the periodic tasks exactly";
+    List.for_all
+      (fun r ->
+        if Time.(r.point <= 0L) || Time.(r.point > r.period) then
+          failf "RM certificate: point %Ld outside (0, %Ld]" r.point r.period;
+        (* hp = the other tasks with period <= r.period: drop one instance
+           of the task itself from the multiset. *)
+        let dropped = ref false in
+        let hp =
+          List.filter
+            (fun (p, s) ->
+              if
+                (not !dropped)
+                && Int64.equal p r.period
+                && Int64.equal s r.slice
+              then begin
+                dropped := true;
+                false
+              end
+              else Int64.compare p r.period <= 0)
+            periodic
+        in
+        let d = rm_demand_at ~ovh ~slice:r.slice hp r.point in
+        if not (Int64.equal d r.demand) then
+          failf "RM certificate: demand at %Ld stored %Ld, recomputed %Ld"
+            r.point r.demand d;
+        Int64.to_float d <= Int64.to_float r.point *. capacity)
+      responses
+  | Rm_blocking { period; slice; chain } ->
+    if cfg.Config.policy <> Config.Rm then
+      failf "RM blocking certificate under non-RM policy";
+    if not (List.exists (fun (p, s) -> Int64.equal p period && Int64.equal s slice) periodic)
+    then failf "RM blocking certificate names a task not in the set";
+    let dropped = ref false in
+    let hp =
+      List.filter
+        (fun (p, s) ->
+          if (not !dropped) && Int64.equal p period && Int64.equal s slice
+          then begin
+            dropped := true;
+            false
+          end
+          else Int64.compare p period <= 0)
+        periodic
+    in
+    let expected_chain = rm_chain ~ovh ~period hp in
+    let sort_chain =
+      List.sort (fun a b -> compare (a.hp_period, a.hp_cost) (b.hp_period, b.hp_cost))
+    in
+    if sort_chain chain <> sort_chain expected_chain then
+      failf "RM blocking chain does not match the higher-priority set";
+    (* The chain names the overload at the deadline; infeasibility under
+       the point criterion needs every point to fail. *)
+    List.iter
+      (fun t ->
+        let d = rm_demand_at ~ovh ~slice hp t in
+        if Int64.to_float d <= Int64.to_float t *. capacity then
+          failf
+            "RM blocking certificate refuted: point %Ld absorbs demand %Ld"
+            t d)
+      (rm_points ~p:period hp);
+    false
+  | Density { density; bound } ->
+    let d = total_density sporadic in
+    if not (feq d density) then
+      failf "density certificate: stored %.9f, recomputed %.9f" density d;
+    let b = density_bound cfg in
+    if not (feq b bound) then
+      failf "density certificate: stored bound %.9f, expected %.9f" bound b;
+    density <= bound
+
+(* Headroom one certificate implies, mirroring [analyze]'s combine. *)
+let cert_headroom ~capacity = function
+  | Util { util; bound } -> bound -. util
+  | Edf_demand { interval; demand; _ } -> slack ~capacity ~demand interval
+  | Rm_points responses ->
+    List.fold_left
+      (fun acc r ->
+        Float.min acc (slack ~capacity ~demand:r.demand r.point))
+      infinity responses
+  | Rm_blocking _ -> neg_infinity
+  | Density { density; bound } -> bound -. density
+
+let check (ts : Taskset.t) (r : result) =
+  let cfg = ts.Taskset.config in
+  let ovh = ts.Taskset.overhead_ns in
+  let capacity = Config.periodic_capacity cfg in
+  let periodic = periodics ts.Taskset.tasks in
+  let sporadic = sporadics ts.Taskset.tasks in
+  try
+    (match (structural_failure ts, r.verdict) with
+    | Some reason, Admission.Rejected { reason = claimed } ->
+      if reason <> claimed then
+        failf "structural rejection mismatch: claimed %s, found %s"
+          (Admission.Rejection.describe claimed)
+          (Admission.Rejection.describe reason);
+      if r.certs <> [] then
+        failf "structural rejection must not carry certificates"
+    | Some reason, Admission.Admitted _ ->
+      failf "admitted a structurally invalid set (%s)"
+        (Admission.Rejection.describe reason)
+    | None, _ ->
+      let statuses =
+        List.map
+          (fun c -> (c, check_cert ~cfg ~ovh ~capacity ~periodic ~sporadic c))
+          r.certs
+      in
+      (match r.verdict with
+      | Admission.Admitted { headroom } ->
+        List.iter
+          (fun (_, ok) ->
+            if not ok then failf "admitted verdict carries a failing certificate")
+          statuses;
+        if periodic <> [] && not (List.exists (fun (c, _) ->
+               match c with
+               | Edf_demand _ | Util _ | Rm_points _ -> true
+               | _ -> false) statuses)
+        then failf "admitted verdict lacks a periodic certificate";
+        if sporadic <> []
+           && not (List.exists (fun (c, _) ->
+                  match c with Density _ -> true | _ -> false) statuses)
+        then failf "admitted verdict lacks a density certificate";
+        (* For EDF, confirm the stored witness really is the scan minimum
+           by re-scanning every deadline independently. *)
+        List.iter
+          (fun (c, _) ->
+            match c with
+            | Edf_demand { horizon; _ } ->
+              List.iter
+                (fun d ->
+                  let demand = edf_demand_at ~ovh periodic d in
+                  if Int64.to_float demand > Int64.to_float d *. capacity then
+                    failf "EDF scan refutes admission: deadline %Ld overloaded" d;
+                  if slack ~capacity ~demand d < headroom -. 1e-9 then
+                    failf
+                      "EDF witness is not the binding interval: deadline %Ld \
+                       has less slack"
+                      d)
+                (edf_deadlines ~h:horizon periodic)
+            | _ -> ())
+          statuses;
+        let expected =
+          match statuses with
+          | [] -> capacity
+          | _ ->
+            List.fold_left
+              (fun acc (c, _) -> Float.min acc (cert_headroom ~capacity c))
+              infinity statuses
+        in
+        let expected = if expected = infinity then capacity else expected in
+        if not (feq headroom expected) then
+          failf "headroom %.9f does not match certificates (%.9f)" headroom
+            expected
+      | Admission.Rejected { reason } ->
+        let failing = List.filter (fun (_, ok) -> not ok) statuses in
+        if failing = [] then
+          failf "rejected verdict but every certificate passes";
+        let consistent =
+          List.exists
+            (fun (c, _) ->
+              match (reason, c) with
+              | ( Admission.Rejection.Density_bound { density; bound },
+                  Density { density = d; bound = b } ) ->
+                feq density d && feq bound b
+              | ( Admission.Rejection.Utilization_bound { util; bound },
+                  Util { util = u; bound = b } ) ->
+                feq util u && feq bound b
+              | ( Admission.Rejection.Hyperperiod_demand { interval; demand },
+                  Edf_demand { interval = i; demand = d; _ } ) ->
+                Int64.equal interval i && Int64.equal demand d
+              | ( Admission.Rejection.Hyperperiod_demand { interval; demand },
+                  Rm_blocking { period; slice; chain = _ } ) ->
+                Int64.equal interval period
+                && (let dropped = ref false in
+                    let hp =
+                      List.filter
+                        (fun (p, s) ->
+                          if
+                            (not !dropped)
+                            && Int64.equal p period
+                            && Int64.equal s slice
+                          then begin
+                            dropped := true;
+                            false
+                          end
+                          else Int64.compare p period <= 0)
+                        periodic
+                    in
+                    Int64.equal demand (rm_demand_at ~ovh ~slice hp period))
+              | _ -> false)
+            failing
+        in
+        if not consistent then
+          failf "rejection reason (%s) is not backed by a failing certificate"
+            (Admission.Rejection.describe reason)));
+    Ok ()
+  with Check_failed msg -> Error msg
+
+let exact_infeasible (ts : Taskset.t) (r : result) =
+  match r.verdict with
+  | Admission.Admitted _ -> false
+  | Admission.Rejected { reason } -> (
+    match reason with
+    | Admission.Rejection.Hyperperiod_demand _ -> true
+    | Admission.Rejection.Past_deadline _ -> true
+    | Admission.Rejection.Utilization_bound { util; _ } -> (
+      match ts.Taskset.config.Config.policy with
+      | Config.Edf -> true
+      | Config.Rm -> util > Config.periodic_capacity ts.Taskset.config)
+    | _ -> false)
+
+(* ---- printing ---- *)
+
+let pp_cert fmt = function
+  | Edf_demand { horizon; interval; demand } ->
+    Format.fprintf fmt
+      "EDF demand: %Ldns over [0,%Ldns] (hyperperiod %Ldns)" demand interval
+      horizon
+  | Util { util; bound } ->
+    Format.fprintf fmt "utilization %.6f against bound %.6f" util bound
+  | Rm_points responses ->
+    Format.fprintf fmt "@[<v>RM scheduling points:@,%a@]"
+      (Format.pp_print_list (fun fmt r ->
+           Format.fprintf fmt
+             "  task(period=%Ldns slice=%Ldns) completes %Ldns demand by \
+              %Ldns"
+             r.period r.slice r.demand r.point))
+      responses
+  | Rm_blocking { period; slice; chain } ->
+    Format.fprintf fmt
+      "@[<v>RM blocking of task(period=%Ldns slice=%Ldns):@,%a@]" period slice
+      (Format.pp_print_list (fun fmt l ->
+           Format.fprintf fmt "  %Ld jobs of period %Ldns cost %Ldns each"
+             l.jobs l.hp_period l.hp_cost))
+      chain
+  | Density { density; bound } ->
+    Format.fprintf fmt "sporadic density %.6f against reservation %.6f"
+      density bound
+
+let pp_result fmt r =
+  Format.fprintf fmt "@[<v>%a@,%a@]" Admission.pp_verdict r.verdict
+    (Format.pp_print_list pp_cert)
+    r.certs

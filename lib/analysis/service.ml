@@ -1,0 +1,97 @@
+open Hrt_par
+
+type shard = {
+  lock : Mutex.t;
+  table : (string, Oracle.result) Hashtbl.t;
+  order : string Queue.t;  (* insertion order, for FIFO eviction *)
+}
+
+type t = {
+  shards : shard array;
+  capacity : int;  (* per shard *)
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
+}
+
+let create ?(shards = 8) ?(capacity = 1024) () =
+  let shards = Stdlib.max 1 (Stdlib.min 64 shards) in
+  {
+    shards =
+      Array.init shards (fun _ ->
+          {
+            lock = Mutex.create ();
+            table = Hashtbl.create 64;
+            order = Queue.create ();
+          });
+    capacity = Stdlib.max 1 capacity;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    evictions = Atomic.make 0;
+  }
+
+(* Shard choice folds the fingerprint's own hex digits instead of
+   [Hashtbl.hash], so the mapping is fixed by the key alone — stable
+   across runs, domains, and compiler versions. *)
+let shard_of t key =
+  let h = ref 0 in
+  String.iter (fun c -> h := ((!h * 31) + Char.code c) land max_int) key;
+  t.shards.(!h mod Array.length t.shards)
+
+let query t ts =
+  let key = Taskset.fingerprint ts in
+  let s = shard_of t key in
+  let cached = Mutex.protect s.lock (fun () -> Hashtbl.find_opt s.table key) in
+  match cached with
+  | Some r ->
+    Atomic.incr t.hits;
+    r
+  | None ->
+    (* Analyze outside the lock: the oracle is pure, so two domains
+       racing on the same key compute equal results and the second
+       insert is dropped. *)
+    let r = Oracle.analyze ts in
+    Atomic.incr t.misses;
+    Mutex.protect s.lock (fun () ->
+        if not (Hashtbl.mem s.table key) then begin
+          if Hashtbl.length s.table >= t.capacity then begin
+            match Queue.take_opt s.order with
+            | Some victim ->
+              Hashtbl.remove s.table victim;
+              Atomic.incr t.evictions
+            | None -> ()
+          end;
+          Hashtbl.replace s.table key r;
+          Queue.push key s.order
+        end);
+    r
+
+let batch ?pool t tasksets =
+  match pool with
+  | Some pool when Par.Pool.jobs pool > 1 ->
+    Par.map_list pool (query t) tasksets
+  | _ -> List.map (query t) tasksets
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+let stats t =
+  let entries =
+    Array.fold_left
+      (fun acc s ->
+        acc + Mutex.protect s.lock (fun () -> Hashtbl.length s.table))
+      0 t.shards
+  in
+  {
+    hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    evictions = Atomic.get t.evictions;
+    entries;
+  }
+
+let register_probes (t : t) sink =
+  let gauge name read = Hrt_obs.Sink.add_probe sink ~name read in
+  gauge "admit.cache.hits" (fun () -> float_of_int (Atomic.get t.hits));
+  gauge "admit.cache.misses" (fun () -> float_of_int (Atomic.get t.misses));
+  gauge "admit.cache.evictions" (fun () ->
+      float_of_int (Atomic.get t.evictions));
+  gauge "admit.cache.entries" (fun () -> float_of_int (stats t).entries)

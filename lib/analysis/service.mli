@@ -1,0 +1,37 @@
+(** Batched, memoized admission analysis.
+
+    A service front-ends {!Oracle.analyze} with a sharded cache keyed by
+    {!Taskset.fingerprint}: permutations of the same constraint multiset
+    hit the same entry. Shards are mutex-guarded and the counters are
+    atomic, so one service may be shared by the domains of a {!Hrt_par.Par}
+    fan-out; because the oracle is deterministic, results are identical
+    for any interleaving — a batch at [jobs = n] returns byte-identical
+    verdicts to the same batch at [jobs = 1]. *)
+
+open Hrt_par
+
+type t
+
+val create : ?shards:int -> ?capacity:int -> unit -> t
+(** [shards] (default 8, clamped to [1 .. 64]) bounds lock contention;
+    [capacity] (default 1024, at least 1) bounds entries {e per shard},
+    evicted FIFO. *)
+
+val query : t -> Taskset.t -> Oracle.result
+(** One analysis, served from cache when an equivalent set (same
+    fingerprint) was analyzed before. *)
+
+val batch : ?pool:Par.Pool.t -> t -> Taskset.t list -> Oracle.result list
+(** [query] over the list, in submission order. With a [pool] the queries
+    fan across its domains ({!Hrt_par.Par.map_list}); results are
+    order-preserving and identical to the sequential run. *)
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+val stats : t -> stats
+(** Lifetime counters plus current population across all shards. *)
+
+val register_probes : t -> Hrt_obs.Sink.t -> unit
+(** Register pull gauges ["admit.cache.hits"], ["admit.cache.misses"],
+    ["admit.cache.evictions"], and ["admit.cache.entries"] on the sink
+    ({!Hrt_obs.Sink.add_probe}). *)

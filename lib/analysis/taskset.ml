@@ -1,0 +1,65 @@
+open Hrt_engine
+open Hrt_core
+open Hrt_hw
+
+type t = {
+  config : Config.t;
+  overhead_ns : Time.ns;
+  tasks : Constraints.t list;
+}
+
+let make ?(config = Config.default) ?(overhead_ns = 0L) tasks =
+  { config; overhead_ns; tasks }
+
+(* Mirrors the admission ledger the scheduler boots with: each arrival is
+   charged two scheduler invocations, an invocation being the mean cost of
+   interrupt dispatch, one scheduler pass, residual bookkeeping, and a
+   context switch (Local_sched.create). *)
+let overhead_of_platform (plat : Platform.t) =
+  let per_invocation =
+    plat.Platform.irq_dispatch.Platform.mean_cycles
+    +. plat.Platform.sched_pass.Platform.mean_cycles
+    +. plat.Platform.sched_other.Platform.mean_cycles
+    +. plat.Platform.ctx_switch.Platform.mean_cycles
+  in
+  Platform.cycles_to_ns plat (2. *. per_invocation)
+
+(* Analysis-relevant view of one task. Periodic phases are dropped: every
+   test assumes the synchronous (critical-instant) release pattern, which
+   dominates any phasing. Sporadic deadlines are folded to the laxity
+   window so two requests with equal demand shape hit the same cache
+   line regardless of wall-clock anchoring. *)
+let task_token = function
+  | Constraints.Aperiodic _ -> "A"
+  | Constraints.Periodic { period; slice; _ } ->
+    Printf.sprintf "P:%Ld:%Ld" period slice
+  | Constraints.Sporadic { phase; size; deadline; _ } ->
+    Printf.sprintf "S:%Ld:%Ld" size Time.(deadline - phase)
+
+let canonical t =
+  let cfg = t.config in
+  let admission_tag =
+    match cfg.Config.admission with
+    | Config.Policy_bound -> "bound"
+    | Config.Hyperperiod_sim -> "sim"
+  in
+  let header =
+    Printf.sprintf "%s:%s:%.9f:%.9f:%.9f:%b:%b:%Ld:%Ld:%Ld"
+      (Config.policy_name cfg.Config.policy)
+      admission_tag cfg.Config.util_limit cfg.Config.sporadic_reservation
+      cfg.Config.aperiodic_reservation cfg.Config.admission_control
+      cfg.Config.strict_reservations cfg.Config.min_period
+      cfg.Config.min_slice t.overhead_ns
+  in
+  let tokens = List.sort String.compare (List.map task_token t.tasks) in
+  String.concat ";" (header :: tokens)
+
+let fingerprint t = Digest.to_hex (Digest.string (canonical t))
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%d tasks under %s (overhead %Ldns):@,%a@]"
+    (List.length t.tasks)
+    (Config.policy_name t.config.Config.policy)
+    t.overhead_ns
+    (Format.pp_print_list Constraints.pp)
+    t.tasks

@@ -1,0 +1,41 @@
+(** Immutable constraint sets for offline schedulability analysis.
+
+    A task set pairs a list of {!Hrt_core.Constraints.t} with the scheduler
+    configuration and per-arrival overhead charge they would be admitted
+    under. Unlike the runtime {!Hrt_core.Admission} ledger — which admits
+    one request at a time against mutable accounting state — a task set is
+    a pure value: the {!Oracle} analyzes it as a whole, and the {!Service}
+    memoizes analyses keyed by its {!fingerprint}.
+
+    Sporadic constraints are interpreted relative to analysis time zero:
+    the arrival is the constraint's [phase] and the laxity window is
+    [deadline - phase], matching a runtime request issued at [now = 0]. *)
+
+open Hrt_engine
+open Hrt_core
+
+type t = private {
+  config : Config.t;
+  overhead_ns : Time.ns;  (** charged per arrival, twice per invocation *)
+  tasks : Constraints.t list;
+}
+
+val make : ?config:Config.t -> ?overhead_ns:Time.ns -> Constraints.t list -> t
+(** Defaults: {!Hrt_core.Config.default} and zero overhead. *)
+
+val overhead_of_platform : Hrt_hw.Platform.t -> Time.ns
+(** The per-arrival scheduler overhead the runtime admission ledger
+    charges on this platform: two invocations of
+    [irq_dispatch + sched_pass + sched_other + ctx_switch] mean cycles
+    (the model {!Hrt_core.Local_sched} installs at boot). *)
+
+val canonical : t -> string
+(** A canonical textual form: analysis-relevant configuration fields
+    followed by the multiset of per-task tokens in sorted order. Two task
+    sets that differ only by task order (or by analysis-irrelevant fields
+    such as periodic phases) have equal canonical forms. *)
+
+val fingerprint : t -> string
+(** Hex digest of {!canonical} — the {!Service} cache key. *)
+
+val pp : Format.formatter -> t -> unit

@@ -176,8 +176,9 @@ let run ?(seed = 42L) ?(platform = Platform.phi) ?(until = Time.sec 100)
              | None ->
                let b =
                  Group_sched.change_constraints (Option.get !session)
-                   ~on_result:(fun ok ->
-                     if not ok then shared.admitted_all <- false)
+                   ~on_result:(fun v ->
+                     if not (Admission.admitted v) then
+                       shared.admitted_all <- false)
                in
                body := Some b;
                b

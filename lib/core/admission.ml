@@ -1,5 +1,64 @@
 open Hrt_engine
 
+module Rejection = struct
+  type t =
+    | Invalid of { msg : string }
+    | Granularity of { period : Time.ns; slice : Time.ns }
+    | Utilization_bound of { util : float; bound : float }
+    | Density_bound of { density : float; bound : float }
+    | Hyperperiod_demand of { interval : Time.ns; demand : Time.ns }
+    | Past_deadline of { arrival : Time.ns; deadline : Time.ns }
+    | Overload_shed of { boundary : int }
+
+  let name = function
+    | Invalid _ -> "invalid"
+    | Granularity _ -> "granularity"
+    | Utilization_bound _ -> "utilization-bound"
+    | Density_bound _ -> "density-bound"
+    | Hyperperiod_demand _ -> "hyperperiod-demand"
+    | Past_deadline _ -> "past-deadline"
+    | Overload_shed _ -> "overload-shed"
+
+  let describe = function
+    | Invalid { msg } -> Printf.sprintf "invalid constraints: %s" msg
+    | Granularity { period; slice } ->
+      Printf.sprintf "below scheduler granularity (period=%Ldns slice=%Ldns)"
+        period slice
+    | Utilization_bound { util; bound } ->
+      Printf.sprintf "utilization %.6f exceeds bound %.6f" util bound
+    | Density_bound { density; bound } ->
+      Printf.sprintf "sporadic density %.6f exceeds reservation %.6f" density
+        bound
+    | Hyperperiod_demand { interval; demand } ->
+      Printf.sprintf "demand %Ldns exceeds supply in interval [0,%Ldns]" demand
+        interval
+    | Past_deadline { arrival; deadline } ->
+      Printf.sprintf "deadline %Ldns not after arrival %Ldns" deadline arrival
+    | Overload_shed { boundary } ->
+      Printf.sprintf "overload mode: criticality below shed boundary %d"
+        boundary
+
+  let pp fmt t = Format.pp_print_string fmt (describe t)
+end
+
+type verdict =
+  | Admitted of { headroom : float }
+  | Rejected of { reason : Rejection.t }
+
+let admitted = function Admitted _ -> true | Rejected _ -> false
+let headroom = function Admitted { headroom } -> Some headroom | Rejected _ -> None
+
+let worse a b =
+  match (a, b) with
+  | Rejected _, _ -> a
+  | _, Rejected _ -> b
+  | Admitted { headroom = ha }, Admitted { headroom = hb } ->
+    if ha <= hb then a else b
+
+let pp_verdict fmt = function
+  | Admitted { headroom } -> Format.fprintf fmt "admitted (headroom %.6f)" headroom
+  | Rejected { reason } -> Format.fprintf fmt "rejected: %a" Rejection.pp reason
+
 type t = {
   config : Config.t;
   overhead_ns : Time.ns;
@@ -24,6 +83,7 @@ let create ?(overhead_ns = 0L) config =
   }
 
 let periodic_util t = t.periodic_util
+let overhead_ns t = t.overhead_ns
 
 let set_overload t ~boundary = t.shed_boundary <- Stdlib.max 0 boundary
 let clear_overload t = t.shed_boundary <- 0
@@ -71,14 +131,16 @@ let rec gcd64 a b = if Int64.equal b 0L then a else gcd64 b (Int64.rem a b)
 (* Processor-demand test over one hyperperiod, charging each arrival its
    scheduler overhead (the paper's prototype admission, Section 3.2). The
    hyperperiod is capped: pathological period combinations fall back to the
-   plain utilization test with overhead folded into each cost. *)
-let hyperperiod_feasible t ~capacity set =
+   plain utilization test with overhead folded into each cost. On success
+   the headroom is the smallest normalized slack over all checked
+   deadlines. *)
+let hyperperiod_check t ~capacity set =
   let ovh = t.overhead_ns in
   let lcm_capped acc p =
     let l = Int64.div (Int64.mul acc p) (gcd64 acc p) in
     if Int64.compare l 1_000_000_000L > 0 then Int64.min_int else l
   in
-  let h = List.fold_left (fun acc (p, _) -> 
+  let h = List.fold_left (fun acc (p, _) ->
       if Int64.equal acc Int64.min_int then acc else lcm_capped acc p)
       1L set
   in
@@ -88,7 +150,12 @@ let hyperperiod_feasible t ~capacity set =
         acc +. (Int64.to_float Time.(s + ovh) /. Int64.to_float p))
       0. set
   in
-  if Int64.equal h Int64.min_int then effective_util <= capacity
+  if Int64.equal h Int64.min_int then begin
+    if effective_util <= capacity then Ok (capacity -. effective_util)
+    else
+      Error
+        (Rejection.Utilization_bound { util = effective_util; bound = capacity })
+  end
   else begin
     (* Check demand at every deadline (arrival multiple) up to H. *)
     let deadlines =
@@ -100,8 +167,9 @@ let hyperperiod_feasible t ~capacity set =
         set
     in
     let deadlines = List.sort_uniq Int64.compare (h :: deadlines) in
-    List.for_all
-      (fun d ->
+    let rec scan min_slack = function
+      | [] -> Ok min_slack
+      | d :: rest ->
         let demand =
           List.fold_left
             (fun acc (p, s) ->
@@ -109,14 +177,21 @@ let hyperperiod_feasible t ~capacity set =
               Time.(acc + Int64.mul jobs Time.(s + ovh)))
             0L set
         in
-        Int64.to_float demand <= Int64.to_float d *. capacity)
-      deadlines
+        let supply = Int64.to_float d *. capacity in
+        if Int64.to_float demand <= supply then
+          scan
+            (Float.min min_slack
+               ((supply -. Int64.to_float demand) /. Int64.to_float d))
+            rest
+        else Error (Rejection.Hyperperiod_demand { interval = d; demand })
+    in
+    scan infinity deadlines
   end
 
-let admissible_periodic t ~period ~slice =
+let admit_periodic t ~period ~slice =
   let cfg = t.config in
   if Time.(period < cfg.Config.min_period) || Time.(slice < cfg.Config.min_slice)
-  then false
+  then Error (Rejection.Granularity { period; slice })
   else begin
     let u = Int64.to_float slice /. Int64.to_float period in
     let capacity = Config.periodic_capacity cfg in
@@ -126,21 +201,48 @@ let admissible_periodic t ~period ~slice =
        (Config.validate rejects it combined with RM). *)
     match (cfg.Config.admission, cfg.Config.policy) with
     | Config.Hyperperiod_sim, _ ->
-      hyperperiod_feasible t ~capacity ((period, slice) :: t.periodic_set)
-    | Config.Policy_bound, Config.Edf -> t.periodic_util +. u <= capacity
+      hyperperiod_check t ~capacity ((period, slice) :: t.periodic_set)
+    | Config.Policy_bound, Config.Edf ->
+      let total = t.periodic_util +. u in
+      if total <= capacity then Ok (capacity -. total)
+      else Error (Rejection.Utilization_bound { util = total; bound = capacity })
     | Config.Policy_bound, Config.Rm ->
-      let bound = liu_layland (t.periodic_count + 1) in
-      t.periodic_util +. u <= bound *. capacity
+      let bound = liu_layland (t.periodic_count + 1) *. capacity in
+      let total = t.periodic_util +. u in
+      if total <= bound then Ok (bound -. total)
+      else Error (Rejection.Utilization_bound { util = total; bound })
   end
 
-let admissible_sporadic t ~now ~phase ~size ~deadline =
+let admit_sporadic t ~now ~phase ~size ~deadline =
   let arrival = Time.(now + phase) in
-  if Time.(deadline <= arrival) then false
+  if Time.(deadline <= arrival) then
+    Error (Rejection.Past_deadline { arrival; deadline })
   else begin
     let density = Int64.to_float size /. Int64.to_float Time.(deadline - arrival) in
-    sporadic_density t ~now +. density
-    <= t.config.Config.sporadic_reservation *. t.config.Config.util_limit
+    let total = sporadic_density t ~now +. density in
+    let bound =
+      t.config.Config.sporadic_reservation *. t.config.Config.util_limit
+    in
+    if total <= bound then Ok (bound -. total)
+    else Error (Rejection.Density_bound { density = total; bound })
   end
+
+(* Informational headroom for runs with admission control disabled: the
+   verdict is always [Admitted], but callers still see how far past (or
+   inside) the bound the accepted set sits — negative past the edge. *)
+let unchecked_headroom t ~now c =
+  let capacity = Config.periodic_capacity t.config in
+  match c with
+  | Constraints.Aperiodic _ -> capacity -. t.periodic_util
+  | Constraints.Periodic _ ->
+    capacity -. (t.periodic_util +. Constraints.utilization c)
+  | Constraints.Sporadic { phase; size; deadline; _ } ->
+    let arrival = Time.(now + phase) in
+    let density =
+      Int64.to_float size /. Int64.to_float (Time.max 1L Time.(deadline - arrival))
+    in
+    t.config.Config.sporadic_reservation *. t.config.Config.util_limit
+    -. (sporadic_density t ~now +. density)
 
 let commit t ~now = function
   | Constraints.Aperiodic _ -> ()
@@ -166,7 +268,6 @@ let request t ~now ?(crit = Constraints.High) ~old_constr c =
   let snap_set = t.periodic_set in
   let snap_sporadic = t.sporadic in
   release_one t old_constr;
-  let structurally_ok = Result.is_ok (Constraints.validate c) in
   let overload_blocked =
     (* Overload mode is orthogonal to [admission_control]: once the
        scheduler has shed threads, real-time guarantees below the shed
@@ -176,29 +277,34 @@ let request t ~now ?(crit = Constraints.High) ~old_constr c =
     && Constraints.is_realtime c
     && Constraints.crit_rank crit < t.shed_boundary
   in
-  let ok =
-    structurally_ok
-    && (not overload_blocked)
-    && (not t.config.Config.admission_control
-       ||
-       match c with
-       | Constraints.Aperiodic _ -> true
-       | Constraints.Periodic { period; slice; _ } ->
-         admissible_periodic t ~period ~slice
-       | Constraints.Sporadic { phase; size; deadline; _ } ->
-         admissible_sporadic t ~now ~phase ~size ~deadline)
+  let result =
+    match Constraints.validate c with
+    | Error msg -> Error (Rejection.Invalid { msg })
+    | Ok () ->
+      if overload_blocked then
+        Error (Rejection.Overload_shed { boundary = t.shed_boundary })
+      else if not t.config.Config.admission_control then
+        Ok (unchecked_headroom t ~now c)
+      else begin
+        match c with
+        | Constraints.Aperiodic _ ->
+          Ok (Config.periodic_capacity t.config -. t.periodic_util)
+        | Constraints.Periodic { period; slice; _ } ->
+          admit_periodic t ~period ~slice
+        | Constraints.Sporadic { phase; size; deadline; _ } ->
+          admit_sporadic t ~now ~phase ~size ~deadline
+      end
   in
-  if ok then begin
+  match result with
+  | Ok headroom ->
     commit t ~now c;
-    true
-  end
-  else begin
+    Admitted { headroom }
+  | Error reason ->
     t.rejections <- t.rejections + 1;
     t.periodic_util <- snap_util;
     t.periodic_count <- snap_count;
     t.periodic_set <- snap_set;
     t.sporadic <- snap_sporadic;
-    false
-  end
+    Rejected { reason }
 
 let rejections t = t.rejections

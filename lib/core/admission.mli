@@ -13,10 +13,68 @@
       against the sporadic reservation, with expired sporadics purged;
     - aperiodic threads: always admitted.
 
-    The utilization limit leaves headroom for the scheduler itself, SMIs,
-    and interrupts (Section 3.6). *)
+    Every request is answered with a typed {!verdict}: admitted requests
+    carry the remaining headroom under the governing bound, rejections
+    carry a {!Rejection.t} naming the exact test that failed. The
+    utilization limit leaves headroom for the scheduler itself, SMIs, and
+    interrupts (Section 3.6). *)
 
 open Hrt_engine
+
+(** Why a request was refused — one constructor per admission test. *)
+module Rejection : sig
+  type t =
+    | Invalid of { msg : string }
+        (** Structural validation failed ({!Constraints.validate}). *)
+    | Granularity of { period : Time.ns; slice : Time.ns }
+        (** Period or slice below the scheduler's minimum granularity. *)
+    | Utilization_bound of { util : float; bound : float }
+        (** Total utilization [util] would exceed the policy bound
+            (periodic capacity for EDF, Liu-Layland-scaled capacity for
+            RM, or the fallback utilization test of the capped
+            hyperperiod simulation). *)
+    | Density_bound of { density : float; bound : float }
+        (** Total sporadic density would exceed the sporadic
+            reservation. *)
+    | Hyperperiod_demand of { interval : Time.ns; demand : Time.ns }
+        (** Processor-demand simulation found an interval [[0, interval]]
+            whose demand exceeds the supplied capacity — the witness the
+            analytical oracle re-checks. *)
+    | Past_deadline of { arrival : Time.ns; deadline : Time.ns }
+        (** Sporadic deadline not strictly after its arrival. *)
+    | Overload_shed of { boundary : int }
+        (** Overload mode: the request's criticality rank sits below the
+            current shed boundary (DESIGN §8). *)
+
+  val name : t -> string
+  (** Stable kebab-case tag ("utilization-bound", "overload-shed", ...)
+      used as the [reason] of the Obs admission-reject event. *)
+
+  val describe : t -> string
+  (** One-line human-readable explanation with the numbers that failed. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+type verdict =
+  | Admitted of { headroom : float }
+      (** Remaining slack under the governing bound: utilization slack for
+          the policy-bound tests, smallest normalized interval slack for
+          the hyperperiod simulation, density slack for sporadics. With
+          [admission_control] off the verdict is always [Admitted] but the
+          headroom still reports the distance to the bound (negative past
+          the feasibility edge — Figs 6-9 runs). *)
+  | Rejected of { reason : Rejection.t }
+
+val admitted : verdict -> bool
+val headroom : verdict -> float option
+val worse : verdict -> verdict -> verdict
+(** Pessimistic combine for gang admission (Group Algorithm 1): a
+    rejection beats any admission (first rejection wins), two admissions
+    keep the smaller headroom. Associative; deterministic for arrival
+    order. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
 
 type t
 
@@ -27,6 +85,9 @@ val create : ?overhead_ns:Time.ns -> Config.t -> t
 val periodic_util : t -> float
 (** Committed periodic utilization. *)
 
+val overhead_ns : t -> Time.ns
+(** The per-arrival overhead this controller charges (see {!create}). *)
+
 val sporadic_density : t -> now:Time.ns -> float
 (** Committed density of still-live sporadic admissions. *)
 
@@ -36,7 +97,7 @@ val request :
   ?crit:Constraints.criticality ->
   old_constr:Constraints.t ->
   Constraints.t ->
-  bool
+  verdict
 (** Test-and-commit: releases [old_constr]'s contribution, tests the new
     constraints, commits them on success and restores the accounting
     state byte-for-byte on failure (a sporadic [old_constr] keeps the
@@ -45,8 +106,8 @@ val request :
     any constraints when [admission_control] is off in the config (Figs
     6-9 turn it off to drive the scheduler past the feasibility edge) —
     except in overload mode: real-time requests with [crit] (default
-    [High]) ranked below {!shed_boundary} are rejected regardless of
-    [admission_control]. *)
+    [High]) ranked below {!shed_boundary} are rejected with
+    [Overload_shed] regardless of [admission_control]. *)
 
 val set_overload : t -> boundary:int -> unit
 (** Enter overload mode: real-time requests below criticality rank

@@ -240,7 +240,7 @@ let spawn sys ~cpu ?(on_job = fun _ _ -> ()) t =
            Program.of_steps
              (Scheduler.admission_ops sys
                 (Constraints.periodic ~period:t.frame ~slice:max_load ())
-                ~on_result:(fun ok -> admitted := Some ok));
+                ~on_result:(fun v -> admitted := Some v));
            body;
          ])
   in
@@ -249,7 +249,10 @@ let spawn sys ~cpu ?(on_job = fun _ _ -> ()) t =
     ~until:Time.(Engine.now (Scheduler.engine sys) + Time.ms 1)
     sys;
   (match !admitted with
-  | Some true -> ()
-  | Some false -> failwith "Cyclic.spawn: executive rejected by admission"
+  | Some (Admission.Admitted _) -> ()
+  | Some (Admission.Rejected { reason }) ->
+    failwith
+      ("Cyclic.spawn: executive rejected by admission: "
+      ^ Admission.Rejection.describe reason)
   | None -> failwith "Cyclic.spawn: admission did not run");
   th

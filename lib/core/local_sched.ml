@@ -39,7 +39,6 @@ and t = {
   mutable steal_action : Engine.action;
   mutable steal_armed : bool;
   mutable busy_until : Time.ns;
-  mutable probe : probe option;
   mutable clock_skew : Time.ns;
   mutable soft_pending : bool;
   mutable idle_since : Time.ns option;
@@ -59,12 +58,6 @@ and t = {
   mutable demotes : int;
 }
 
-and probe = {
-  irq_window : start:Time.ns -> stop:Time.ns -> unit;
-  pass_window : start:Time.ns -> stop:Time.ns -> unit;
-  thread_active : Thread.t option -> Time.ns -> unit;
-}
-
 let shared t = t.shared
 let cpu_id t = t.cpu.Machine.id
 let account t = t.account
@@ -72,7 +65,6 @@ let admission t = t.admission
 let tasks t = t.task_queue
 let current t = t.current
 let services t = t.services
-let set_probe t p = t.probe <- p
 let set_clock_skew t s = t.clock_skew <- s
 let clock_skew t = t.clock_skew
 let set_task_thread t th = t.task_thread <- Some th
@@ -322,14 +314,18 @@ let do_set_constraints t (th : Thread.t) c cb now =
   (* Whether the thread is abandoning an in-flight real-time arrival: it is
      executing this op, so an RT constraint implies an active arrival. *)
   let was_rt = rt_active th in
-  let ok =
+  let verdict =
     Admission.request t.admission ~now ~crit:th.crit ~old_constr:th.constr c
   in
+  let ok = Admission.admitted verdict in
   (if obs_on t then
      let cls = cls_of_constr c in
      obs_emit t ~time:now
-       (if ok then Obs.Event.Admission_accept { tid = th.id; cls }
-        else Obs.Event.Admission_reject { tid = th.id; cls }));
+       (match verdict with
+       | Admission.Admitted _ -> Obs.Event.Admission_accept { tid = th.id; cls }
+       | Admission.Rejected { reason } ->
+         Obs.Event.Admission_reject
+           { tid = th.id; cls; reason = Admission.Rejection.name reason }));
   let effective = if ok then c else th.constr in
   if ok then begin
     th.constr <- c;
@@ -372,7 +368,7 @@ let do_set_constraints t (th : Thread.t) c cb now =
       th.state <- Thread.Pending_arrival;
       pend t th
     end);
-  cb ok
+  cb verdict
 
 let exit_thread t (th : Thread.t) =
   Admission.release t.admission th.constr;
@@ -726,8 +722,9 @@ and recover_shed t now =
           in
           if not taken then still := (th, was_bound) :: !still
           else if
-            Admission.request t.admission ~now ~crit:th.crit
-              ~old_constr:th.constr c
+            Admission.admitted
+              (Admission.request t.admission ~now ~crit:th.crit
+                 ~old_constr:th.constr c)
           then begin
             (* Orphan any pending sleep wake-up: the thread restarts its
                arrival loop from scratch (the stale event also checks the
@@ -1157,16 +1154,6 @@ and invoke t eng ~irq_ns ~handler_ns =
     Time.(irq_ns + handler_ns + task_ns + pass_ns + other_ns + switch_ns)
   in
   let resume_at = Time.(now + overhead) in
-  (* Legacy probe shim: the same windows the registry-backed events carry,
-     delivered through the old callback record for the scope harnesses. *)
-  (match t.probe with
-  | Some p ->
-    if Time.(irq_ns > 0L) then p.irq_window ~start:now ~stop:resume_at;
-    p.pass_window
-      ~start:Time.(now + irq_ns + handler_ns)
-      ~stop:Time.(now + irq_ns + handler_ns + other_ns + pass_ns);
-    p.thread_active next resume_at
-  | None -> ());
   (if obs_on t then begin
      if Time.(irq_ns > 0L) then
        obs_emit t ~time:now
@@ -1357,7 +1344,6 @@ let create shared cpu =
       steal_action = Engine.Callback (fun _ -> ());
       steal_armed = false;
       busy_until = 0L;
-      probe = None;
       clock_skew = 0L;
       soft_pending = false;
       idle_since = None;

@@ -55,22 +55,6 @@ type shared = {
 
 and t
 
-(** Legacy instrumentation shim for the external-verification experiment
-    (Fig 4): the scheduler raises "pins" around its interrupt handling and
-    scheduling pass, and marks the active thread at the end of the pass.
-
-    New code should prefer the registry-backed instrumentation: the same
-    transitions are published as typed {!Hrt_obs.Event.t} values
-    ({!Hrt_obs.Event.Irq}, {!Hrt_obs.Event.Sched_pass},
-    {!Hrt_obs.Event.Dispatch}) on [shared.obs], which also derives per-CPU
-    metrics. The probe record is kept because the scope harness needs the
-    exact window edges it has always measured. *)
-type probe = {
-  irq_window : start:Time.ns -> stop:Time.ns -> unit;
-  pass_window : start:Time.ns -> stop:Time.ns -> unit;
-  thread_active : Thread.t option -> Time.ns -> unit;
-}
-
 val create : shared -> Machine.cpu -> t
 (** Build the local scheduler for one CPU and install its APIC timer
     vector. [shared.scheds] must be set by the caller once all local
@@ -96,7 +80,6 @@ val current : t -> Thread.t option
 val obs : t -> Hrt_obs.Sink.t
 (** The shared observability sink (possibly {!Hrt_obs.Sink.null}). *)
 
-val set_probe : t -> probe option -> unit
 val set_clock_skew : t -> Time.ns -> unit
 (** Residual TSC error after calibration: how far ahead (ns) this CPU's
     notion of wall-clock time runs. Absolute timer targets are reached when

@@ -80,7 +80,7 @@ val submit_task :
     thread created on first use (paper Section 3.1). *)
 
 val admission_ops :
-  t -> Constraints.t -> on_result:(bool -> unit) -> Thread.op list
+  t -> Constraints.t -> on_result:(Admission.verdict -> unit) -> Thread.op list
 (** The op sequence a thread issues to (re-)negotiate its constraints:
     a [Compute] charging the local admission-control cost followed by
     [Set_constraints]. Admission runs in the requesting thread's context,

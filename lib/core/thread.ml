@@ -43,7 +43,7 @@ and op =
   | Yield
   | Block
   | Sleep_until of Time.ns
-  | Set_constraints of Constraints.t * (bool -> unit)
+  | Set_constraints of Constraints.t * (Admission.verdict -> unit)
   | Exit
 
 and body = ctx -> op

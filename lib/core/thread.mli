@@ -72,10 +72,11 @@ and op =
   | Yield  (** give up the CPU, stay runnable *)
   | Block  (** sleep until woken ({!services.wake}) *)
   | Sleep_until of Time.ns  (** sleep until an absolute wall-clock time *)
-  | Set_constraints of Constraints.t * (bool -> unit)
+  | Set_constraints of Constraints.t * (Admission.verdict -> unit)
       (** request admission with new constraints; the callback receives the
-          verdict. By convention the body charges the admission-control cost
-          with a preceding [Compute] (see {!Scheduler.admission_ops}). *)
+          typed verdict (headroom on success, the failed test on
+          rejection). By convention the body charges the admission-control
+          cost with a preceding [Compute] (see {!Scheduler.admission_ops}). *)
   | Exit
 
 and body = ctx -> op

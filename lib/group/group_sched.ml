@@ -8,12 +8,16 @@ type session = {
   parties : int;
   election : Election.t;
   b_attach : Gbarrier.t;
-  err_reduce : bool Reduction.t;
+  err_reduce : Admission.verdict Reduction.t;
   b_final : Gbarrier.t;
   b_fail : Gbarrier.t;
   orders : (int, int) Hashtbl.t; (* thread id -> release order *)
-  mutable verdict : bool option;
+  mutable verdict : Admission.verdict option;
 }
+
+(* Reduction identity: no member has objected yet. [Admission.worse] keeps
+   the smallest headroom, so infinity is neutral. *)
+let verdict_zero = Admission.Admitted { headroom = infinity }
 
 let prepare ?(phase_correction = true) group constr =
   let sys = Group.scheduler group in
@@ -34,7 +38,9 @@ let prepare ?(phase_correction = true) group constr =
         ~arrive_cost:plat.Hrt_hw.Platform.group_admit_step
         ~serialized_arrivals:true;
     err_reduce =
-      (let r = Reduction.create group ~zero:false ~combine:( || ) in
+      (let r =
+         Reduction.create group ~zero:verdict_zero ~combine:Admission.worse
+       in
        Reduction.set_parties r parties;
        r);
     b_final =
@@ -47,7 +53,8 @@ let prepare ?(phase_correction = true) group constr =
   }
 
 let release_order s (th : Thread.t) = Hashtbl.find_opt s.orders th.Thread.id
-let succeeded s = s.verdict
+let verdict s = s.verdict
+let succeeded s = Option.map Admission.admitted s.verdict
 
 let constraint_phase = function
   | Constraints.Periodic { phase; _ } | Constraints.Sporadic { phase; _ } ->
@@ -76,7 +83,8 @@ let change_constraints ?probe s ~on_result =
     Thread.Exit
   in
   let is_leader = ref false in
-  let my_ok = ref false in
+  let my_verdict = ref verdict_zero in
+  let group_verdict = ref verdict_zero in
   let any_failed = ref false in
   let leader_steps ({ Thread.self; _ } : Thread.ctx) =
     if !is_leader then begin
@@ -87,7 +95,7 @@ let change_constraints ?probe s ~on_result =
   in
   let admit =
     Program.of_steps
-      (Scheduler.admission_ops sys s.constr ~on_result:(fun ok -> my_ok := ok))
+      (Scheduler.admission_ops sys s.constr ~on_result:(fun v -> my_verdict := v))
   in
   let success_tail () =
     Program.seq
@@ -137,9 +145,9 @@ let change_constraints ?probe s ~on_result =
           Scheduler.reanchor sys self ~first_arrival;
           (if !is_leader then begin
              Group.unlock s.group self;
-             s.verdict <- Some true
+             s.verdict <- Some !group_verdict
            end);
-          on_result true;
+          on_result !group_verdict;
           Thread.Exit);
       ]
   in
@@ -154,9 +162,9 @@ let change_constraints ?probe s ~on_result =
         (fun ({ Thread.self; _ } : Thread.ctx) ->
           (if !is_leader then begin
              Group.unlock s.group self;
-             s.verdict <- Some false
+             s.verdict <- Some !group_verdict
            end);
-          on_result false;
+          on_result !group_verdict;
           Thread.Exit);
       ]
   in
@@ -184,8 +192,10 @@ let change_constraints ?probe s ~on_result =
       admit;
       mark "admitted";
       Reduction.reduce s.err_reduce
-        ~value:(fun () -> not !my_ok)
-        ~on_result:(fun failed -> any_failed := failed);
+        ~value:(fun () -> !my_verdict)
+        ~on_result:(fun v ->
+          group_verdict := v;
+          any_failed := not (Admission.admitted v));
       mark "reduced";
       branch;
       mark "done";

@@ -40,15 +40,21 @@ val prepare :
 val change_constraints :
   ?probe:(string -> Thread.t -> Hrt_engine.Time.ns -> unit) ->
   session ->
-  on_result:(bool -> unit) ->
+  on_result:(Admission.verdict -> unit) ->
   Thread.body
 (** Fragment: this member's side of the collective call. The callback
-    receives the group-wide verdict. [probe] is called at step boundaries
-    with one of ["start"; "elected"; "attached"; "admitted"; "reduced";
+    receives the group-wide verdict: the pessimistic combine
+    ({!Admission.worse}) of every member's local verdict — the smallest
+    headroom when all were admitted, the first rejection (in reduction
+    arrival order) otherwise. [probe] is called at step boundaries with
+    one of ["start"; "elected"; "attached"; "admitted"; "reduced";
     "done"] — the instrumentation behind Fig 10. *)
 
 val release_order : session -> Thread.t -> int option
 (** After success: the thread's release order from the final barrier. *)
 
-val succeeded : session -> bool option
+val verdict : session -> Admission.verdict option
 (** Group-wide verdict, once known. *)
+
+val succeeded : session -> bool option
+(** [Option.map Admission.admitted (verdict s)]. *)

@@ -126,8 +126,9 @@ let edf_vs_rm_points ?ctx () =
     let a = Admission.create config in
     let old = Constraints.aperiodic () in
     let req p =
-      Admission.request a ~now:0L ~old_constr:old
-        (Constraints.periodic ~period:p ~slice:(slice p util) ())
+      Admission.admitted
+        (Admission.request a ~now:0L ~old_constr:old
+           (Constraints.periodic ~period:p ~slice:(slice p util) ()))
     in
     req p1 && req p2
   in
@@ -264,7 +265,7 @@ let utilization_limit ?ctx () =
     let admitted = ref false in
     ignore
       (Exp.periodic_thread sys ~cpu:1 ~period ~slice
-         ~on_admit:(fun ok -> admitted := ok)
+         ~on_admit:(fun v -> admitted := Admission.admitted v)
          ());
     Scheduler.run ~until:(horizon jctx.Exp.Ctx.scale) sys;
     let acc = Local_sched.account (Scheduler.sched sys 1) in

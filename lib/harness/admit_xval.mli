@@ -1,0 +1,45 @@
+(** Cross-validation of the analytical admission oracle against the
+    simulator (and against the runtime admission ledger).
+
+    Each randomized periodic task set is pushed through three judges:
+
+    - {!Hrt_analysis.Oracle.analyze} at the {e default} configuration
+      (79 % periodic capacity, the platform's per-arrival overhead
+      charged) — the conservative production view;
+    - the oracle again at a {e stress} configuration (100 % capacity,
+      zero overhead, reservations off) — rejection here is an exact
+      claim that no schedule exists at all;
+    - the simulator with admission control disabled and every task
+      re-anchored to a synchronous release (the critical instant),
+      counting deadline misses over the measurement horizon.
+
+    The corridor asserted is one-sided on both edges, leaving the band
+    between them (where only reservations or overhead conservatism
+    separate the configs) unconstrained:
+
+    - oracle-admitted at default ⟹ zero simulator misses;
+    - oracle-rejected at stress with an exact certificate
+      ({!Hrt_analysis.Oracle.exact_infeasible}) ⟹ simulator misses.
+
+    Every oracle result additionally has its certificate replayed through
+    {!Hrt_analysis.Oracle.check}, and the EDF oracle is compared against
+    a sequential [Hyperperiod_sim] ledger run (same numerics — verdicts
+    must match exactly); under RM, ledger admission by the Liu–Layland
+    bound must imply exact-test admission. *)
+
+open Hrt_core
+
+type outcome = {
+  sets : int;
+  admitted : int;  (** oracle-admitted at the default configuration *)
+  infeasible : int;  (** exactly infeasible at the stress configuration *)
+  middle : int;  (** between the corridor edges; not asserted against *)
+  disagreements : string list;  (** empty on success *)
+}
+
+val run : ?ctx:Exp.Ctx.t -> ?sets:int -> policy:Config.policy -> unit -> outcome
+(** [sets] defaults to 200. Simulations fan across [ctx.jobs] domains;
+    generation is seeded from [ctx.seed] per set index, so outcomes are
+    reproducible for equal contexts and independent of [jobs]. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

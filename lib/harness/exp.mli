@@ -85,11 +85,12 @@ val periodic_thread :
   ?phase:Time.ns ->
   period:Time.ns ->
   slice:Time.ns ->
-  ?on_admit:(bool -> unit) ->
+  ?on_admit:(Admission.verdict -> unit) ->
   unit ->
   Thread.t
 (** Spawn a CPU-burning thread that requests the given periodic
-    constraints through the normal admission path. *)
+    constraints through the normal admission path. [on_admit] receives the
+    typed admission verdict. *)
 
 type spread_collector
 

@@ -14,37 +14,42 @@ let run ?ctx () =
     | Exp.Quick -> Time.ms 50
     | Exp.Full -> Time.ms 500
   in
-  let sys =
-    Scheduler.create ~seed:ctx.Exp.Ctx.seed ~num_cpus:2 ~obs:ctx.Exp.Ctx.sink
-      Platform.phi
+  (* The scope pins are driven from the observability stream: the same
+     Irq/Sched_pass/Dispatch/Idle events every consumer sees. When the
+     caller's context has no sink (the common case), a private traceless
+     sink is created just for the pin subscriber. *)
+  let sink =
+    if Hrt_obs.Sink.enabled ctx.Exp.Ctx.sink then ctx.Exp.Ctx.sink
+    else Hrt_obs.Sink.create ~trace:false ()
   in
+  let sys = Scheduler.create ~seed:ctx.Exp.Ctx.seed ~num_cpus:2 ~obs:sink Platform.phi in
   let machine = Scheduler.machine sys in
   let gpio = machine.Machine.gpio in
   let eng = Scheduler.engine sys in
   let test =
     Exp.periodic_thread sys ~cpu:1 ~period:(Time.us 100) ~slice:(Time.us 50) ()
   in
-  let window pin ~start ~stop =
+  let set pin at level =
     (* One outb at each edge, at the instant the scheduler reaches it. *)
     ignore
-      (Engine.schedule eng ~at:(Time.max start (Engine.now eng)) (fun _ ->
-           Gpio.set gpio ~pin true));
-    ignore
-      (Engine.schedule eng ~at:(Time.max stop (Engine.now eng)) (fun _ ->
-           Gpio.set gpio ~pin false))
+      (Engine.schedule eng ~at:(Time.max at (Engine.now eng)) (fun _ ->
+           Gpio.set gpio ~pin level))
   in
-  Local_sched.set_probe (Scheduler.sched sys 1)
-    (Some
-       {
-         Local_sched.irq_window = (fun ~start ~stop -> window irq_pin ~start ~stop);
-         pass_window = (fun ~start ~stop -> window sched_pin ~start ~stop);
-         thread_active =
-           (fun th time ->
-             let active = match th with Some th -> th == test | None -> false in
-             ignore
-               (Engine.schedule eng ~at:(Time.max time (Engine.now eng))
-                  (fun _ -> Gpio.set gpio ~pin:thread_pin active)));
-       });
+  let window pin ~start ~stop =
+    set pin start true;
+    set pin stop false
+  in
+  Hrt_obs.Sink.subscribe sink (fun ~time ~cpu ev ->
+      if cpu = 1 then
+        match ev with
+        | Hrt_obs.Event.Irq { dur_ns } ->
+          window irq_pin ~start:time ~stop:Time.(time + dur_ns)
+        | Hrt_obs.Event.Sched_pass { dur_ns } ->
+          window sched_pin ~start:time ~stop:Time.(time + dur_ns)
+        | Hrt_obs.Event.Dispatch { tid; _ } ->
+          set thread_pin time (tid = test.Thread.id)
+        | Hrt_obs.Event.Idle -> set thread_pin time false
+        | _ -> ());
   Scheduler.run ~until:horizon sys;
   let settle = Time.ms 5 in
   let analyze name pin =

@@ -12,7 +12,7 @@ type t =
       crit : string;
     }
   | Admission_accept of { tid : int; cls : cls }
-  | Admission_reject of { tid : int; cls : cls }
+  | Admission_reject of { tid : int; cls : cls; reason : string }
   | Arrival of {
       tid : int;
       thread : string;
@@ -101,8 +101,10 @@ let args = function
     [ ("tid", string_of_int tid); ("thread", thread); ("crit", crit) ]
   | Demote { tid; thread } ->
     [ ("tid", string_of_int tid); ("thread", thread) ]
-  | Admission_accept { tid; cls } | Admission_reject { tid; cls } ->
+  | Admission_accept { tid; cls } ->
     [ ("tid", string_of_int tid); ("class", cls_name cls) ]
+  | Admission_reject { tid; cls; reason } ->
+    [ ("tid", string_of_int tid); ("class", cls_name cls); ("reason", reason) ]
   | Arrival { tid; thread; arrival; deadline; period } ->
     [
       ("tid", string_of_int tid);
@@ -215,7 +217,8 @@ let of_parts ~kind:k ~args:kvs ~dur_ns:dur =
   | "admission-reject" ->
     let* tid = int "tid" in
     let* cls = Option.bind (str "class") cls_of_name in
-    Some (Admission_reject { tid; cls })
+    let* reason = str "reason" in
+    Some (Admission_reject { tid; cls; reason })
   | "arrival" ->
     let* tid = int "tid" in
     let* thread = str "thread" in

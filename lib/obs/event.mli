@@ -34,7 +34,9 @@ type t =
           owed; [crit] is the thread's criticality name ({!Constraints}
           [crit_name]) so the degradation rule can judge the miss offline *)
   | Admission_accept of { tid : int; cls : cls }
-  | Admission_reject of { tid : int; cls : cls }
+  | Admission_reject of { tid : int; cls : cls; reason : string }
+      (** [reason] is the stable rejection tag
+          ([Hrt_core.Admission.Rejection.name]) naming the failed test *)
   | Arrival of {
       tid : int;
       thread : string;

@@ -140,11 +140,3 @@ let absorb t ch =
           | [] -> ()
           | subs -> List.iter (fun f -> f ~time ~cpu event) subs)
   end
-
-(* Deprecated process-wide default (see the .mli alert): kept one release
-   so out-of-tree callers of Sink.set_default / Sink.get_default get a
-   compile-time alert instead of a silent break. In-tree, the sink is
-   threaded explicitly (Hrt_harness.Exp.Ctx / Scheduler ~obs). *)
-let default = Atomic.make null
-let set_default t = Atomic.set default t
-let get_default () = Atomic.get default

@@ -60,17 +60,3 @@ val absorb : t -> t -> unit
     same metric, trace, and subscriber streams as running the jobs
     sequentially on the parent — the parallel-sweep determinism
     guarantee. No-op when either sink is disabled. *)
-
-val set_default : t -> unit
-[@@alert
-  deprecated
-    "Sink.set_default is deprecated: thread the sink explicitly (Exp.Ctx / \
-     Scheduler ~obs). This shim will be removed next release."]
-(** Deprecated: installs a process-wide default sink. Nothing in-tree
-    reads it anymore — [Scheduler.create] defaults to {!null}. *)
-
-val get_default : unit -> t
-[@@alert
-  deprecated
-    "Sink.get_default is deprecated: thread the sink explicitly (Exp.Ctx / \
-     Scheduler ~obs). This shim will be removed next release."]

@@ -149,8 +149,9 @@ let create_team sys ~cpus ~mode =
                | None ->
                  let body =
                    Group_sched.change_constraints (Option.get !session)
-                     ~on_result:(fun ok ->
-                       if not ok then t.admitted_all <- false)
+                     ~on_result:(fun v ->
+                       if not (Admission.admitted v) then
+                         t.admitted_all <- false)
                  in
                  b := Some body;
                  body

@@ -160,10 +160,15 @@ let test_pq_mem_iter_to_list () =
 
 let mk_admission ?(config = Config.default) () = Admission.create config
 
+(* Most data tests only care whether the request was admitted; the
+   verdict-shape tests below inspect the full rejection. *)
+let request_ok a ~now ~old_constr c =
+  Admission.admitted (Admission.request a ~now ~old_constr c)
+
 let test_admission_aperiodic_always () =
   let a = mk_admission () in
   Alcotest.(check bool) "always" true
-    (Admission.request a ~now:0L ~old_constr:(Constraints.aperiodic ())
+    (request_ok a ~now:0L ~old_constr:(Constraints.aperiodic ())
        (Constraints.aperiodic ~prio:9 ()))
 
 let test_admission_periodic_capacity () =
@@ -171,12 +176,12 @@ let test_admission_periodic_capacity () =
   let old = Constraints.aperiodic () in
   let p u = Constraints.periodic ~period:(Time.us 100)
       ~slice:(Int64.of_float (Int64.to_float (Time.us 100) *. u)) () in
-  Alcotest.(check bool) "40% fits" true (Admission.request a ~now:0L ~old_constr:old (p 0.4));
+  Alcotest.(check bool) "40% fits" true (request_ok a ~now:0L ~old_constr:old (p 0.4));
   Alcotest.(check bool) "another 30% fits" true
-    (Admission.request a ~now:0L ~old_constr:old (p 0.3));
+    (request_ok a ~now:0L ~old_constr:old (p 0.3));
   (* capacity is 0.79 with strict reservations: 0.4+0.3+0.2 > 0.79 *)
   Alcotest.(check bool) "20% more rejected" false
-    (Admission.request a ~now:0L ~old_constr:old (p 0.2));
+    (request_ok a ~now:0L ~old_constr:old (p 0.2));
   Alcotest.(check int) "rejection counted" 1 (Admission.rejections a);
   Alcotest.(check (float 1e-9)) "committed util" 0.7 (Admission.periodic_util a)
 
@@ -184,28 +189,28 @@ let test_admission_release () =
   let a = mk_admission () in
   let old = Constraints.aperiodic () in
   let c = Constraints.periodic ~period:(Time.us 100) ~slice:(Time.us 70) () in
-  Alcotest.(check bool) "70%" true (Admission.request a ~now:0L ~old_constr:old c);
+  Alcotest.(check bool) "70%" true (request_ok a ~now:0L ~old_constr:old c);
   Admission.release a c;
   Alcotest.(check (float 1e-9)) "released" 0. (Admission.periodic_util a);
   Alcotest.(check bool) "can admit again" true
-    (Admission.request a ~now:0L ~old_constr:old c)
+    (request_ok a ~now:0L ~old_constr:old c)
 
 let test_admission_change_restores_on_failure () =
   let a = mk_admission () in
   let old = Constraints.aperiodic () in
   let c1 = Constraints.periodic ~period:(Time.us 100) ~slice:(Time.us 50) () in
-  Alcotest.(check bool) "first" true (Admission.request a ~now:0L ~old_constr:old c1);
+  Alcotest.(check bool) "first" true (request_ok a ~now:0L ~old_constr:old c1);
   (* Changing to something infeasible keeps the old contribution. *)
   let c2 = Constraints.periodic ~period:(Time.us 100) ~slice:(Time.us 90) () in
   Alcotest.(check bool) "change rejected" false
-    (Admission.request a ~now:0L ~old_constr:c1 c2);
+    (request_ok a ~now:0L ~old_constr:c1 c2);
   Alcotest.(check (float 1e-9)) "old restored" 0.5 (Admission.periodic_util a)
 
 let test_admission_granularity () =
   let a = mk_admission () in
   let old = Constraints.aperiodic () in
   Alcotest.(check bool) "period below bound rejected" false
-    (Admission.request a ~now:0L ~old_constr:old
+    (request_ok a ~now:0L ~old_constr:old
        (Constraints.periodic ~period:(Time.ns 1500) ~slice:(Time.ns 700) ()))
 
 let test_admission_sporadic_density () =
@@ -216,15 +221,15 @@ let test_admission_sporadic_density () =
     Constraints.sporadic ~size:(Time.us 90) ~deadline:(Time.us 1000) ()
   in
   Alcotest.(check bool) "9% density fits" true
-    (Admission.request a ~now:0L ~old_constr:old fits);
+    (request_ok a ~now:0L ~old_constr:old fits);
   let too_much =
     Constraints.sporadic ~size:(Time.us 50) ~deadline:(Time.us 1000) ()
   in
   Alcotest.(check bool) "combined density rejected" false
-    (Admission.request a ~now:0L ~old_constr:old too_much);
+    (request_ok a ~now:0L ~old_constr:old too_much);
   (* After the first one expires, capacity is back. *)
   Alcotest.(check bool) "after expiry" true
-    (Admission.request a ~now:(Time.us 2000) ~old_constr:old
+    (request_ok a ~now:(Time.us 2000) ~old_constr:old
        (Constraints.sporadic ~phase:0L ~size:(Time.us 90)
           ~deadline:(Time.us 3000) ()))
 
@@ -240,7 +245,7 @@ let test_admission_rollback_no_drift () =
     Constraints.sporadic ~size:(Time.us 90) ~deadline:(Time.us 1000) ()
   in
   Alcotest.(check bool) "sporadic admitted" true
-    (Admission.request a ~now:0L ~old_constr:aper sp);
+    (request_ok a ~now:0L ~old_constr:aper sp);
   let d0 = Admission.sporadic_density a ~now:0L in
   (* An infeasible upgrade, retried as time passes: each attempt must
      leave the original admission's density untouched. *)
@@ -250,7 +255,7 @@ let test_admission_rollback_no_drift () =
   List.iter
     (fun now ->
       Alcotest.(check bool) "upgrade rejected" false
-        (Admission.request a ~now ~old_constr:sp infeasible);
+        (request_ok a ~now ~old_constr:sp infeasible);
       Alcotest.(check (float 1e-9)) "density stable after rejection" d0
         (Admission.sporadic_density a ~now:0L))
     [ Time.us 100; Time.us 300; Time.us 600; Time.us 900 ]
@@ -258,17 +263,17 @@ let test_admission_rollback_no_drift () =
 let test_admission_sporadic_past_deadline () =
   let a = mk_admission () in
   Alcotest.(check bool) "deadline before arrival rejected" false
-    (Admission.request a ~now:(Time.us 100) ~old_constr:(Constraints.aperiodic ())
+    (request_ok a ~now:(Time.us 100) ~old_constr:(Constraints.aperiodic ())
        (Constraints.sporadic ~size:1L ~deadline:(Time.us 50) ()))
 
 let test_admission_off () =
   let a = mk_admission ~config:{ Config.default with Config.admission_control = false } () in
   Alcotest.(check bool) "infeasible accepted" true
-    (Admission.request a ~now:0L ~old_constr:(Constraints.aperiodic ())
+    (request_ok a ~now:0L ~old_constr:(Constraints.aperiodic ())
        (Constraints.periodic ~period:(Time.us 10) ~slice:(Time.us 9) ()));
   (* Structural garbage is still rejected. *)
   Alcotest.(check bool) "invalid still rejected" false
-    (Admission.request a ~now:0L ~old_constr:(Constraints.aperiodic ())
+    (request_ok a ~now:0L ~old_constr:(Constraints.aperiodic ())
        (Constraints.periodic ~period:(Time.us 10) ~slice:(Time.us 11) ()))
 
 let test_admission_hyperperiod_sim () =
@@ -282,24 +287,24 @@ let test_admission_hyperperiod_sim () =
   (* 10us period, 10% slice: only 10% utilization, but overhead makes the
      demand 10.2us per 10us period -> reject. *)
   Alcotest.(check bool) "catches the overhead edge" false
-    (Admission.request (fresh ()) ~now:0L ~old_constr:old
+    (request_ok (fresh ()) ~now:0L ~old_constr:old
        (Constraints.periodic ~period:(Time.us 10) ~slice:(Time.us 1) ()));
   (* 100us period, 50% slice: demand 59.2us per 100us -> fine. *)
   Alcotest.(check bool) "feasible set admitted" true
-    (Admission.request (fresh ()) ~now:0L ~old_constr:old
+    (request_ok (fresh ()) ~now:0L ~old_constr:old
        (Constraints.periodic ~period:(Time.us 100) ~slice:(Time.us 50) ()));
   (* Admits more than the RM bound: two threads at 35% each (70% total,
      above the 2-thread Liu-Layland bound of ~65% of capacity). *)
   let a = fresh () in
   Alcotest.(check bool) "first 35%" true
-    (Admission.request a ~now:0L ~old_constr:old
+    (request_ok a ~now:0L ~old_constr:old
        (Constraints.periodic ~period:(Time.us 1000) ~slice:(Time.us 350) ()));
   Alcotest.(check bool) "second 35% (beats RM)" true
-    (Admission.request a ~now:0L ~old_constr:old
+    (request_ok a ~now:0L ~old_constr:old
        (Constraints.periodic ~period:(Time.us 1000) ~slice:(Time.us 350) ()));
   (* But still bounded by capacity: a third one must fail. *)
   Alcotest.(check bool) "third rejected" false
-    (Admission.request a ~now:0L ~old_constr:old
+    (request_ok a ~now:0L ~old_constr:old
        (Constraints.periodic ~period:(Time.us 1000) ~slice:(Time.us 350) ()))
 
 let test_admission_rate_monotonic () =
@@ -309,10 +314,10 @@ let test_admission_rate_monotonic () =
       ~slice:(Int64.of_float (Int64.to_float (Time.us 100) *. u)) () in
   (* Liu-Layland bound for n=1 is 1.0; scaled by 0.79 capacity. *)
   Alcotest.(check bool) "single 70% fits" true
-    (Admission.request a ~now:0L ~old_constr:old (p 0.7));
+    (request_ok a ~now:0L ~old_constr:old (p 0.7));
   (* n=2 bound ~0.828 * 0.79 ~ 0.654: a second 10% thread pushes past. *)
   Alcotest.(check bool) "second rejected under RM" false
-    (Admission.request a ~now:0L ~old_constr:old (p 0.1))
+    (request_ok a ~now:0L ~old_constr:old (p 0.1))
 
 (* ---- Account ---- *)
 

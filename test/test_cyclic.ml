@@ -111,7 +111,9 @@ let test_executive_rejected_when_infeasible () =
     Result.get_ok (Cyclic.plan [ job "hog" (Time.us 100) (Time.us 90) ])
   in
   Alcotest.check_raises "rejected"
-    (Failure "Cyclic.spawn: executive rejected by admission") (fun () ->
+    (Failure
+       "Cyclic.spawn: executive rejected by admission: utilization 0.900000 \
+        exceeds bound 0.790000") (fun () ->
       ignore (Cyclic.spawn sys ~cpu:1 t))
 
 let test_non_harmonic_set () =

@@ -294,7 +294,7 @@ let test_group_admission_all_or_nothing () =
             Program.of_steps
               (Scheduler.admission_ops sys
                  (Constraints.periodic ~period:(Time.us 100) ~slice:(Time.us 70) ())
-                 ~on_result:(fun ok -> hog_admitted := ok));
+                 ~on_result:(fun v -> hog_admitted := Admission.admitted v));
             Program.compute_forever (Time.sec 3600);
           ]));
   Scheduler.run ~until:(Time.ms 1) sys;
@@ -358,8 +358,9 @@ let test_release_orders_recorded () =
                    | None ->
                      let body =
                        Group_sched.change_constraints (Option.get !session)
-                         ~on_result:(fun ok ->
-                           Alcotest.(check bool) "admitted" true ok)
+                         ~on_result:(fun v ->
+                           Alcotest.(check bool) "admitted" true
+                             (Admission.admitted v))
                      in
                      b := Some body;
                      body

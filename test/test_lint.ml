@@ -191,21 +191,6 @@ let test_summary_line () =
 
 (* ---- regressions for the defects the lint surfaced ---- *)
 
-(* lib/obs/sink.ml: the process-default sink is read from worker domains
-   (via harness contexts); a plain ref was a data race. It is Atomic now:
-   a value published before the spawn must be visible in every domain. *)
-let test_sink_default_atomic () =
-  let s = Hrt_obs.Sink.create () in
-  Hrt_obs.Sink.set_default s;
-  let readers =
-    List.init 4 (fun _ ->
-        Domain.spawn (fun () -> Hrt_obs.Sink.get_default () == s))
-  in
-  List.iter
-    (fun d -> Alcotest.(check bool) "visible cross-domain" true (Domain.join d))
-    readers
-[@@alert "-deprecated"]
-
 (* lib/kernel/buddy.ml: pop_free used Hashtbl iteration order to pick a
    free block; allocation offsets now always take the lowest offset. *)
 let test_buddy_lowest_offset () =
@@ -274,7 +259,6 @@ let suite =
     Alcotest.test_case "waiver budget" `Quick test_waiver_budget_exceeded;
     Alcotest.test_case "summary line" `Quick test_summary_line;
     Alcotest.test_case "self scan clean" `Quick test_self_scan;
-    Alcotest.test_case "sink default atomic" `Quick test_sink_default_atomic;
     Alcotest.test_case "buddy lowest offset" `Quick test_buddy_lowest_offset;
     Alcotest.test_case "apic timer armed" `Quick test_apic_timer_armed;
     Alcotest.test_case "fig10 repeatable" `Quick test_fig10_repeatable;

@@ -28,4 +28,5 @@ let () =
       ("verify", Test_verify.suite);
       ("fault", Test_fault.suite);
       ("lint", Test_lint.suite);
+      ("admit", Test_admit.suite);
     ]

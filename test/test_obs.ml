@@ -220,7 +220,8 @@ let event_samples =
     Event.Preempt { tid = 3; thread = "t3" };
     Event.Deadline_miss { tid = 3; thread = "t3"; lateness_ns = 17L; crit = "high" };
     Event.Admission_accept { tid = 4; cls = Event.Cls_periodic };
-    Event.Admission_reject { tid = 5; cls = Event.Cls_sporadic };
+    Event.Admission_reject
+      { tid = 5; cls = Event.Cls_sporadic; reason = "density-bound" };
     Event.Arrival
       { tid = 3; thread = "t3"; arrival = 10L; deadline = 1_010L; period = 1_000L };
     Event.Complete { tid = 3; thread = "t3" };

@@ -421,7 +421,7 @@ let prop_feasible_no_misses =
                      Program.of_steps
                        (Scheduler.admission_ops sys
                           (Constraints.periodic ~period ~slice ())
-                          ~on_result:(fun ok -> admitted := ok));
+                          ~on_result:(fun v -> admitted := Admission.admitted v));
                      Program.compute_forever (Time.sec 3600);
                    ])
             in

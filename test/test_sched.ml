@@ -22,7 +22,7 @@ let spawn_periodic ?phase ?(cpu = 1) sys ~period ~slice =
     Scheduler.spawn sys ~cpu ~bound:true
       (periodic_body sys
          (Constraints.periodic ?phase ~period ~slice ())
-         (fun ok -> admitted := ok))
+         (fun v -> admitted := Admission.admitted v))
   in
   (th, admitted)
 
@@ -58,7 +58,7 @@ let test_rejected_thread_stays_aperiodic () =
       (periodic_body sys
          (* 90% > 79% capacity under strict reservations. *)
          (Constraints.periodic ~period:(Time.us 100) ~slice:(Time.us 90) ())
-         (fun ok -> admitted := ok))
+         (fun v -> admitted := Admission.admitted v))
   in
   Scheduler.run ~until:(Time.ms 5) sys;
   Alcotest.(check bool) "rejected" false !admitted;
@@ -135,7 +135,9 @@ let test_sporadic_demotion () =
                    ( Constraints.sporadic ~size:(Time.us 500)
                        ~deadline:Time.(svc.Thread.now () + Time.ms 8)
                        ~aper_prio:7 (),
-                     fun ok -> Alcotest.(check bool) "sporadic admitted" true ok ));
+                     fun v ->
+                       Alcotest.(check bool) "sporadic admitted" true
+                         (Admission.admitted v) ));
              ];
            Program.of_steps [ Thread.Compute (Time.us 500) ];
            Program.of_thunks

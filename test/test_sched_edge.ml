@@ -197,12 +197,12 @@ let test_change_constraints_rt_to_rt () =
            Program.of_steps
              (Scheduler.admission_ops sys
                 (Constraints.periodic ~period:(Time.us 100) ~slice:(Time.us 60) ())
-                ~on_result:(fun ok -> assert ok));
+                ~on_result:(fun v -> assert (Admission.admitted v)));
            Program.of_steps [ Thread.Compute (Time.ms 2) ];
            Program.of_steps
              (Scheduler.admission_ops sys
                 (Constraints.periodic ~period:(Time.us 100) ~slice:(Time.us 30) ())
-                ~on_result:(fun ok -> changed := ok));
+                ~on_result:(fun v -> changed := Admission.admitted v));
            Program.compute_forever (Time.sec 3600);
          ])
   in
