@@ -33,4 +33,10 @@ if dune exec bin/hrt_sim.exe -- admit query P:100:90; then
 fi
 dune exec bin/hrt_sim.exe -- admitbench --quick --out /tmp/BENCH_admit_quick.json
 
+echo "== admission serving smoke =="
+# Boot a real daemon + client round trips (cold/warm/batch) on a private
+# socket; warm replies must be byte-identical to cold. The full-size
+# regression gate is CI's serve job.
+dune exec bin/hrt_sim.exe -- servebench --quick --out /tmp/BENCH_serve_quick.json
+
 echo "check.sh: all gates passed"

@@ -15,6 +15,8 @@
      admit batch <file>       memoized batch analysis of many task sets
      admit cross-validate     oracle vs simulator corpus agreement
      admitbench               admission-service throughput, emit JSON
+     serve [--client]         admission serving daemon / one-shot client
+     servebench               end-to-end serving throughput, emit JSON
 
    Every workload runs inside an explicit Exp.Ctx.t built from the common
    flags (--full, --policy, --jobs, --inject/--intensity/--no-degrade)
@@ -726,30 +728,10 @@ let lint_cmd =
 
 (* Task specs on the admit command line: P:<period_us>:<slice_us> for a
    periodic task, S:<size_us>:<deadline_us> for a sporadic one (deadline
-   relative to its arrival), A for an aperiodic filler. *)
+   relative to its arrival), A for an aperiodic filler. The grammar is
+   shared with the serving protocol (Hrt_serve.Protocol). *)
 let parse_spec s =
-  let pos name v =
-    match int_of_string_opt v with
-    | Some n when n > 0 -> Ok (Time.us n)
-    | _ -> Error (`Msg (Printf.sprintf "%s: %s must be a positive integer" s name))
-  in
-  let ( let* ) = Result.bind in
-  match String.split_on_char ':' (String.uppercase_ascii s) with
-  | [ "A" ] -> Ok (Constraints.aperiodic ())
-  | [ "P"; period; slice ] ->
-    let* period = pos "period_us" period in
-    let* slice = pos "slice_us" slice in
-    Ok (Constraints.periodic ~period ~slice ())
-  | [ "S"; size; deadline ] ->
-    let* size = pos "size_us" size in
-    let* deadline = pos "deadline_us" deadline in
-    Ok (Constraints.sporadic ~size ~deadline ())
-  | _ ->
-    Error
-      (`Msg
-        (s
-       ^ ": expected P:<period_us>:<slice_us>, S:<size_us>:<deadline_us>, \
-          or A"))
+  Result.map_error (fun m -> `Msg m) (Hrt_serve.Protocol.parse_spec s)
 
 let spec_conv =
   Arg.conv ((fun s -> parse_spec s), fun fmt c -> Constraints.pp fmt c)
@@ -775,24 +757,12 @@ let raw_term =
            certificate means no schedule exists at all.")
 
 (* The Taskset a query analyzes: the production view mirrors the ledger
-   the scheduler boots with (79% periodic capacity, platform overhead). *)
+   the scheduler boots with (79% periodic capacity, platform overhead).
+   Both views live in Hrt_analysis.Taskset so the serving daemon answers
+   from exactly the same analysis. *)
 let admit_taskset ~policy ~platform ~raw tasks =
-  if raw then
-    let config =
-      {
-        Config.default with
-        Config.policy;
-        util_limit = 1.0;
-        strict_reservations = false;
-        sporadic_reservation = 1.0;
-      }
-    in
-    Hrt_analysis.Taskset.make ~config ~overhead_ns:0L tasks
-  else
-    Hrt_analysis.Taskset.make
-      ~config:{ Config.default with Config.policy }
-      ~overhead_ns:(Hrt_analysis.Taskset.overhead_of_platform platform)
-      tasks
+  if raw then Hrt_analysis.Taskset.raw_view ~policy tasks
+  else Hrt_analysis.Taskset.production_view ~policy ~platform tasks
 
 let print_result r =
   Format.printf "%a@." Hrt_analysis.Oracle.pp_result r
@@ -1060,6 +1030,279 @@ let admitbench_cmd =
       const run $ jobs_term $ sets $ repeats $ out $ quick $ check_against
       $ tolerance)
 
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let doc = "Run the admission serving daemon (or a one-shot client)." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Daemon mode (the default) binds a Unix-domain socket (and, with \
+         $(b,--tcp), a localhost TCP listener) and answers \
+         length-prefixed $(b,hrt1) protocol frames: $(b,query) and \
+         $(b,batch) requests carry the same task specs as $(b,hrt_sim \
+         admit) and are answered with one $(b,admitted)/$(b,rejected) \
+         verdict per set; $(b,stats) reports serving and cache counters; \
+         $(b,drain) asks the server to finish and exit. Requests queue in \
+         a bounded FIFO drained in batches across $(b,--jobs) worker \
+         domains through the memoized admission service.";
+      `P
+        "Backpressure is admission-themed: when the queue is full new \
+         queries are answered $(b,rejected overloaded) immediately (never \
+         stalled, never dropped), and a request whose $(b,@ms) deadline \
+         passes while queued is answered $(b,rejected expired). SIGTERM \
+         drains gracefully: stop accepting, answer everything in flight, \
+         flush, emit final stats.";
+      `P
+        "With $(b,--client), the positional $(i,REQUEST) payloads are \
+         sent one RPC each (fresh connection, bounded timeout, jittered \
+         exponential backoff up to $(b,--attempts)) and each reply is \
+         printed to stdout. Exit status 1 if any request failed or was \
+         answered with a protocol error.";
+    ]
+  in
+  let socket =
+    Arg.(
+      value
+      & opt string "hrt-serve.sock"
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Unix-domain socket path to bind (daemon) or connect to \
+             (client). A stale socket file is replaced on bind.")
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT"
+          ~doc:
+            "Daemon: also listen on 127.0.0.1:$(docv) ($(b,0) picks an \
+             ephemeral port, printed on boot). Client: connect to \
+             127.0.0.1:$(docv) instead of the socket.")
+  in
+  let client =
+    Arg.(
+      value & flag
+      & info [ "client" ]
+          ~doc:"Client mode: send each $(i,REQUEST) and print the reply.")
+  in
+  let requests =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "Client-mode request payloads, e.g. $(b,'query P:1000:300 \
+             P:500:100') or $(b,stats).")
+  in
+  let max_queue =
+    Arg.(
+      value & opt int 256
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:"Queued requests beyond which new queries are shed.")
+  in
+  let max_batch =
+    Arg.(
+      value & opt int 64
+      & info [ "max-batch" ] ~docv:"N"
+          ~doc:"Requests served per dispatch batch.")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Default per-request service deadline applied to requests \
+             that carry no $(b,@ms) token.")
+  in
+  let timeout_ms =
+    Arg.(
+      value & opt int 2000
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:"Client receive/connect timeout per attempt.")
+  in
+  let attempts =
+    Arg.(
+      value & opt int 5
+      & info [ "attempts" ] ~docv:"N" ~doc:"Client retry budget per request.")
+  in
+  let run policy platform raw jobs socket tcp client requests max_queue
+      max_batch deadline_ms timeout_ms attempts trace_out metrics_out =
+    if client then begin
+      let addr =
+        match tcp with
+        | Some port -> Hrt_serve.Client.Tcp ("127.0.0.1", port)
+        | None -> Hrt_serve.Client.Unix_path socket
+      in
+      if requests = [] then begin
+        Printf.eprintf "serve --client: no REQUEST payloads given\n";
+        exit 2
+      end;
+      let failed = ref false in
+      List.iter
+        (fun payload ->
+          match Hrt_serve.Client.call ~attempts ~timeout_ms addr payload with
+          | Ok reply ->
+            print_endline (Hrt_serve.Protocol.render_reply reply);
+            (match reply with
+            | Hrt_serve.Protocol.Error_reply _ -> failed := true
+            | _ -> ())
+          | Error msg ->
+            Printf.eprintf "serve --client: %s\n" msg;
+            failed := true)
+        requests;
+      if !failed then exit 1
+    end
+    else begin
+      let jobs =
+        if jobs > 1 then jobs
+        else Hrt_serve.Server.default_config.Hrt_serve.Server.jobs
+      in
+      let cfg =
+        {
+          Hrt_serve.Server.policy;
+          platform;
+          raw;
+          jobs;
+          max_queue;
+          max_batch;
+          max_frame = Hrt_serve.Protocol.default_max_frame;
+          default_deadline_ms = deadline_ms;
+        }
+      in
+      let sink =
+        match metrics_out with
+        | None -> None
+        | Some _ -> Some (Hrt_obs.Sink.create ~trace:false ())
+      in
+      let server =
+        Hrt_serve.Server.create ?tcp_port:tcp ?sink ?trace_out ~socket cfg
+      in
+      (match Hrt_serve.Server.tcp_port server with
+      | Some port ->
+        Printf.printf "listening on %s and 127.0.0.1:%d\n%!" socket port
+      | None -> Printf.printf "listening on %s\n%!" socket);
+      Hrt_serve.Server.run ~install_sigterm:true server;
+      match (metrics_out, sink) with
+      | Some path, Some sink ->
+        Hrt_obs.Export.write_metrics_csv (Hrt_obs.Sink.metrics sink) ~path;
+        Printf.printf "wrote %s\n" path
+      | _ -> ()
+    end
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~man)
+    Term.(
+      const run $ policy_term $ platform_term $ raw_term $ jobs_term $ socket
+      $ tcp $ client $ requests $ max_queue $ max_batch $ deadline_ms
+      $ timeout_ms $ attempts $ trace_out_term $ metrics_out_term)
+
+(* ---- servebench ---- *)
+
+let servebench_cmd =
+  let doc = "Benchmark the serving daemon end to end: cold vs warm queries/sec." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Boots a real daemon on a private Unix socket in a spawned domain \
+         and drives it with the client over a randomized corpus: once \
+         cold (every round trip pays a full oracle analysis), then \
+         repeatedly warm (framing + fingerprint + cache hit), then in \
+         batch frames. Warm replies are compared byte-for-byte to the \
+         cold ones. The result is written as JSON to $(b,--out).";
+      `P
+        "With $(b,--check-against), the measured warm serving throughput \
+         is compared to a committed baseline artifact and the exit \
+         status is 2 when it regresses by more than $(b,--tolerance) — \
+         or when warm replies diverge from cold, or the warm speedup \
+         falls below $(b,--min-speedup).";
+    ]
+  in
+  let sets =
+    Arg.(
+      value & opt int 192
+      & info [ "sets" ] ~docv:"N" ~doc:"Distinct task sets in the corpus.")
+  in
+  let repeats =
+    Arg.(
+      value & opt int 24
+      & info [ "repeats" ] ~docv:"N" ~doc:"Warm passes over the corpus.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_serve.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the JSON artifact.")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Small sizes for smoke-testing the harness (CI check.sh).")
+  in
+  let check_against =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "check-against" ] ~docv:"FILE"
+          ~doc:"Committed baseline artifact to gate against.")
+  in
+  let tolerance =
+    Arg.(
+      value
+      & opt float 0.2
+      & info [ "tolerance" ] ~docv:"FRAC"
+          ~doc:"Allowed fractional warm-q/s regression (default 0.2).")
+  in
+  let min_speedup =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-speedup" ] ~docv:"X"
+          ~doc:
+            "Fail (exit 2) when warm/cold throughput falls below \
+             $(docv).")
+  in
+  let run jobs sets repeats out quick check_against tolerance min_speedup =
+    let module B = Hrt_serve.Serve_bench in
+    let sets, repeats = if quick then (32, 4) else (sets, repeats) in
+    let jobs = if jobs > 1 then jobs else 4 in
+    let r = B.measure ~sets ~repeats ~jobs () in
+    Printf.printf
+      "cold  %9.0f queries/s  (%d sets over the wire, exact analysis)\n\
+       warm  %9.0f queries/s  (%.1fx speedup, %d hits / %d misses)\n\
+       batch %9.0f queries/s  (%d sets per frame, identical=%b, shed=%d)\n"
+      r.B.cold_qps r.B.sets r.B.warm_qps r.B.warm_speedup r.B.hits r.B.misses
+      r.B.batch_qps r.B.batch_size r.B.identical r.B.shed;
+    B.write r ~path:out;
+    Printf.printf "wrote %s\n" out;
+    if not r.B.identical then begin
+      Printf.eprintf "servebench: warm replies diverge from cold replies\n";
+      exit 2
+    end;
+    (match min_speedup with
+    | Some floor when r.B.warm_speedup < floor ->
+      Printf.eprintf "servebench: warm speedup %.1fx below required %.1fx\n"
+        r.B.warm_speedup floor;
+      exit 2
+    | _ -> ());
+    match check_against with
+    | None -> ()
+    | Some path -> (
+      match B.check_against r ~path ~tolerance with
+      | Ok base ->
+        Printf.printf "baseline %s: %.0f queries/s, within tolerance\n" path
+          base
+      | Error msg ->
+        Printf.eprintf "servebench: %s\n" msg;
+        exit 2)
+  in
+  Cmd.v (Cmd.info "servebench" ~doc ~man)
+    Term.(
+      const run $ jobs_term $ sets $ repeats $ out $ quick $ check_against
+      $ tolerance $ min_speedup)
+
 let () =
   let doc = "Hard real-time scheduling for parallel run-time systems (HPDC'18 reproduction)." in
   let info = Cmd.info "hrt_sim" ~version:"1.0.0" ~doc in
@@ -1079,4 +1322,6 @@ let () =
             lint_cmd;
             admit_cmd;
             admitbench_cmd;
+            serve_cmd;
+            servebench_cmd;
           ]))

@@ -1,9 +1,22 @@
 open Hrt_par
 
+(* One in-flight analysis: the first domain to miss on a key computes
+   while every later domain waits on the condition instead of repeating
+   the work (single-flight). [Abandoned] covers the computing domain
+   dying with an exception — waiters then retry from scratch. *)
+type flight = {
+  fmu : Mutex.t;
+  fcv : Condition.t;
+  mutable outcome : flight_outcome;
+}
+
+and flight_outcome = Running | Done of Oracle.result | Abandoned
+
 type shard = {
   lock : Mutex.t;
   table : (string, Oracle.result) Hashtbl.t;
   order : string Queue.t;  (* insertion order, for FIFO eviction *)
+  inflight : (string, flight) Hashtbl.t;
 }
 
 type t = {
@@ -23,6 +36,7 @@ let create ?(shards = 8) ?(capacity = 1024) () =
             lock = Mutex.create ();
             table = Hashtbl.create 64;
             order = Queue.create ();
+            inflight = Hashtbl.create 8;
           });
     capacity = Stdlib.max 1 capacity;
     hits = Atomic.make 0;
@@ -38,33 +52,82 @@ let shard_of t key =
   String.iter (fun c -> h := ((!h * 31) + Char.code c) land max_int) key;
   t.shards.(!h mod Array.length t.shards)
 
+(* Insert under the shard lock, evicting FIFO at capacity. Single-flight
+   guarantees one insert per distinct computation, so the eviction queue
+   carries exactly one entry per resident key. *)
+let insert t s key r =
+  if not (Hashtbl.mem s.table key) then begin
+    if Hashtbl.length s.table >= t.capacity then begin
+      match Queue.take_opt s.order with
+      | Some victim ->
+        Hashtbl.remove s.table victim;
+        Atomic.incr t.evictions
+      | None -> ()
+    end;
+    Hashtbl.replace s.table key r;
+    Queue.push key s.order
+  end
+
+let rec query_key t s key ts =
+  let role =
+    Mutex.protect s.lock (fun () ->
+        match Hashtbl.find_opt s.table key with
+        | Some r -> `Hit r
+        | None -> (
+          match Hashtbl.find_opt s.inflight key with
+          | Some f -> `Wait f
+          | None ->
+            let f =
+              { fmu = Mutex.create (); fcv = Condition.create (); outcome = Running }
+            in
+            Hashtbl.replace s.inflight key f;
+            `Compute f))
+  in
+  match role with
+  | `Hit r ->
+    Atomic.incr t.hits;
+    r
+  | `Wait f -> (
+    (* Single-flight: a peer domain is already running this analysis;
+       wait for its result instead of repeating the work. The waiter
+       counts a hit — the result is served from (about-to-be) cache — so
+       hit/miss totals are identical at any job count. *)
+    let outcome =
+      Mutex.protect f.fmu (fun () ->
+          while f.outcome = Running do
+            Condition.wait f.fcv f.fmu
+          done;
+          f.outcome)
+    in
+    match outcome with
+    | Done r ->
+      Atomic.incr t.hits;
+      r
+    | Running | Abandoned -> query_key t s key ts)
+  | `Compute f -> (
+    (* One miss per distinct computation, counted by the domain that
+       actually runs the oracle. Analyze outside the shard lock: peers on
+       other keys proceed, peers on this key wait on [f]. *)
+    Atomic.incr t.misses;
+    match Oracle.analyze ts with
+    | r ->
+      Mutex.protect s.lock (fun () ->
+          insert t s key r;
+          Hashtbl.remove s.inflight key);
+      Mutex.protect f.fmu (fun () -> f.outcome <- Done r);
+      Condition.broadcast f.fcv;
+      r
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      Mutex.protect s.lock (fun () -> Hashtbl.remove s.inflight key);
+      Mutex.protect f.fmu (fun () -> f.outcome <- Abandoned);
+      Condition.broadcast f.fcv;
+      Printexc.raise_with_backtrace e bt)
+
 let query t ts =
   let key = Taskset.fingerprint ts in
   let s = shard_of t key in
-  let cached = Mutex.protect s.lock (fun () -> Hashtbl.find_opt s.table key) in
-  match cached with
-  | Some r ->
-    Atomic.incr t.hits;
-    r
-  | None ->
-    (* Analyze outside the lock: the oracle is pure, so two domains
-       racing on the same key compute equal results and the second
-       insert is dropped. *)
-    let r = Oracle.analyze ts in
-    Atomic.incr t.misses;
-    Mutex.protect s.lock (fun () ->
-        if not (Hashtbl.mem s.table key) then begin
-          if Hashtbl.length s.table >= t.capacity then begin
-            match Queue.take_opt s.order with
-            | Some victim ->
-              Hashtbl.remove s.table victim;
-              Atomic.incr t.evictions
-            | None -> ()
-          end;
-          Hashtbl.replace s.table key r;
-          Queue.push key s.order
-        end);
-    r
+  query_key t s key ts
 
 let batch ?pool t tasksets =
   match pool with

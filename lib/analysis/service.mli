@@ -19,7 +19,12 @@ val create : ?shards:int -> ?capacity:int -> unit -> t
 
 val query : t -> Taskset.t -> Oracle.result
 (** One analysis, served from cache when an equivalent set (same
-    fingerprint) was analyzed before. *)
+    fingerprint) was analyzed before. Concurrent misses on one key are
+    single-flight: the first domain runs {!Oracle.analyze} while peers
+    block on the in-flight entry and are handed the same result — the
+    oracle runs exactly once per distinct computation, one miss is
+    counted for the computing domain, and every waiter counts a hit, so
+    cache statistics are identical at any job count. *)
 
 val batch : ?pool:Par.Pool.t -> t -> Taskset.t list -> Oracle.result list
 (** [query] over the list, in submission order. With a [pool] the queries

@@ -24,6 +24,29 @@ let overhead_of_platform (plat : Platform.t) =
   in
   Platform.cycles_to_ns plat (2. *. per_invocation)
 
+(* The two analysis views the CLI and the serving daemon expose. The
+   production view mirrors the ledger a scheduler boots with (periodic
+   capacity limit, measured per-arrival overhead); the raw view asks the
+   pure feasibility question (full CPU, zero overhead) — a rejection
+   there with an exact certificate means no schedule exists at all. *)
+let production_view ~policy ~platform tasks =
+  make
+    ~config:{ Config.default with Config.policy }
+    ~overhead_ns:(overhead_of_platform platform)
+    tasks
+
+let raw_view ~policy tasks =
+  make
+    ~config:
+      {
+        Config.default with
+        Config.policy;
+        util_limit = 1.0;
+        strict_reservations = false;
+        sporadic_reservation = 1.0;
+      }
+    ~overhead_ns:0L tasks
+
 (* Analysis-relevant view of one task. Periodic phases are dropped: every
    test assumes the synchronous (critical-instant) release pattern, which
    dominates any phasing. Sporadic deadlines are folded to the laxity

@@ -29,6 +29,18 @@ val overhead_of_platform : Hrt_hw.Platform.t -> Time.ns
     [irq_dispatch + sched_pass + sched_other + ctx_switch] mean cycles
     (the model {!Hrt_core.Local_sched} installs at boot). *)
 
+val production_view :
+  policy:Config.policy -> platform:Hrt_hw.Platform.t -> Constraints.t list -> t
+(** The task set a runtime admission request would be judged against:
+    default configuration under [policy] with the platform's measured
+    per-arrival overhead charged. Shared by [hrt_sim admit] and the
+    serving daemon so both answer from the same view. *)
+
+val raw_view : policy:Config.policy -> Constraints.t list -> t
+(** The pure feasibility question: full CPU (utilization limit 1.0,
+    reservations off) and zero overhead. A rejection with an exact
+    certificate under this view means no schedule exists at all. *)
+
 val canonical : t -> string
 (** A canonical textual form: analysis-relevant configuration fields
     followed by the multiset of per-task tokens in sorted order. Two task

@@ -46,10 +46,7 @@ let gen_taskset ~seed index =
     ~overhead_ns:(Taskset.overhead_of_platform Hrt_hw.Platform.phi)
     tasks
 
-let timed f =
-  let t0 = Unix.gettimeofday () in
-  let v = f () in
-  (Unix.gettimeofday () -. t0, v)
+let timed f = Clock.timed f
 
 let measure ?(seed = 42L) ~sets ~repeats ~jobs () =
   let corpus = List.init sets (gen_taskset ~seed) in

@@ -1,0 +1,8 @@
+external now_ns : unit -> int64 = "hrt_harness_monotonic_ns"
+
+let now () = Int64.to_float (now_ns ()) *. 1e-9
+
+let timed f =
+  let t0 = now () in
+  let v = f () in
+  (now () -. t0, v)

@@ -1,0 +1,23 @@
+(** Monotonic wall-time for harness self-timing.
+
+    Every place the harness measures {e its own} elapsed time — bench
+    runners, experiment wall-clock reporting, the serving daemon's
+    request latencies — reads this clock, never [Unix.gettimeofday]:
+    the monotonic clock is immune to NTP steps and daylight shifts, so a
+    duration computed as [now () -. t0] can never be negative or skewed.
+    (Simulated time is a different thing entirely and lives in
+    {!Hrt_engine.Time}/[Engine.now].)
+
+    The [det-wallclock] lint rule still flags raw wall-clock reads; this
+    module is the sanctioned way to time real execution where the
+    [.hrt-lint] scope allows it. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on [CLOCK_MONOTONIC]. Only differences are meaningful —
+    the epoch is unspecified (typically boot time). *)
+
+val now : unit -> float
+(** Seconds on the same clock, for arithmetic convenience. *)
+
+val timed : (unit -> 'a) -> float * 'a
+(** [timed f] runs [f] and returns (elapsed seconds, result). *)

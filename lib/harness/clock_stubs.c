@@ -1,0 +1,19 @@
+/* Monotonic clock for harness self-timing (Harness.Clock).
+ *
+ * The stdlib Unix module shipped with this compiler has no
+ * clock_gettime binding, and Unix.gettimeofday is wall-clock: an NTP
+ * step mid-benchmark yields negative or wildly skewed durations. This
+ * stub exposes CLOCK_MONOTONIC directly as nanoseconds. */
+
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value hrt_harness_monotonic_ns(value unit)
+{
+  CAMLparam1(unit);
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  CAMLreturn(caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec));
+}

@@ -23,9 +23,9 @@ type result = {
 let timed f =
   Gc.full_major ();
   let mw0 = Gc.minor_words () in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   f ();
-  let seconds = Unix.gettimeofday () -. t0 in
+  let seconds = Clock.now () -. t0 in
   (seconds, Gc.minor_words () -. mw0)
 
 let mk_sample name ~events (seconds, minor_words) =

@@ -117,9 +117,9 @@ let find name = List.find_opt (fun e -> e.name = name) all
 
 let time_run ?ctx entry =
   let ctx = Exp.or_default ctx in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let tables = entry.run ctx in
-  (tables, Unix.gettimeofday () -. t0)
+  (tables, Clock.now () -. t0)
 
 let run_and_print ?ctx entry =
   let ctx = Exp.or_default ctx in

@@ -236,7 +236,9 @@ let determinism_iterator ctx =
             emit ctx ?waiver:(top ()) ~rule:"det-wallclock" e.pexp_loc
               (name
              ^ ": wall-clock in the deterministic core; use the engine \
-                clock (Engine.now / Time)")
+                clock (Engine.now / Time) for simulated time, or \
+                Hrt_harness.Clock (monotonic, NTP-step immune) where the \
+                scope allows self-timing")
           else if is_random_ident name then
             emit ctx ?waiver:(top ()) ~rule:"det-entropy" e.pexp_loc
               (name ^ ": ambient entropy; draw from the seeded Rng instead")

@@ -1,0 +1,107 @@
+open Hrt_engine
+module Clock = Hrt_harness.Clock
+
+type addr = Unix_path of string | Tcp of string * int
+
+type t = {
+  fd : Unix.file_descr;
+  dec : Protocol.Decoder.t;
+  timeout_s : float;
+}
+
+let connect ?(timeout_ms = 2000) addr =
+  let domain, sockaddr =
+    match addr with
+    | Unix_path path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | Tcp (host, port) ->
+      (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+  in
+  match
+    let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd sockaddr with
+    | () -> fd
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  with
+  | fd ->
+    Ok { fd; dec = Protocol.Decoder.create (); timeout_s = float_of_int timeout_ms /. 1000. }
+  | exception Unix.Unix_error (err, _, _) ->
+    Error (Printf.sprintf "connect: %s" (Unix.error_message err))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send t payload =
+  let wire = Bytes.of_string (Protocol.frame payload) in
+  let len = Bytes.length wire in
+  let rec go off =
+    if off >= len then Ok ()
+    else
+      match Unix.write t.fd wire off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (err, _, _) ->
+        Error (Printf.sprintf "send: %s" (Unix.error_message err))
+  in
+  go 0
+
+let recv t =
+  let buf = Bytes.create 8192 in
+  let deadline = Clock.now () +. t.timeout_s in
+  let rec go () =
+    match Protocol.Decoder.next t.dec with
+    | `Frame payload -> Protocol.parse_reply payload
+    | `Error e -> Error (Protocol.describe_error e)
+    | `Await -> (
+      let remaining = deadline -. Clock.now () in
+      if remaining <= 0. then Error "timeout awaiting reply"
+      else
+        match Unix.select [ t.fd ] [] [] remaining with
+        | [], _, _ -> Error "timeout awaiting reply"
+        | _ :: _, _, _ -> (
+          match Unix.read t.fd buf 0 (Bytes.length buf) with
+          | 0 -> (
+            match Protocol.Decoder.eof t.dec with
+            | `Clean -> Error "connection closed by server"
+            | `Error e -> Error (Protocol.describe_error e))
+          | n ->
+            Protocol.Decoder.feed t.dec buf 0 n;
+            go ()
+          | exception Unix.Unix_error (err, _, _) ->
+            Error (Printf.sprintf "recv: %s" (Unix.error_message err)))
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+  in
+  go ()
+
+let request t payload =
+  match send t payload with Ok () -> recv t | Error _ as e -> e
+
+let call ?(attempts = 5) ?(base_backoff_ms = 25.) ?(timeout_ms = 2000)
+    ?(seed = 0x5e7eb0ffL) addr payload =
+  let rng = Rng.create seed in
+  let rec go attempt last_err =
+    if attempt >= attempts then
+      Error (Printf.sprintf "%d attempts failed; last: %s" attempts last_err)
+    else begin
+      let backoff () =
+        (* Jittered exponential backoff: full-jitter on [0.5, 1.5) times
+           the doubling base, so retrying clients spread out. *)
+        let factor = Float.of_int (1 lsl Stdlib.min attempt 10) in
+        let jitter = 0.5 +. Rng.float rng in
+        Unix.sleepf (base_backoff_ms /. 1000. *. factor *. jitter)
+      in
+      match connect ~timeout_ms addr with
+      | Error msg ->
+        backoff ();
+        go (attempt + 1) msg
+      | Ok conn -> (
+        match request conn payload with
+        | Ok reply ->
+          close conn;
+          Ok reply
+        | Error msg ->
+          close conn;
+          backoff ();
+          go (attempt + 1) msg)
+    end
+  in
+  go 0 "no attempt made"

@@ -1,0 +1,42 @@
+(** A small client for the admission serving daemon.
+
+    Used by [hrt_sim serve --client], the test suite, and CI. All
+    receive paths are bounded by a timeout, and the one-shot {!call}
+    helper retries with jittered exponential backoff — attempt [i]
+    sleeps [base * 2^i * (0.5 + u)] with [u] drawn from the seeded
+    {!Hrt_engine.Rng} — so a client racing a daemon that is still
+    booting converges without thundering in lock-step. *)
+
+type addr = Unix_path of string | Tcp of string * int
+
+type t
+
+val connect : ?timeout_ms:int -> addr -> (t, string) result
+(** One connection attempt (default timeout 2000 ms, applied to
+    receives on the resulting connection). *)
+
+val close : t -> unit
+
+val send : t -> string -> (unit, string) result
+(** Frame and send one request payload without waiting — pipelining. *)
+
+val recv : t -> (Protocol.reply, string) result
+(** Await the next reply frame, bounded by the connection timeout. *)
+
+val request : t -> string -> (Protocol.reply, string) result
+(** [send] then [recv]. *)
+
+val call :
+  ?attempts:int ->
+  ?base_backoff_ms:float ->
+  ?timeout_ms:int ->
+  ?seed:int64 ->
+  addr ->
+  string ->
+  (Protocol.reply, string) result
+(** One-shot RPC with bounded retries: a fresh connection per attempt
+    (default 5 attempts, base backoff 25 ms, timeout 2000 ms); any
+    connect/send/receive failure backs off and retries, the last error
+    is returned when attempts are exhausted. Safe for the idempotent
+    serving verbs (queries are pure, [stats]/[drain] are
+    idempotent). *)

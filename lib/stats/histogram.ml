@@ -49,12 +49,27 @@ let of_array ~lo ~hi ~bins xs =
   Array.iter (add t) xs;
   t
 
+let of_counts ~lo ~hi counts =
+  let t = create ~lo ~hi ~bins:(Array.length counts) in
+  Array.iteri
+    (fun i c ->
+      if c < 0 then invalid_arg "Histogram.of_counts: negative count";
+      t.counts.(i) <- c;
+      t.total <- t.total + c)
+    counts;
+  t
+
 let render ?(width = 50) t =
   let buf = Buffer.create 256 in
   let peak = Stdlib.max 1 (t.counts.(max_bin t)) in
   for i = 0 to bins t - 1 do
     let c = t.counts.(i) in
-    let bar = c * width / peak in
+    (* Scale through float: [c * width] overflows for counts past
+       [max_int / width], flipping the bar length negative. [c <= peak]
+       keeps the quotient in [0, width], so the rounding cast is safe. *)
+    let bar =
+      int_of_float (float_of_int c *. float_of_int width /. float_of_int peak)
+    in
     Buffer.add_string buf
       (Printf.sprintf "[%10.1f, %10.1f) %6d %s\n" (bin_lo t i) (bin_hi t i) c
          (String.make bar '#'))

@@ -25,5 +25,12 @@ val max_bin : t -> int
 
 val of_array : lo:float -> hi:float -> bins:int -> float array -> t
 
+val of_counts : lo:float -> hi:float -> int array -> t
+(** A histogram from pre-aggregated per-bin counts (one bin per array
+    cell, under/overflow zero). Raises [Invalid_argument] on a negative
+    count. *)
+
 val render : ?width:int -> t -> string
-(** ASCII bar rendering, one line per bin: "[lo, hi) count ####". *)
+(** ASCII bar rendering, one line per bin: "[lo, hi) count ####". Bar
+    lengths are scaled through float, so counts anywhere up to [max_int]
+    render correctly (no [count * width] overflow). *)

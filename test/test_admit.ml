@@ -256,6 +256,69 @@ let test_batch_jobs_identical () =
   let s = Service.stats svc in
   Alcotest.(check int) "second pass all hits" (List.length sets) s.Service.hits
 
+(* Regression: two domains missing the same fingerprint used to both run
+   Oracle.analyze and both count a miss (and both insert, leaving two
+   eviction-queue entries for one key). Single-flight collapses the race:
+   exactly one analysis, one miss, one entry, one eviction slot — however
+   many domains hammer the key. *)
+let test_cache_single_flight () =
+  let ts =
+    production [ p ~period_us:700 ~slice_us:180; p ~period_us:900 ~slice_us:200 ]
+  in
+  let domains = 4 and rounds = 8 in
+  let svc = Service.create ~shards:1 ~capacity:2 () in
+  let gate = Atomic.make 0 in
+  let workers =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            Atomic.incr gate;
+            while Atomic.get gate < domains do
+              Domain.cpu_relax ()
+            done;
+            List.init rounds (fun _ -> Service.query svc ts)))
+  in
+  let results = List.concat_map Domain.join workers in
+  let expect = List.hd results in
+  List.iter
+    (fun r -> Alcotest.(check bool) "all domains same result" true (r = expect))
+    results;
+  let s = Service.stats svc in
+  Alcotest.(check int) "exactly one analysis ran" 1 s.Service.misses;
+  Alcotest.(check int) "every other query is a hit"
+    ((domains * rounds) - 1)
+    s.Service.hits;
+  Alcotest.(check int) "one cache entry" 1 s.Service.entries;
+  (* One eviction-queue slot for the hammered key: at capacity 2, two more
+     distinct inserts evict it exactly once (a double insert would leave a
+     second queue entry and evict twice). *)
+  List.iter
+    (fun other -> ignore (Service.query svc other))
+    (corpus ~n:2 ~seed:21L);
+  Alcotest.(check int) "hammered key held one eviction slot" 1
+    (Service.stats svc).Service.evictions
+
+(* The single-flight accounting makes cache stats independent of the job
+   count: a corpus with duplicates sees the same hit/miss totals at
+   jobs=1 and jobs=4. *)
+let test_cache_stats_job_invariant () =
+  let base = corpus ~n:12 ~seed:17L in
+  let sets = base @ base @ base in
+  let run jobs =
+    let svc = Service.create () in
+    let results =
+      if jobs > 1 then
+        Service.batch ~pool:(Hrt_par.Par.Pool.create ~jobs) svc sets
+      else Service.batch svc sets
+    in
+    (results, Service.stats svc)
+  in
+  let r1, s1 = run 1 in
+  let r4, s4 = run 4 in
+  Alcotest.(check bool) "results identical" true (r1 = r4);
+  Alcotest.(check int) "same misses" s1.Service.misses s4.Service.misses;
+  Alcotest.(check int) "same hits" s1.Service.hits s4.Service.hits;
+  Alcotest.(check int) "same entries" s1.Service.entries s4.Service.entries
+
 let test_service_probes () =
   let sink = Hrt_obs.Sink.create ~trace:false () in
   let svc = Service.create () in
@@ -371,6 +434,9 @@ let suite =
       test_cache_warm_equals_cold;
     Alcotest.test_case "cache eviction FIFO" `Quick test_cache_eviction_fifo;
     Alcotest.test_case "batch jobs=1 vs jobs=4" `Quick test_batch_jobs_identical;
+    Alcotest.test_case "cache single-flight" `Quick test_cache_single_flight;
+    Alcotest.test_case "cache stats job-invariant" `Quick
+      test_cache_stats_job_invariant;
     Alcotest.test_case "cache probes exported" `Quick test_service_probes;
     Alcotest.test_case "verdict combine API" `Quick test_verdict_api;
     Alcotest.test_case "rejection names stable" `Quick

@@ -29,4 +29,5 @@ let () =
       ("fault", Test_fault.suite);
       ("lint", Test_lint.suite);
       ("admit", Test_admit.suite);
+      ("serve", Test_serve.suite);
     ]

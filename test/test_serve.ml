@@ -1,0 +1,416 @@
+(* The admission serving layer: protocol totality (framing and parsing
+   never raise on arbitrary bytes), render/parse round-trips, and a live
+   server on a private Unix socket — verdict correctness against the
+   oracle, load shedding, per-request deadlines, drain under load (every
+   accepted request gets exactly one reply), and the TCP listener. *)
+
+open Hrt_core
+open Hrt_serve
+module P = Protocol
+
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+let sock_path =
+  let counter = Atomic.make 0 in
+  fun () ->
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hrt-test-%d-%d.sock" (Unix.getpid ())
+         (Atomic.fetch_and_add counter 1))
+
+(* ---- framing ---- *)
+
+let drain_frames dec =
+  let rec go acc =
+    match P.Decoder.next dec with
+    | `Frame payload -> go (payload :: acc)
+    | `Await -> (List.rev acc, `Await)
+    | `Error e -> (List.rev acc, `Error e)
+  in
+  go []
+
+let test_decoder_roundtrip () =
+  let payloads = [ "query P:1000:300"; "stats"; "multi\nline reply" ] in
+  let wire = String.concat "" (List.map P.frame payloads) in
+  (* Byte-at-a-time feeding must produce the same frames as one shot. *)
+  let dec = P.Decoder.create () in
+  let got = ref [] in
+  String.iter
+    (fun c ->
+      P.Decoder.feed_string dec (String.make 1 c);
+      let frames, _ = drain_frames dec in
+      got := !got @ frames)
+    wire;
+  Alcotest.(check (list string)) "byte-at-a-time" payloads !got;
+  Alcotest.(check bool) "clean eof" true (P.Decoder.eof dec = `Clean)
+
+let check_error name wire expect_code =
+  let dec = P.Decoder.create ~max_frame:1024 () in
+  P.Decoder.feed_string dec wire;
+  match drain_frames dec with
+  | _, `Error e ->
+    Alcotest.(check string) name expect_code (P.error_code e);
+    (* Errors are sticky: more bytes cannot resurrect the stream. *)
+    P.Decoder.feed_string dec (P.frame "stats");
+    (match P.Decoder.next dec with
+    | `Error e' ->
+      Alcotest.(check string) (name ^ " sticky") expect_code (P.error_code e')
+    | _ -> Alcotest.failf "%s: error was not sticky" name)
+  | _, (`Await : [ `Await | `Error of P.error ]) ->
+    Alcotest.failf "%s: expected a framing error" name
+
+let test_decoder_errors () =
+  check_error "bad magic" "nope 5\nhello" "bad-magic";
+  check_error "bad length" "hrt1 5x\nhello" "bad-length";
+  check_error "too large" "hrt1 9999\n" "frame-too-large";
+  check_error "header flood" (String.make 64 'q') "bad-magic";
+  let dec = P.Decoder.create () in
+  P.Decoder.feed_string dec "hrt1 10\nhal";
+  (match P.Decoder.next dec with
+  | `Await -> ()
+  | _ -> Alcotest.fail "partial body should await");
+  match P.Decoder.eof dec with
+  | `Error (P.Truncated { wanted = 10; got = 3 }) -> ()
+  | `Error e -> Alcotest.failf "wrong eof error: %s" (P.describe_error e)
+  | `Clean -> Alcotest.fail "eof mid-frame must be an error"
+
+(* Any byte stream, fed in any chunking, never raises and never loops:
+   the decoder either yields frames, awaits more, or fails sticky. *)
+let prop_decoder_total =
+  QCheck.Test.make ~name:"decoder total on arbitrary bytes" ~count:500
+    QCheck.(pair (small_list (string_of_size (QCheck.Gen.int_bound 40))) small_nat)
+    (fun (chunks, max_frame) ->
+      let dec = P.Decoder.create ~max_frame:(1 + max_frame) () in
+      List.iter
+        (fun chunk ->
+          P.Decoder.feed_string dec chunk;
+          ignore (drain_frames dec))
+        chunks;
+      ignore (P.Decoder.eof dec);
+      true)
+
+(* frame/decode are inverses for any payload, under any chunk size. *)
+let prop_frame_roundtrip =
+  QCheck.Test.make ~name:"frame/decode round-trip" ~count:300
+    QCheck.(
+      pair
+        (small_list (string_of_size (QCheck.Gen.int_bound 80)))
+        (int_range 1 7))
+    (fun (payloads, chunk) ->
+      let wire = String.concat "" (List.map P.frame payloads) in
+      let dec = P.Decoder.create () in
+      let got = ref [] in
+      let n = String.length wire in
+      let i = ref 0 in
+      while !i < n do
+        let len = Stdlib.min chunk (n - !i) in
+        P.Decoder.feed_string dec (String.sub wire !i len);
+        i := !i + len;
+        let frames, _ = drain_frames dec in
+        got := !got @ frames
+      done;
+      !got = payloads && P.Decoder.eof dec = `Clean)
+
+(* ---- request parsing ---- *)
+
+let specs_of = function
+  | Ok (P.Query { specs; _ }) -> List.length specs
+  | _ -> -1
+
+let test_parse_request () =
+  (match P.parse_request "query P:1000:300 S:50:400 A" with
+  | Ok (P.Query { deadline_ms = None; specs }) ->
+    Alcotest.(check int) "three specs" 3 (List.length specs)
+  | _ -> Alcotest.fail "query did not parse");
+  (match P.parse_request "query @250 P:1000:300" with
+  | Ok (P.Query { deadline_ms = Some 250; specs = [ _ ] }) -> ()
+  | _ -> Alcotest.fail "deadline token did not parse");
+  Alcotest.(check int) "whitespace tolerated" 2
+    (specs_of (P.parse_request "  query \t P:1000:300   P:500:100 "));
+  (* Batch separators: spaced, glued left, glued right. *)
+  List.iter
+    (fun payload ->
+      match P.parse_request payload with
+      | Ok (P.Batch { sets = [ [ _ ]; [ _; _ ] ]; _ }) -> ()
+      | _ -> Alcotest.failf "batch %S did not split into [1;2]" payload)
+    [
+      "batch P:1000:300 ; P:500:100 A";
+      "batch P:1000:300; P:500:100 A";
+      "batch P:1000:300 ;P:500:100 A";
+    ];
+  Alcotest.(check bool) "stats" true (P.parse_request "stats" = Ok P.Stats);
+  Alcotest.(check bool) "drain" true (P.parse_request "drain" = Ok P.Drain)
+
+let expect_code name payload code =
+  match P.parse_request payload with
+  | Error e -> Alcotest.(check string) name code (P.error_code e)
+  | Ok _ -> Alcotest.failf "%s: %S should not parse" name payload
+
+let test_parse_request_errors () =
+  expect_code "junk verb" "frobnicate P:1:2" "bad-verb";
+  expect_code "empty" "   " "bad-request";
+  expect_code "stats arity" "stats now" "bad-request";
+  expect_code "query no specs" "query" "bad-request";
+  expect_code "query with sets" "query P:1:2 ; P:3:4" "bad-request";
+  expect_code "bad deadline" "query @soon P:1000:300" "bad-deadline";
+  expect_code "batch empty set" "batch P:1000:300 ; ; A" "bad-request";
+  match P.parse_request "query P:1000:300 P:0:5" with
+  | Error (P.Bad_spec { index = 1; _ }) -> ()
+  | _ -> Alcotest.fail "malformed spec must carry its index"
+
+let prop_parse_total =
+  QCheck.Test.make ~name:"request/reply parsers total" ~count:500
+    QCheck.(string_of_size (QCheck.Gen.int_bound 120))
+    (fun payload ->
+      ignore (P.parse_request payload);
+      ignore (P.parse_reply payload);
+      true)
+
+(* ---- reply round-trips ---- *)
+
+let test_reply_roundtrip () =
+  let replies =
+    [
+      P.Verdicts [ P.Admitted 0.25; P.Rejected "overloaded"; P.expired ];
+      P.Stats_reply [ ("served", 12.0); ("p95_us", 81.5) ];
+      P.Draining { pending = 7 };
+      P.Error_reply { code = "bad-verb"; detail = "unknown verb" };
+    ]
+  in
+  List.iter
+    (fun r ->
+      match P.parse_reply (P.render_reply r) with
+      | Ok r' ->
+        Alcotest.(check bool)
+          ("round-trip " ^ P.render_reply r)
+          true (r = r')
+      | Error msg -> Alcotest.failf "reply did not re-parse: %s" msg)
+    replies
+
+(* ---- live server ---- *)
+
+let with_server ?(cfg = Server.default_config) ?tcp_port f =
+  let path = sock_path () in
+  let server = Server.create ?tcp_port ~socket:path cfg in
+  let d = Domain.spawn (fun () -> Server.run server) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.request_drain server;
+      Domain.join d;
+      if Sys.file_exists path then try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f (Client.Unix_path path) server)
+
+let must = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "client: %s" msg
+
+let quiet_cfg = { Server.default_config with Server.jobs = 2 }
+
+let direct_verdict specs =
+  let tasks =
+    List.map (fun s -> Result.get_ok (P.parse_spec s)) specs
+  in
+  let ts =
+    Hrt_analysis.Taskset.production_view ~policy:Config.Edf
+      ~platform:Hrt_hw.Platform.phi tasks
+  in
+  P.verdict_of_oracle (Hrt_analysis.Oracle.analyze ts).Hrt_analysis.Oracle.verdict
+
+let test_query_matches_oracle () =
+  with_server ~cfg:quiet_cfg (fun addr _ ->
+      let specs = [ "P:1000:300"; "P:500:100" ] in
+      match must (Client.call addr ("query " ^ String.concat " " specs)) with
+      | P.Verdicts [ v ] ->
+        Alcotest.(check bool) "server verdict = direct oracle" true
+          (v = direct_verdict specs)
+      | r -> Alcotest.failf "unexpected reply: %s" (P.render_reply r))
+
+let test_batch_verdicts_in_order () =
+  with_server ~cfg:quiet_cfg (fun addr _ ->
+      let sets = [ [ "P:1000:900"; "A" ]; [ "P:1000:300" ]; [ "S:50:400" ] ] in
+      let payload =
+        "batch " ^ String.concat " ; " (List.map (String.concat " ") sets)
+      in
+      match must (Client.call addr payload) with
+      | P.Verdicts vs ->
+        Alcotest.(check int) "one verdict per set" (List.length sets)
+          (List.length vs);
+        List.iter2
+          (fun v set ->
+            Alcotest.(check bool) "order preserved" true
+              (v = direct_verdict set))
+          vs sets
+      | r -> Alcotest.failf "unexpected reply: %s" (P.render_reply r))
+
+let test_pipelined_replies_in_order () =
+  with_server ~cfg:quiet_cfg (fun addr _ ->
+      let conn = must (Client.connect addr) in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          let queries =
+            [ [ "P:1000:300" ]; [ "P:1000:900"; "A" ]; [ "P:500:100" ] ]
+          in
+          List.iter
+            (fun set ->
+              ignore
+                (must (Client.send conn ("query " ^ String.concat " " set))))
+            queries;
+          List.iter
+            (fun set ->
+              match must (Client.recv conn) with
+              | P.Verdicts [ v ] ->
+                Alcotest.(check bool) "pipelined order" true
+                  (v = direct_verdict set)
+              | r -> Alcotest.failf "unexpected reply: %s" (P.render_reply r))
+            queries))
+
+let test_forced_shed () =
+  with_server
+    ~cfg:{ quiet_cfg with Server.max_queue = 0 }
+    (fun addr _ ->
+      (match must (Client.call addr "query P:1000:300") with
+      | P.Verdicts [ P.Rejected "overloaded" ] -> ()
+      | r -> Alcotest.failf "expected overloaded, got %s" (P.render_reply r));
+      (* Sheds are replies, not stalls or drops — and stats still serve. *)
+      match must (Client.call addr "stats") with
+      | P.Stats_reply kvs ->
+        Alcotest.(check bool) "shed counted" true
+          (match List.assoc_opt "shed" kvs with
+          | Some n -> n >= 1.
+          | None -> false)
+      | r -> Alcotest.failf "unexpected reply: %s" (P.render_reply r))
+
+let test_deadline_expired () =
+  with_server ~cfg:quiet_cfg (fun addr _ ->
+      match must (Client.call addr "query @0 P:1000:300") with
+      | P.Verdicts [ P.Rejected "expired" ] -> ()
+      | r -> Alcotest.failf "expected expired, got %s" (P.render_reply r))
+
+let test_protocol_error_over_wire () =
+  with_server ~cfg:quiet_cfg (fun addr _ ->
+      (* A junk verb is a typed error reply; the connection survives. *)
+      let conn = must (Client.connect addr) in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          (match must (Client.request conn "frobnicate") with
+          | P.Error_reply { code = "bad-verb"; _ } -> ()
+          | r -> Alcotest.failf "unexpected reply: %s" (P.render_reply r));
+          match must (Client.request conn "query P:1000:300") with
+          | P.Verdicts [ _ ] -> ()
+          | r -> Alcotest.failf "conn should survive: %s" (P.render_reply r));
+      (* Broken framing is answered with a typed error, then closed. *)
+      match addr with
+      | Client.Tcp _ -> ()
+      | Client.Unix_path path ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            Unix.connect fd (Unix.ADDR_UNIX path);
+            let junk = "garbage with no framing\n" in
+            ignore (Unix.write_substring fd junk 0 (String.length junk));
+            let dec = P.Decoder.create () in
+            let buf = Bytes.create 1024 in
+            let rec read_reply () =
+              match P.Decoder.next dec with
+              | `Frame payload -> payload
+              | `Error e ->
+                Alcotest.failf "server reply unframed: %s" (P.describe_error e)
+              | `Await -> (
+                match Unix.read fd buf 0 1024 with
+                | 0 -> Alcotest.fail "connection closed without an error reply"
+                | n ->
+                  P.Decoder.feed dec buf 0 n;
+                  read_reply ())
+            in
+            (match P.parse_reply (read_reply ()) with
+            | Ok (P.Error_reply { code = "bad-magic"; _ }) -> ()
+            | Ok r -> Alcotest.failf "unexpected reply: %s" (P.render_reply r)
+            | Error msg -> Alcotest.failf "reply did not parse: %s" msg);
+            (* ... and the stream ends: framing is unrecoverable. *)
+            Alcotest.(check int) "closed after error" 0
+              (Unix.read fd buf 0 1024)))
+
+(* Drain under load: pipeline a burst, drain mid-flight, and every
+   accepted request still gets exactly one reply (served, or shed with
+   the stable overloaded verdict) before the server closes. *)
+let test_drain_under_load () =
+  let n = 40 in
+  with_server ~cfg:quiet_cfg (fun addr server ->
+      let conn = must (Client.connect addr) in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          for i = 0 to n - 1 do
+            let period = 500 + (10 * i) in
+            ignore
+              (must
+                 (Client.send conn
+                    (Printf.sprintf "query P:%d:%d P:900:200" period
+                       (period / 3))))
+          done;
+          Server.request_drain server;
+          let replies = ref 0 in
+          for _ = 1 to n do
+            match must (Client.recv conn) with
+            | P.Verdicts [ (P.Admitted _ | P.Rejected _) ] -> incr replies
+            | r -> Alcotest.failf "unexpected reply: %s" (P.render_reply r)
+          done;
+          Alcotest.(check int) "exactly one reply per request" n !replies))
+
+let test_drain_verb_stops_server () =
+  let path = sock_path () in
+  let server = Server.create ~socket:path quiet_cfg in
+  let d = Domain.spawn (fun () -> Server.run server) in
+  let addr = Client.Unix_path path in
+  (match must (Client.call addr "drain") with
+  | P.Draining { pending } ->
+    Alcotest.(check bool) "pending non-negative" true (pending >= 0)
+  | r -> Alcotest.failf "unexpected reply: %s" (P.render_reply r));
+  (* run returns on its own: the drain verb is a full shutdown. *)
+  Domain.join d;
+  Alcotest.(check bool) "socket removed" false (Sys.file_exists path);
+  match Client.call ~attempts:1 addr "stats" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "drained server must not answer"
+
+let test_tcp_listener () =
+  with_server ~cfg:quiet_cfg ~tcp_port:0 (fun _ server ->
+      match Server.tcp_port server with
+      | None -> Alcotest.fail "tcp port not bound"
+      | Some port -> (
+        match
+          must (Client.call (Client.Tcp ("127.0.0.1", port)) "query P:1000:300")
+        with
+        | P.Verdicts [ v ] ->
+          Alcotest.(check bool) "tcp verdict" true
+            (v = direct_verdict [ "P:1000:300" ])
+        | r -> Alcotest.failf "unexpected reply: %s" (P.render_reply r)))
+
+let suite =
+  [
+    Alcotest.test_case "decoder round-trip" `Quick test_decoder_roundtrip;
+    Alcotest.test_case "decoder typed errors" `Quick test_decoder_errors;
+    to_alcotest prop_decoder_total;
+    to_alcotest prop_frame_roundtrip;
+    Alcotest.test_case "parse request" `Quick test_parse_request;
+    Alcotest.test_case "parse request errors" `Quick test_parse_request_errors;
+    to_alcotest prop_parse_total;
+    Alcotest.test_case "reply round-trip" `Quick test_reply_roundtrip;
+    Alcotest.test_case "query matches oracle" `Quick test_query_matches_oracle;
+    Alcotest.test_case "batch verdicts in order" `Quick
+      test_batch_verdicts_in_order;
+    Alcotest.test_case "pipelined replies in order" `Quick
+      test_pipelined_replies_in_order;
+    Alcotest.test_case "forced shed answers overloaded" `Quick test_forced_shed;
+    Alcotest.test_case "deadline expiry answers expired" `Quick
+      test_deadline_expired;
+    Alcotest.test_case "protocol errors over the wire" `Quick
+      test_protocol_error_over_wire;
+    Alcotest.test_case "drain under load" `Quick test_drain_under_load;
+    Alcotest.test_case "drain verb stops server" `Quick
+      test_drain_verb_stops_server;
+    Alcotest.test_case "tcp listener" `Quick test_tcp_listener;
+  ]

@@ -98,6 +98,29 @@ let test_histogram_render () =
   Alcotest.(check bool) "mentions counts" true
     (String.length s > 0 && String.contains s '#')
 
+(* Regression: render used to compute [count * width] in int before
+   dividing by the peak — counts past [max_int / width] overflowed and
+   flipped the bar length negative ([String.make] then raised). Counts
+   near max_int must render a full-width bar. *)
+let test_histogram_render_huge_counts () =
+  let width = 50 in
+  let huge = max_int / width * 2 in
+  let h = Histogram.of_counts ~lo:0. ~hi:3. [| huge; huge / 2; 1 |] in
+  let s = Histogram.render ~width h in
+  let bar line =
+    let n = ref 0 in
+    String.iter (fun c -> if c = '#' then incr n) line;
+    !n
+  in
+  (match String.split_on_char '\n' s with
+  | peak_line :: half_line :: _ ->
+    Alcotest.(check int) "peak bin renders full width" width (bar peak_line);
+    Alcotest.(check int) "half-peak bin renders half width" (width / 2)
+      (bar half_line)
+  | _ -> Alcotest.fail "render produced too few lines");
+  Alcotest.(check int) "totals accumulate" (huge + (huge / 2) + 1)
+    (Histogram.count h)
+
 (* ---- Percentile ---- *)
 
 let test_percentile_basic () =
@@ -219,6 +242,8 @@ let suite =
     Alcotest.test_case "histogram max bin" `Quick test_histogram_max_bin;
     Alcotest.test_case "histogram invalid args" `Quick test_histogram_invalid;
     Alcotest.test_case "histogram render" `Quick test_histogram_render;
+    Alcotest.test_case "histogram render huge counts" `Quick
+      test_histogram_render_huge_counts;
     Alcotest.test_case "percentile basic" `Quick test_percentile_basic;
     Alcotest.test_case "percentile interpolation" `Quick test_percentile_interpolation;
     Alcotest.test_case "percentile unsorted input" `Quick test_percentile_unsorted_input;
